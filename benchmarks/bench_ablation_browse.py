@@ -1,0 +1,68 @@
+"""Ablation — incremental distance browsing vs batch k-MST.
+
+The Hjaltason-Samet framework BFMST builds on supports *incremental*
+retrieval: take answers one at a time and stop when satisfied.  This
+bench quantifies the benefit: cost of the first answer vs the tenth vs
+a full enumeration, against re-running batch k-MST with growing k (the
+naive alternative when the needed k is unknown).
+"""
+
+import itertools
+import time
+
+from repro.datagen import generate_gstd, make_workload
+from repro.experiments import build_index, format_table
+from repro.search import bfmst_browse, bfmst_search
+
+from conftest import emit, scaled
+
+
+def test_browse_vs_batch(benchmark):
+    dataset = generate_gstd(
+        scaled(200), samples_per_object=scaled(150), seed=41, heading="random"
+    )
+    index = build_index(dataset, "rtree", page_size=512)
+    workload = make_workload(dataset, scaled(6), 0.05, seed=41)
+
+    def run_all():
+        rows = []
+        for take in (1, 5, 10):
+            t0 = time.perf_counter()
+            accesses0 = index.node_accesses
+            for query, period in workload:
+                got = list(
+                    itertools.islice(bfmst_browse(index, query, period), take)
+                )
+                assert len(got) == take
+            browse_ms = 1000.0 * (time.perf_counter() - t0) / len(workload)
+            browse_nodes = (index.node_accesses - accesses0) / len(workload)
+
+            # naive alternative: re-run batch k-MST at k = 1..take
+            t0 = time.perf_counter()
+            accesses0 = index.node_accesses
+            for query, period in workload:
+                for k in range(1, take + 1):
+                    bfmst_search(index, query, period, k=k)
+            naive_ms = 1000.0 * (time.perf_counter() - t0) / len(workload)
+            naive_nodes = (index.node_accesses - accesses0) / len(workload)
+            rows.append(
+                [take, browse_ms, browse_nodes, naive_ms, naive_nodes]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    text = format_table(
+        ["answers taken", "browse ms", "browse nodes",
+         "re-query ms", "re-query nodes"],
+        rows,
+        title="Ablation: incremental browsing vs repeated batch k-MST",
+    )
+    emit("ablation_browse", text)
+
+    by = {r[0]: r for r in rows}
+    # browsing 10 answers beats re-running k = 1..10 batch queries
+    assert by[10][1] < by[10][3]
+    assert by[10][2] < by[10][4]
+    # cost grows with answers taken but stays sane
+    assert by[1][2] <= by[10][2]

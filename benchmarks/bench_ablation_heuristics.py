@@ -1,0 +1,82 @@
+"""Ablation — the paper's two pruning heuristics.
+
+Runs the same query set with Heuristic 1 (OPTDISSIM candidate
+rejection) and Heuristic 2 (MINDISSIMINC early termination) toggled,
+reporting node accesses and time.  H2 is the workhorse (the paper:
+"the algorithm prunes mainly by the MINDISSIMINC heuristic"); both
+configurations must return identical answers.
+"""
+
+from repro.datagen import generate_gstd, make_workload
+from repro.experiments import build_index, format_table
+from repro.search import bfmst_search
+
+from conftest import emit, scaled
+
+CONFIGS = [
+    ("none", False, False),
+    ("H1 only", True, False),
+    ("H2 only", False, True),
+    ("H1+H2 (paper)", True, True),
+]
+
+
+def test_heuristic_contributions(benchmark):
+    dataset = generate_gstd(
+        scaled(250), samples_per_object=scaled(150), seed=13, heading="random"
+    )
+    index = build_index(dataset, "rtree", page_size=512)
+    workload = make_workload(dataset, scaled(8), 0.05, seed=13)
+
+    def run_all():
+        out = {}
+        for name, h1, h2 in CONFIGS:
+            accesses = 0
+            rejected = 0
+            answers = []
+            import time
+
+            t0 = time.perf_counter()
+            for query, period in workload:
+                matches, stats = bfmst_search(
+                    index, query, period, k=2,
+                    use_heuristic1=h1, use_heuristic2=h2,
+                )
+                accesses += stats.node_accesses
+                rejected += stats.candidates_rejected
+                answers.append(tuple(m.trajectory_id for m in matches))
+            out[name] = {
+                "time_s": time.perf_counter() - t0,
+                "accesses": accesses / len(workload),
+                "rejected": rejected / len(workload),
+                "answers": answers,
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    text = format_table(
+        ["configuration", "mean node accesses", "mean H1 rejections",
+         "total time (s)"],
+        [
+            [name, results[name]["accesses"], results[name]["rejected"],
+             results[name]["time_s"]]
+            for name, _h1, _h2 in CONFIGS
+        ],
+        title="Ablation: pruning heuristics (S0250-like, 5% queries, k=2)",
+    )
+    emit("ablation_heuristics", text)
+
+    # identical answers under every configuration
+    reference = results["H1+H2 (paper)"]["answers"]
+    for name, _h1, _h2 in CONFIGS:
+        assert results[name]["answers"] == reference, name
+
+    # H2 is the main pruner: enabling it must cut node accesses hard.
+    assert results["H2 only"]["accesses"] < 0.5 * results["none"]["accesses"]
+    assert (
+        results["H1+H2 (paper)"]["accesses"]
+        <= results["H2 only"]["accesses"] + 1e-9
+    )
+    # H1 does reject candidates when enabled.
+    assert results["H1 only"]["rejected"] > 0

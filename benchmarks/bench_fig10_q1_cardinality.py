@@ -1,0 +1,66 @@
+"""Figure 10, Q1 — BFMST scaling with dataset cardinality.
+
+Paper setup (Table 3): datasets S0100...S1000, query = 5 % of a random
+data trajectory, k = 1, both trees; panels report mean execution time
+and pruning power.
+
+Paper's shape: execution time grows ~linearly with the number of
+moving objects; pruning power stays above 90 % and roughly flat; the
+3D R-tree beats the TB-tree at this (short) query length.
+"""
+
+from repro.experiments import ascii_multi_chart, format_table, q1_cardinality
+
+from conftest import emit, scaled
+
+
+def test_fig10_q1_cardinality(benchmark):
+    points = benchmark.pedantic(
+        lambda: q1_cardinality(
+            cardinalities=(100, 250, 500, 1000),
+            samples_per_object=scaled(150),
+            num_queries=scaled(10),
+            query_length=0.05,
+            trees=("rtree", "tbtree"),
+            verify=False,
+            page_size=512,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [p.tree, int(p.value), p.mean_time_ms, p.mean_pruning_power,
+         p.mean_node_accesses]
+        for p in points
+    ]
+    text = format_table(
+        ["tree", "objects", "mean time (ms)", "pruning power", "node accesses"],
+        rows,
+        title="Figure 10 Q1: scaling with dataset cardinality (5% query, k=1)",
+    )
+    xs = sorted({p.value for p in points})
+    series = {
+        tree: [
+            next(p.mean_time_ms for p in points if p.tree == tree and p.value == x)
+            for x in xs
+        ]
+        for tree in ("rtree", "tbtree")
+    }
+    text += "\n\nexecution time (ms) vs objects:\n"
+    text += ascii_multi_chart(xs, series, height=10, width=50)
+    emit("fig10_q1_cardinality", text)
+
+    by = {(p.tree, p.value): p for p in points}
+    for tree in ("rtree", "tbtree"):
+        # time grows with cardinality...
+        assert by[(tree, 1000.0)].mean_time_ms > by[(tree, 100.0)].mean_time_ms
+        # ...sub-quadratically (linear-ish): 10x objects < ~30x time.
+        ratio = by[(tree, 1000.0)].mean_time_ms / by[(tree, 100.0)].mean_time_ms
+        assert ratio < 30.0, f"{tree}: time ratio {ratio:.1f} looks super-linear"
+    # pruning power is high (paper: > 90 % throughout, both trees) and
+    # does not collapse with cardinality.
+    for p in points:
+        assert p.mean_pruning_power > 0.9, (
+            f"{p.tree} pruning {p.mean_pruning_power:.2f} at {p.value}"
+        )

@@ -1,0 +1,74 @@
+"""Figure 10, Q3 — BFMST scaling with k.
+
+Paper setup (Table 3): dataset S0500, query length 5 %, k = 1...10,
+both trees.
+
+Paper's shape: execution time grows *sub-linearly* with k (the first
+answer does most of the work; enlarging the buffer barely widens the
+frontier) and pruning power stays high.
+"""
+
+from repro.experiments import ascii_multi_chart, format_table, q3_k
+
+from conftest import emit, scaled
+
+KS = (1, 2, 5, 10)
+
+
+def test_fig10_q3_k(benchmark):
+    points = benchmark.pedantic(
+        lambda: q3_k(
+            ks=KS,
+            num_objects=500,
+            samples_per_object=scaled(150),
+            num_queries=scaled(8),
+            query_length=0.05,
+            trees=("rtree", "tbtree"),
+            verify=False,
+            page_size=512,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [p.tree, int(p.value), p.mean_time_ms, p.mean_pruning_power,
+         p.mean_node_accesses]
+        for p in points
+    ]
+    text = format_table(
+        ["tree", "k", "mean time (ms)", "pruning power", "node accesses"],
+        rows,
+        title="Figure 10 Q3: scaling with k (S0500, 5% query)",
+    )
+    xs = sorted({p.value for p in points})
+    series = {
+        tree: [
+            next(p.mean_time_ms for p in points if p.tree == tree and p.value == x)
+            for x in xs
+        ]
+        for tree in ("rtree", "tbtree")
+    }
+    text += "\n\nexecution time (ms) vs k:\n"
+    text += ascii_multi_chart(xs, series, height=10, width=50)
+    emit("fig10_q3_k", text)
+
+    by = {(p.tree, p.value): p for p in points}
+    for tree in ("rtree", "tbtree"):
+        t1 = by[(tree, 1.0)].mean_time_ms
+        t10 = by[(tree, 10.0)].mean_time_ms
+        # sub-linear in k: 10x the answers must cost less than 10x the
+        # time (paper: clearly sub-linear; the TB-tree especially so).
+        assert t10 < 10.0 * t1, f"{tree}: k=10 cost {t10 / t1:.1f}x k=1"
+        # more answers can only widen the visited frontier
+        assert (
+            by[(tree, 10.0)].mean_node_accesses
+            >= by[(tree, 1.0)].mean_node_accesses - 1e-9
+        )
+    assert (
+        by[("tbtree", 10.0)].mean_time_ms
+        < 5.0 * by[("tbtree", 1.0)].mean_time_ms
+    )
+    # pruning power stays high across all k (paper: > 90 %).
+    for p in points:
+        assert p.mean_pruning_power > 0.85

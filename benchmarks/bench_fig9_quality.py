@@ -1,0 +1,72 @@
+"""Figure 9 — quality of the similarity measures under compression.
+
+The paper's protocol: compress every Trucks trajectory with TD-TR at
+p in {0.1 %, 1 %, 2 %, 5 %, 10 %}, query the original dataset with each
+compressed copy (k = 1) and count the *false* answers (original not
+returned as most similar) for DISSIM, LCSS, LCSS-I, EDR, EDR-I.
+
+Paper's shape: DISSIM stays at ~0 % until p > 5 %; LCSS (and LCSS-I)
+close but always worse; EDR / EDR-I collapse (> 60 % false) beyond
+p = 1 %.  The EDR failure needs heterogeneous trajectory lengths (its
+Section 5.2 analysis: a short trajectory T beats the original once
+``max(m, |T|) <= n - m``), so the fleet is generated with ±50 %
+length variation like real fleet data.
+"""
+
+from repro.datagen import generate_trucks
+from repro.experiments import (
+    DEFAULT_MEASURES,
+    format_table,
+    quality_experiment,
+)
+
+from conftest import emit, scaled
+
+P_VALUES = (0.001, 0.01, 0.02, 0.05, 0.10)
+
+
+def test_fig9_false_results(benchmark):
+    dataset = generate_trucks(
+        scaled(40),
+        samples_per_truck=scaled(150),
+        seed=29,
+        length_variation=0.5,
+        num_routes=12,
+    )
+
+    points = benchmark.pedantic(
+        lambda: quality_experiment(
+            dataset,
+            p_values=P_VALUES,
+            measures=DEFAULT_MEASURES,
+            max_queries=scaled(25),
+            seed=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    by = {(pt.measure, pt.p): pt for pt in points}
+    rows = [
+        [m] + [f"{by[(m, p)].failure_rate:.0%}" for p in P_VALUES]
+        for m in DEFAULT_MEASURES
+    ]
+    text = format_table(
+        ["measure"] + [f"p={p * 100:g}%" for p in P_VALUES],
+        rows,
+        title="Figure 9: false 1-MST results vs TD-TR parameter",
+    )
+    emit("fig9_quality", text)
+
+    # Shape assertions (the paper's qualitative claims):
+    # 1. DISSIM is perfect up to p = 5 %.
+    for p in (0.001, 0.01, 0.02, 0.05):
+        assert by[("DISSIM", p)].failures == 0, f"DISSIM failed at p={p}"
+    # 2. DISSIM is never worse than any competitor at any p.
+    for p in P_VALUES:
+        d = by[("DISSIM", p)].failures
+        for m in ("LCSS", "LCSS-I", "EDR", "EDR-I"):
+            assert d <= by[(m, p)].failures
+    # 3. EDR degrades markedly at strong compression.
+    assert by[("EDR", 0.10)].failure_rate >= 0.2
+    assert by[("EDR", 0.10)].failures >= by[("EDR", 0.001)].failures

@@ -1,0 +1,70 @@
+"""Table 2 — dataset summary and index sizes.
+
+Regenerates the paper's Table 2 columns (# objects, # entries, speed
+distribution, 3D R-tree / TB-tree index sizes in MB) for the Trucks
+substitute and the S0100...S1000 GSTD datasets, at bench scale.
+
+Paper (full scale): Trucks 273 objects / 112K entries, 3.2 & 1.8 MB;
+S1000 2000K entries, 99.1 & 52.4 MB.  Sizes scale linearly with the
+entry count; the TB-tree stays ~45-55 % of the 3D R-tree because its
+leaves pack segments of one trajectory densely.
+"""
+
+from repro.experiments import format_table, scaled_specs, table2
+
+from conftest import SCALE, emit, scaled
+
+
+def test_table2_dataset_summary(benchmark):
+    # 0.05 of the paper's samples at SCALE=1 (Trucks ~21, GSTD 100).
+    specs = scaled_specs(0.05 * SCALE)
+
+    rows = benchmark.pedantic(lambda: table2(specs), rounds=1, iterations=1)
+
+    text = format_table(
+        ["dataset", "objects", "entries", "speed dist", "sigma",
+         "3D R-tree MB", "TB-tree MB", "TB/R ratio"],
+        [
+            [
+                r["dataset"],
+                r["objects"],
+                r["entries"],
+                r["speed_distribution"],
+                r["sigma"],
+                r["rtree_mb"],
+                r["tbtree_mb"],
+                r["tbtree_mb"] / r["rtree_mb"],
+            ]
+            for r in rows
+        ],
+        title=f"Table 2 (scale={0.05 * SCALE:g} of paper samples)",
+    )
+    emit("table2_datasets", text)
+
+    # Shape assertions mirroring the paper's table.
+    assert [r["dataset"] for r in rows] == [
+        "Trucks", "S0100", "S0250", "S0500", "S1000",
+    ]
+    gstd = rows[1:]
+    for a, b in zip(gstd, gstd[1:]):
+        assert b["entries"] > a["entries"]
+        assert b["rtree_mb"] > a["rtree_mb"]
+    for r in rows:
+        # TB-tree is consistently the smaller index (paper: ~52 %,
+        # thanks to the shared-endpoint leaf layout).
+        assert r["tbtree_mb"] < r["rtree_mb"]
+        assert 0.35 < r["tbtree_mb"] / r["rtree_mb"] < 0.95
+
+
+def test_index_build_rate(benchmark):
+    """Not a paper figure — build-throughput context for the sizes
+    above (entries indexed per second, insertion path)."""
+    from repro.experiments import DatasetSpec, build_dataset, build_index
+
+    spec = DatasetSpec("S0100", "gstd", 100, scaled(100), "Lognormal", 0.6)
+    dataset = build_dataset(spec)
+
+    index = benchmark.pedantic(
+        lambda: build_index(dataset, "rtree"), rounds=1, iterations=1
+    )
+    assert index.num_entries == dataset.total_segments()

@@ -1,0 +1,45 @@
+"""Shared machinery for the benchmark suite.
+
+Every bench regenerates one table/figure of the paper and *emits* it:
+the rows are written both to the real stdout (bypassing pytest's
+capture, so ``pytest benchmarks/ --benchmark-only | tee ...`` records
+them) and to ``benchmarks/results/<name>.txt``.
+
+Scale: the paper's full datasets reach 2M entries — out of reach for a
+pure-Python interactive run, so the benches default to a reduced scale
+that preserves the scaling *shapes* (see EXPERIMENTS.md).  Set
+``REPRO_BENCH_SCALE`` (default 1.0; e.g. 4.0 for a slower, closer-to-
+paper run) to grow every dataset proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    """Scale a size parameter by REPRO_BENCH_SCALE."""
+    return max(minimum, int(round(n * SCALE)))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table to the *real* stdout (visible under pytest
+    capture) and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE

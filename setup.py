@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works with older setuptools/pip combinations
+that lack PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,182 @@
+"""repro — Index-based Most Similar Trajectory Search.
+
+A from-scratch Python implementation of Frentzos, Gratsias &
+Theodoridis, *Index-based Most Similar Trajectory Search* (ICDE 2007):
+the DISSIM spatiotemporal dissimilarity metric with its trapezoid
+approximation and error bound, the OPTDISSIM / PESDISSIM /
+MINDISSIMINC pruning bounds, and the best-first k-MST search algorithm
+over paged 3D R-tree / TB-tree indexes — plus the competitor measures,
+data generators, compression and experiment harness the paper's
+evaluation needs.
+
+Quickstart::
+
+    from repro import RTree3D, bfmst_search, generate_gstd, make_workload
+
+    dataset = generate_gstd(100)
+    index = RTree3D()
+    index.bulk_insert(dataset)
+    index.finalize()
+
+    (query, period), = make_workload(dataset, 1, query_length=0.05)
+    matches, stats = bfmst_search(index, query, period, k=3)
+    for m in matches:
+        print(m.trajectory_id, m.dissim)
+"""
+
+from .compression import (
+    douglas_peucker,
+    td_tr,
+    td_tr_fraction,
+    uniform_downsample,
+)
+from .datagen import (
+    GSTDConfig,
+    GSTDGenerator,
+    TrucksConfig,
+    TrucksGenerator,
+    generate_gstd,
+    generate_trucks,
+    make_query,
+    make_workload,
+)
+from .distance import (
+    DistanceProfile,
+    PartialDissim,
+    discrete_frechet_distance,
+    dissim,
+    dissim_exact,
+    distance_at,
+    dtw_distance,
+    edr_distance,
+    edr_i_distance,
+    erp_distance,
+    euclidean_distance,
+    distance_profile,
+    lcss_distance,
+    lcss_i_distance,
+    ldd,
+    mindissim_inc,
+)
+from .exceptions import (
+    IndexError_,
+    PageOverflowError,
+    QueryError,
+    ReproError,
+    StorageError,
+    TemporalCoverageError,
+    TrajectoryError,
+)
+from .geometry import MBR2D, MBR3D, Point, STPoint, STSegment
+from .index import RStarTree, RTree3D, STRTree, TBTree, load_index, mindist, save_index
+from .mod import MovingObjectDatabase
+from .selectivity import MSTCostEstimate, SpatioTemporalHistogram
+from .search import (
+    MSTMatch,
+    NNInterval,
+    SearchStats,
+    bfmst_browse,
+    bfmst_search,
+    continuous_nearest_neighbour,
+    linear_scan_kmst,
+    nearest_neighbours,
+    range_query,
+    time_relaxed_dissim,
+    time_relaxed_kmst,
+)
+from .trajectory import (
+    Trajectory,
+    TrajectoryDataset,
+    detect_stops,
+    sampling_stats,
+    speed_profile,
+    read_csv,
+    read_json,
+    write_csv,
+    write_json,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Point",
+    "STPoint",
+    "STSegment",
+    "MBR2D",
+    "MBR3D",
+    # trajectory model
+    "Trajectory",
+    "TrajectoryDataset",
+    "speed_profile",
+    "sampling_stats",
+    "detect_stops",
+    "read_csv",
+    "write_csv",
+    "read_json",
+    "write_json",
+    # metric + bounds
+    "dissim",
+    "dissim_exact",
+    "distance_at",
+    "distance_profile",
+    "DistanceProfile",
+    "ldd",
+    "PartialDissim",
+    "mindissim_inc",
+    # competitors
+    "lcss_distance",
+    "lcss_i_distance",
+    "edr_distance",
+    "edr_i_distance",
+    "dtw_distance",
+    "erp_distance",
+    "discrete_frechet_distance",
+    "euclidean_distance",
+    # indexes
+    "RTree3D",
+    "RStarTree",
+    "STRTree",
+    "TBTree",
+    "mindist",
+    "save_index",
+    "load_index",
+    "MovingObjectDatabase",
+    # search
+    "bfmst_search",
+    "bfmst_browse",
+    "linear_scan_kmst",
+    "range_query",
+    "nearest_neighbours",
+    "continuous_nearest_neighbour",
+    "NNInterval",
+    "time_relaxed_dissim",
+    "time_relaxed_kmst",
+    "MSTMatch",
+    "SearchStats",
+    # selectivity estimation (future-work extension)
+    "SpatioTemporalHistogram",
+    "MSTCostEstimate",
+    # generators & compression
+    "generate_gstd",
+    "generate_trucks",
+    "GSTDConfig",
+    "GSTDGenerator",
+    "TrucksConfig",
+    "TrucksGenerator",
+    "make_query",
+    "make_workload",
+    "td_tr",
+    "td_tr_fraction",
+    "douglas_peucker",
+    "uniform_downsample",
+    # errors
+    "ReproError",
+    "TrajectoryError",
+    "TemporalCoverageError",
+    "StorageError",
+    "PageOverflowError",
+    "IndexError_",
+    "QueryError",
+]

@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Everything a downstream user needs to try the system without writing
+Python::
+
+    python -m repro generate --kind gstd --objects 100 --samples 100 out.csv
+    python -m repro build out.csv index.pages --tree rtree
+    python -m repro info index.pages
+    python -m repro query index.pages out.csv --object 3 --window 0.1 --k 5
+    python -m repro experiment table2
+    python -m repro experiment quality --trucks 20 --queries 10
+
+Each subcommand is a thin wrapper over the public API; the heavy
+lifting (and the testing surface) lives in the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from . import __version__
+from .datagen import generate_gstd, generate_trucks
+from .exceptions import ReproError
+from .experiments import (
+    DEFAULT_MEASURES,
+    print_table,
+    q1_cardinality,
+    q2_query_length,
+    q3_k,
+    quality_experiment,
+    scaled_specs,
+    table2,
+)
+from .index import load_index, save_index
+from .search import bfmst_search
+from .trajectory import read_csv, read_json, write_csv, write_json
+
+__all__ = ["main", "build_parser"]
+
+_TREE_CHOICES = ("rtree", "tbtree", "strtree")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Index-based Most Similar Trajectory Search "
+        "(Frentzos et al., ICDE 2007) - reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("output", help="output file (.csv or .json)")
+    gen.add_argument("--kind", choices=("gstd", "trucks"), default="gstd")
+    gen.add_argument("--objects", type=int, default=100)
+    gen.add_argument("--samples", type=int, default=100)
+    gen.add_argument("--seed", type=int, default=7)
+
+    build = sub.add_parser("build", help="build and save an index")
+    build.add_argument("dataset", help="dataset file (.csv or .json)")
+    build.add_argument("index", help="output index file")
+    build.add_argument("--tree", choices=_TREE_CHOICES, default="rtree")
+    build.add_argument("--page-size", type=int, default=4096)
+
+    info = sub.add_parser("info", help="describe a saved index")
+    info.add_argument("index", help="index file")
+
+    query = sub.add_parser("query", help="run a k-MST query")
+    query.add_argument("index", help="index file")
+    query.add_argument("dataset", help="dataset the query is drawn from")
+    query.add_argument(
+        "--object", type=int, default=None,
+        help="source object id for the query slice (default: random)",
+    )
+    query.add_argument(
+        "--window", type=float, default=0.1,
+        help="query length as a fraction of the source lifetime",
+    )
+    query.add_argument("--k", type=int, default=5)
+    query.add_argument("--seed", type=int, default=1)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    exp.add_argument(
+        "which",
+        choices=("table2", "quality", "q1", "q2", "q3"),
+        help="which table/figure to regenerate",
+    )
+    exp.add_argument("--scale", type=float, default=1.0)
+    exp.add_argument("--trucks", type=int, default=25, help="quality: fleet size")
+    exp.add_argument("--queries", type=int, default=10)
+    return parser
+
+
+def _read_dataset(path: str):
+    if path.endswith(".json"):
+        return read_json(path)
+    return read_csv(path)
+
+
+def _write_dataset(dataset, path: str) -> None:
+    if path.endswith(".json"):
+        write_json(dataset, path)
+    else:
+        write_csv(dataset, path)
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "gstd":
+        dataset = generate_gstd(args.objects, args.samples, seed=args.seed)
+    else:
+        dataset = generate_trucks(args.objects, args.samples, seed=args.seed)
+    _write_dataset(dataset, args.output)
+    print(
+        f"wrote {len(dataset)} trajectories / "
+        f"{dataset.total_segments()} segments to {args.output}"
+    )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from .experiments import build_index
+
+    dataset = _read_dataset(args.dataset)
+    # CSV round-trips ids as strings; the index wants ints.
+    from .trajectory import TrajectoryDataset
+
+    coerced = TrajectoryDataset()
+    for tr in dataset:
+        oid = tr.object_id
+        coerced.add(tr.with_id(int(oid)) if not isinstance(oid, int) else tr)
+    start = time.perf_counter()
+    index = build_index(coerced, args.tree, page_size=args.page_size)
+    elapsed = time.perf_counter() - start
+    save_index(index, args.index)
+    print(
+        f"built {args.tree} over {index.num_entries} segments in "
+        f"{elapsed:.1f}s: {index.num_nodes} nodes, {index.size_mb():.2f} MB "
+        f"-> {args.index}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    index = load_index(args.index)
+    try:
+        print(f"kind:        {type(index).__name__}")
+        print(f"page size:   {index.page_size}")
+        print(f"nodes:       {index.num_nodes}")
+        print(f"entries:     {index.num_entries}")
+        print(f"height:      {index.height}")
+        print(f"objects:     {len(index.trajectory_ids)}")
+        print(f"size:        {index.size_mb():.2f} MB")
+        print(f"max speed:   {index.max_speed:.6g}")
+    finally:
+        index.pagefile.close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    index = load_index(args.index)
+    try:
+        dataset = _read_dataset(args.dataset)
+        rng = random.Random(args.seed)
+        ids = dataset.ids()
+        source_id = args.object if args.object is not None else ids[
+            rng.randrange(len(ids))
+        ]
+        source = dataset.get(source_id) or dataset.get(str(source_id))
+        if source is None:
+            print(f"error: no trajectory {source_id!r} in {args.dataset}",
+                  file=sys.stderr)
+            return 2
+        window = source.duration * args.window
+        t_lo = source.t_start + rng.uniform(0.0, source.duration - window)
+        query = source.sliced(t_lo, t_lo + window).with_id(-1)
+        start = time.perf_counter()
+        matches, stats = bfmst_search(
+            index, query, (query.t_start, query.t_end), k=args.k
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"query: {args.window:.0%} slice of object {source_id} "
+            f"([{query.t_start:.2f}, {query.t_end:.2f}])"
+        )
+        for rank, m in enumerate(matches, start=1):
+            print(f"  {rank:2d}. object {m.trajectory_id}  DISSIM={m.dissim:.6g}")
+        print(
+            f"{elapsed * 1000:.1f} ms, pruning power "
+            f"{stats.pruning_power:.1%} "
+            f"({stats.node_accesses}/{stats.total_nodes} nodes)"
+        )
+    finally:
+        index.pagefile.close()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.which == "table2":
+        rows = table2(scaled_specs(0.05 * args.scale))
+        print_table(
+            ["dataset", "objects", "entries", "R-tree MB", "TB-tree MB"],
+            [
+                [r["dataset"], r["objects"], r["entries"], r["rtree_mb"],
+                 r["tbtree_mb"]]
+                for r in rows
+            ],
+            title="Table 2",
+        )
+        return 0
+    if args.which == "quality":
+        dataset = generate_trucks(
+            args.trucks, samples_per_truck=120, seed=29, length_variation=0.5
+        )
+        points = quality_experiment(
+            dataset, max_queries=args.queries, seed=5
+        )
+        ps = sorted({pt.p for pt in points})
+        by = {(pt.measure, pt.p): pt for pt in points}
+        print_table(
+            ["measure"] + [f"p={p * 100:g}%" for p in ps],
+            [
+                [m] + [f"{by[(m, p)].failure_rate:.0%}" for p in ps]
+                for m in DEFAULT_MEASURES
+            ],
+            title="Figure 9: false 1-MST results",
+        )
+        return 0
+    runner = {"q1": q1_cardinality, "q2": q2_query_length, "q3": q3_k}[args.which]
+    points = runner(
+        samples_per_object=max(int(150 * args.scale), 20),
+        num_queries=args.queries,
+        page_size=512,
+    )
+    print_table(
+        ["tree", "value", "mean ms", "pruning", "node accesses"],
+        [
+            [p.tree, p.value, p.mean_time_ms, p.mean_pruning_power,
+             p.mean_node_accesses]
+            for p in points
+        ],
+        title=f"Figure 10 {args.which.upper()}",
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "build": _cmd_build,
+        "info": _cmd_info,
+        "query": _cmd_query,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

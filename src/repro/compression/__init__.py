@@ -1,0 +1,17 @@
+"""Trajectory compression algorithms (TD-TR and friends)."""
+
+from .tdtr import (
+    douglas_peucker,
+    synchronized_euclidean_distance,
+    td_tr,
+    td_tr_fraction,
+    uniform_downsample,
+)
+
+__all__ = [
+    "synchronized_euclidean_distance",
+    "td_tr",
+    "td_tr_fraction",
+    "douglas_peucker",
+    "uniform_downsample",
+]

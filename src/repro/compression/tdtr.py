@@ -1,0 +1,118 @@
+"""Trajectory compression: TD-TR (Meratnia & By [12]), spatial
+Douglas-Peucker, and uniform downsampling.
+
+TD-TR is the time-ratio top-down algorithm the paper's quality study
+uses to manufacture under-sampled queries: keep the endpoints, find the
+sample with the largest *Synchronized Euclidean Distance* (the distance
+between the recorded position and where the object would be at that
+timestamp if it moved straight between the kept endpoints), and recurse
+while that error exceeds the tolerance.  In the experiments the
+tolerance is ``p`` (0.1 % ... 10 %) of each trajectory's travelled
+length, matching Section 5.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import TrajectoryError
+from ..trajectory import Trajectory
+
+__all__ = [
+    "synchronized_euclidean_distance",
+    "td_tr",
+    "td_tr_fraction",
+    "douglas_peucker",
+    "uniform_downsample",
+]
+
+
+def synchronized_euclidean_distance(traj: Trajectory, i: int, a: int, b: int) -> float:
+    """SED of sample ``i`` against the straight movement from sample
+    ``a`` to sample ``b`` (all indexes into ``traj``)."""
+    pa, pb, pi = traj[a], traj[b], traj[i]
+    span = pb.t - pa.t
+    frac = 0.0 if span <= 0.0 else (pi.t - pa.t) / span
+    sx = pa.x + frac * (pb.x - pa.x)
+    sy = pa.y + frac * (pb.y - pa.y)
+    return math.hypot(pi.x - sx, pi.y - sy)
+
+
+def td_tr(traj: Trajectory, tolerance: float) -> Trajectory:
+    """Top-Down Time-Ratio compression with an absolute SED tolerance.
+
+    Always keeps the first and last samples, so the compressed
+    trajectory spans the same time window as the original.
+    """
+    if tolerance < 0.0:
+        raise TrajectoryError(f"negative tolerance {tolerance}")
+    keep = _select_indices(traj, tolerance, _sed_error)
+    return Trajectory(traj.object_id, [traj[i] for i in keep])
+
+
+def td_tr_fraction(traj: Trajectory, p: float) -> Trajectory:
+    """TD-TR with the paper's parameterisation: tolerance = ``p`` times
+    the trajectory's travelled length (``p`` = 0.001 for "0.1 %")."""
+    if p < 0.0:
+        raise TrajectoryError(f"negative compression parameter {p}")
+    if p == 0.0:
+        return traj
+    return td_tr(traj, p * traj.length())
+
+
+def douglas_peucker(traj: Trajectory, tolerance: float) -> Trajectory:
+    """Classic spatial Douglas-Peucker (perpendicular distance to the
+    chord, time ignored) — included for comparison with TD-TR."""
+    if tolerance < 0.0:
+        raise TrajectoryError(f"negative tolerance {tolerance}")
+    keep = _select_indices(traj, tolerance, _perpendicular_error)
+    return Trajectory(traj.object_id, [traj[i] for i in keep])
+
+
+def uniform_downsample(traj: Trajectory, keep_every: int) -> Trajectory:
+    """Keep every ``keep_every``-th sample (endpoints always kept)."""
+    if keep_every < 1:
+        raise TrajectoryError(f"keep_every must be >= 1, got {keep_every}")
+    idx = list(range(0, len(traj), keep_every))
+    if idx[-1] != len(traj) - 1:
+        idx.append(len(traj) - 1)
+    return Trajectory(traj.object_id, [traj[i] for i in idx])
+
+
+# ----------------------------------------------------------------------
+def _sed_error(traj: Trajectory, i: int, a: int, b: int) -> float:
+    return synchronized_euclidean_distance(traj, i, a, b)
+
+
+def _perpendicular_error(traj: Trajectory, i: int, a: int, b: int) -> float:
+    pa, pb, pi = traj[a], traj[b], traj[i]
+    dx = pb.x - pa.x
+    dy = pb.y - pa.y
+    norm_sq = dx * dx + dy * dy
+    if norm_sq == 0.0:
+        return math.hypot(pi.x - pa.x, pi.y - pa.y)
+    t = ((pi.x - pa.x) * dx + (pi.y - pa.y) * dy) / norm_sq
+    t = min(max(t, 0.0), 1.0)
+    return math.hypot(pi.x - (pa.x + t * dx), pi.y - (pa.y + t * dy))
+
+
+def _select_indices(traj: Trajectory, tolerance: float, error_fn) -> list[int]:
+    """Shared top-down recursion; returns the sorted kept indexes."""
+    keep = {0, len(traj) - 1}
+    stack = [(0, len(traj) - 1)]
+    while stack:
+        a, b = stack.pop()
+        if b - a < 2:
+            continue
+        worst_i = -1
+        worst_err = -1.0
+        for i in range(a + 1, b):
+            err = error_fn(traj, i, a, b)
+            if err > worst_err:
+                worst_err = err
+                worst_i = i
+        if worst_err > tolerance:
+            keep.add(worst_i)
+            stack.append((a, worst_i))
+            stack.append((worst_i, b))
+    return sorted(keep)

@@ -1,0 +1,18 @@
+"""Data generation: GSTD-style synthetic movement, the synthetic
+Trucks fleet, and Table 3 query workloads."""
+
+from .gstd import GSTDConfig, GSTDGenerator, generate_gstd
+from .trucks import TrucksConfig, TrucksGenerator, generate_trucks
+from .workloads import QueryWorkload, make_query, make_workload
+
+__all__ = [
+    "GSTDConfig",
+    "GSTDGenerator",
+    "generate_gstd",
+    "TrucksConfig",
+    "TrucksGenerator",
+    "generate_trucks",
+    "QueryWorkload",
+    "make_query",
+    "make_workload",
+]

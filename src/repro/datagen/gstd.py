@@ -1,0 +1,160 @@
+"""GSTD-style synthetic trajectory generator (after Theodoridis,
+Silva & Nascimento [17], re-implemented from the paper's description).
+
+Each moving object starts at a position drawn from the initial
+distribution, then takes steps with a random heading and a speed drawn
+from a normal or log-normal distribution (Table 2 of the paper uses
+log-normal with sigma = 0.6).  Objects live in the unit square and
+bounce off its walls; every object is sampled over the same time
+window so the whole dataset is valid during any query period — the
+paper's standing assumption.
+
+The sampling clock can be jittered per object
+(``sampling_jitter > 0``) to produce the *different sampling rates*
+the DISSIM metric is designed to cope with.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Literal
+
+from ..exceptions import TrajectoryError
+from ..trajectory import Trajectory, TrajectoryDataset
+
+__all__ = ["GSTDConfig", "GSTDGenerator", "generate_gstd"]
+
+
+@dataclass(frozen=True, slots=True)
+class GSTDConfig:
+    """Knobs of the generator; defaults mirror Table 2 at small scale."""
+
+    num_objects: int = 100
+    samples_per_object: int = 200
+    duration: float = 2000.0
+    speed_distribution: Literal["lognormal", "normal"] = "lognormal"
+    speed_scale: float = 0.002  # median step speed (space units / time unit)
+    speed_sigma: float = 0.6  # Table 2's sigma
+    initial_distribution: Literal["uniform", "gaussian"] = "uniform"
+    heading: Literal["random", "persistent"] = "persistent"
+    turn_sigma: float = 0.5  # heading random-walk step (radians)
+    sampling_jitter: float = 0.3  # 0 = regular clock, <1 = fraction of dt
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1:
+            raise TrajectoryError("num_objects must be >= 1")
+        if self.samples_per_object < 2:
+            raise TrajectoryError("samples_per_object must be >= 2")
+        if self.duration <= 0.0:
+            raise TrajectoryError("duration must be positive")
+        if not (0.0 <= self.sampling_jitter < 1.0):
+            raise TrajectoryError("sampling_jitter must be in [0, 1)")
+        if self.speed_scale <= 0.0:
+            raise TrajectoryError("speed_scale must be positive")
+
+
+class GSTDGenerator:
+    """Deterministic (seeded) GSTD-style generator."""
+
+    def __init__(self, config: GSTDConfig | None = None) -> None:
+        self.config = config if config is not None else GSTDConfig()
+
+    def generate(self) -> TrajectoryDataset:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        dataset = TrajectoryDataset()
+        for oid in range(cfg.num_objects):
+            dataset.add(self._one_trajectory(oid, rng))
+        return dataset
+
+    # ------------------------------------------------------------------
+    def _one_trajectory(self, oid: int, rng: random.Random) -> Trajectory:
+        cfg = self.config
+        x, y = self._initial_position(rng)
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        times = self._sampling_times(rng)
+        samples = [(x, y, times[0])]
+        for prev_t, cur_t in zip(times, times[1:]):
+            dt = cur_t - prev_t
+            theta = self._next_heading(theta, rng)
+            speed = self._draw_speed(rng)
+            x += speed * dt * math.cos(theta)
+            y += speed * dt * math.sin(theta)
+            x, theta = _reflect(x, theta, axis="x")
+            y, theta = _reflect(y, theta, axis="y")
+            samples.append((x, y, cur_t))
+        return Trajectory(oid, samples)
+
+    def _initial_position(self, rng: random.Random) -> tuple[float, float]:
+        if self.config.initial_distribution == "uniform":
+            return (rng.random(), rng.random())
+        # Gaussian around the centre, clipped into the square.
+        return (
+            min(max(rng.gauss(0.5, 0.15), 0.0), 1.0),
+            min(max(rng.gauss(0.5, 0.15), 0.0), 1.0),
+        )
+
+    def _sampling_times(self, rng: random.Random) -> list[float]:
+        """A strictly increasing clock spanning exactly [0, duration];
+        interior ticks are jittered per object when configured."""
+        cfg = self.config
+        n = cfg.samples_per_object
+        dt = cfg.duration / (n - 1)
+        times = [0.0]
+        for i in range(1, n - 1):
+            base = i * dt
+            if cfg.sampling_jitter > 0.0:
+                base += rng.uniform(-1.0, 1.0) * cfg.sampling_jitter * dt * 0.49
+            times.append(base)
+        times.append(cfg.duration)
+        # Jitter magnitude < dt/2 keeps the clock monotonic by
+        # construction; assert to make the invariant loud.
+        for a, b in zip(times, times[1:]):
+            if b <= a:
+                raise TrajectoryError("non-monotonic sampling clock generated")
+        return times
+
+    def _next_heading(self, theta: float, rng: random.Random) -> float:
+        if self.config.heading == "random":
+            return rng.uniform(0.0, 2.0 * math.pi)
+        return theta + rng.gauss(0.0, self.config.turn_sigma)
+
+    def _draw_speed(self, rng: random.Random) -> float:
+        cfg = self.config
+        if cfg.speed_distribution == "lognormal":
+            return cfg.speed_scale * math.exp(rng.gauss(0.0, cfg.speed_sigma))
+        return abs(rng.gauss(cfg.speed_scale, cfg.speed_sigma * cfg.speed_scale))
+
+
+def _reflect(coord: float, theta: float, axis: str) -> tuple[float, float]:
+    """Bounce a coordinate back into [0, 1], mirroring the heading."""
+    bounced = False
+    while coord < 0.0 or coord > 1.0:
+        if coord < 0.0:
+            coord = -coord
+        else:
+            coord = 2.0 - coord
+        bounced = True
+    if bounced:
+        theta = math.pi - theta if axis == "x" else -theta
+    return coord, theta
+
+
+def generate_gstd(
+    num_objects: int,
+    samples_per_object: int = 200,
+    seed: int = 7,
+    **overrides,
+) -> TrajectoryDataset:
+    """Convenience wrapper: one call per synthetic dataset of Table 2
+    (S0100 = ``generate_gstd(100)``, ... S1000 = ``generate_gstd(1000)``)."""
+    cfg = GSTDConfig(
+        num_objects=num_objects,
+        samples_per_object=samples_per_object,
+        seed=seed,
+        **overrides,
+    )
+    return GSTDGenerator(cfg).generate()

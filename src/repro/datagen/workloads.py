@@ -1,0 +1,76 @@
+"""Query workload generators (Table 3 of the paper).
+
+Every performance query is "part of a random data trajectory": pick a
+trajectory, pick a random window covering ``query_length`` of the
+common time span, slice it out, and use the slice as the query.  The
+source trajectory remains in the dataset — finding it (dissimilarity
+zero over the window) is the expected behaviour, exactly as in the
+paper's setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..exceptions import QueryError
+from ..trajectory import Trajectory, TrajectoryDataset
+
+__all__ = ["QueryWorkload", "make_query", "make_workload"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryWorkload:
+    """A reproducible batch of (query trajectory, period) pairs."""
+
+    queries: tuple[tuple[Trajectory, tuple[float, float]], ...]
+    query_length: float
+    seed: int
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def make_query(
+    dataset: TrajectoryDataset,
+    query_length: float,
+    rng: random.Random,
+    query_id: int = -1,
+) -> tuple[Trajectory, tuple[float, float]]:
+    """One Table 3-style query: a ``query_length`` fraction of a random
+    data trajectory's lifetime, sliced out and re-labelled."""
+    if not (0.0 < query_length <= 1.0):
+        raise QueryError(
+            f"query_length must be in (0, 1], got {query_length}"
+        )
+    ids = dataset.ids()
+    source = dataset[ids[rng.randrange(len(ids))]]
+    window = source.duration * query_length
+    if query_length >= 1.0:
+        t_lo = source.t_start
+    else:
+        t_lo = source.t_start + rng.uniform(0.0, source.duration - window)
+    t_hi = min(t_lo + window, source.t_end)
+    query = source.sliced(t_lo, t_hi).with_id(query_id)
+    return (query, (t_lo, t_hi))
+
+
+def make_workload(
+    dataset: TrajectoryDataset,
+    num_queries: int,
+    query_length: float = 0.05,
+    seed: int = 1234,
+) -> QueryWorkload:
+    """A batch of ``num_queries`` reproducible queries (the paper runs
+    sets of 500)."""
+    if num_queries < 1:
+        raise QueryError(f"num_queries must be >= 1, got {num_queries}")
+    rng = random.Random(seed)
+    queries = tuple(
+        make_query(dataset, query_length, rng, query_id=-(i + 1))
+        for i in range(num_queries)
+    )
+    return QueryWorkload(queries, query_length, seed)

@@ -1,0 +1,301 @@
+"""Pruning bounds on the dissimilarity of partially retrieved
+trajectories (Sections 3.1-3.2 of the paper).
+
+During a best-first index traversal the search has only seen *some* of
+each candidate's line segments.  :class:`PartialDissim` is the
+bookkeeping record for one candidate: which sub-intervals of the query
+period have been retrieved (with their dissimilarity contribution and
+endpoint distances) and which are still gaps.  From it we compute:
+
+* ``OPTDISSIM`` (Definition 3, Lemma 2) — a lower bound assuming the
+  object raced towards the query at the maximum possible relative speed
+  ``V_max`` inside every gap,
+* ``PESDISSIM`` (Definition 4, Lemma 3) — an upper bound assuming it
+  fled at ``V_max``,
+* ``OPTDISSIMINC`` (Definition 5) — a speed-independent lower bound
+  valid when index nodes are visited in increasing MINDIST order: no
+  unseen segment can be closer than the current node's MINDIST,
+* ``MINDISSIMINC`` (Definition 6, Lemma 4) — the node-level lower bound
+  that powers Heuristic 2 / early termination.
+
+Sign note: the paper's printed formula for the V-shape meeting time
+``t_k^o`` has the distance difference reversed; we use the derived form
+``mid + (D(t_k) - D(t_{k+1})) / (2 V_max)`` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..exceptions import QueryError
+from .ldd import ldd
+from .trinomial import IntegralResult
+
+__all__ = ["CoveredInterval", "PartialDissim", "mindissim_inc"]
+
+# Two interval endpoints closer than this (relative to the query period)
+# are considered identical when checking completeness.
+_REL_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class CoveredInterval:
+    """One retrieved stretch ``[t_lo, t_hi]`` of a candidate trajectory:
+    its dissimilarity contribution and the inter-object distances at the
+    two endpoints."""
+
+    t_lo: float
+    t_hi: float
+    integral: IntegralResult
+    d_lo: float
+    d_hi: float
+
+
+class PartialDissim:
+    """Dissimilarity knowledge about one partially retrieved candidate.
+
+    Intervals are added as their segments are fetched from the index
+    (in any order); they must be non-overlapping (each line segment is
+    stored once).  Adjacent intervals are coalesced so gap enumeration
+    stays linear.
+    """
+
+    __slots__ = ("t_start", "t_end", "_intervals", "_eps")
+
+    def __init__(self, t_start: float, t_end: float) -> None:
+        if t_start >= t_end:
+            raise QueryError(f"empty query period [{t_start}, {t_end}]")
+        self.t_start = t_start
+        self.t_end = t_end
+        self._intervals: list[CoveredInterval] = []  # sorted by t_lo
+        self._eps = (t_end - t_start) * _REL_EPS
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_interval(
+        self,
+        t_lo: float,
+        t_hi: float,
+        integral: IntegralResult,
+        d_lo: float,
+        d_hi: float,
+    ) -> None:
+        """Record a retrieved stretch; raises on overlap with existing
+        coverage beyond floating-point slack."""
+        if not (self.t_start - self._eps <= t_lo < t_hi <= self.t_end + self._eps):
+            raise QueryError(
+                f"interval [{t_lo}, {t_hi}] outside query period "
+                f"[{self.t_start}, {self.t_end}]"
+            )
+        item = CoveredInterval(t_lo, t_hi, integral, d_lo, d_hi)
+        idx = bisect_right([iv.t_lo for iv in self._intervals], t_lo)
+        if idx > 0:
+            prev = self._intervals[idx - 1]
+            if t_hi <= prev.t_hi + self._eps:
+                # A sub-resolution sliver already swallowed by earlier
+                # coalescing (timestamps one ulp apart): absorb it.
+                return
+            if prev.t_hi > t_lo + self._eps:
+                raise QueryError(
+                    f"interval [{t_lo}, {t_hi}] overlaps already retrieved "
+                    f"[{prev.t_lo}, {prev.t_hi}]"
+                )
+        if idx < len(self._intervals):
+            nxt = self._intervals[idx]
+            if nxt.t_lo < t_hi - self._eps:
+                if t_lo >= nxt.t_lo - self._eps and t_hi <= nxt.t_hi + self._eps:
+                    return  # duplicate of an existing interval
+                raise QueryError(
+                    f"interval [{t_lo}, {t_hi}] overlaps already retrieved "
+                    f"[{nxt.t_lo}, {nxt.t_hi}]"
+                )
+        self._intervals.insert(idx, item)
+        self._coalesce(max(idx - 1, 0))
+
+    def _coalesce(self, start: int) -> None:
+        """Merge runs of touching intervals beginning at ``start``."""
+        ivs = self._intervals
+        i = start
+        while i + 1 < len(ivs):
+            cur, nxt = ivs[i], ivs[i + 1]
+            if nxt.t_lo - cur.t_hi <= self._eps:
+                ivs[i] = CoveredInterval(
+                    cur.t_lo,
+                    nxt.t_hi,
+                    cur.integral + nxt.integral,
+                    cur.d_lo,
+                    nxt.d_hi,
+                )
+                del ivs[i + 1]
+            elif nxt.t_lo > cur.t_hi:
+                i += 1
+            else:
+                i += 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> list[CoveredInterval]:
+        return list(self._intervals)
+
+    def covered_duration(self) -> float:
+        return sum(iv.t_hi - iv.t_lo for iv in self._intervals)
+
+    def is_complete(self) -> bool:
+        """True when the coverage spans the whole query period."""
+        if len(self._intervals) != 1:
+            return False
+        iv = self._intervals[0]
+        return (
+            iv.t_lo <= self.t_start + self._eps
+            and iv.t_hi >= self.t_end - self._eps
+        )
+
+    def retrieved_integral(self) -> IntegralResult:
+        """Sum of the retrieved contributions (the fixed part of every
+        bound)."""
+        total = IntegralResult(0.0, 0.0)
+        for iv in self._intervals:
+            total = total + iv.integral
+        return total
+
+    def gaps(self) -> list[tuple[float, float, float | None, float | None]]:
+        """The uncovered stretches as ``(lo, hi, d_at_lo, d_at_hi)``;
+        a distance is ``None`` at the query-period boundary where no
+        sample has been seen (the one-sided gap cases of Definition 3).
+        """
+        out: list[tuple[float, float, float | None, float | None]] = []
+        cursor = self.t_start
+        prev_d: float | None = None
+        for iv in self._intervals:
+            if iv.t_lo - cursor > self._eps:
+                out.append((cursor, iv.t_lo, prev_d, iv.d_lo))
+            cursor = iv.t_hi
+            prev_d = iv.d_hi
+        if self.t_end - cursor > self._eps:
+            out.append((cursor, self.t_end, prev_d, None))
+        return out
+
+    # ------------------------------------------------------------------
+    # speed-dependent bounds
+    # ------------------------------------------------------------------
+    def optdissim(self, vmax: float) -> float:
+        """Lower bound on DISSIM (Definition 3 / Lemma 2).
+
+        Uses the *certified lower* end of each retrieved trapezoid
+        integral so the bound survives the approximation error."""
+        if vmax < 0.0:
+            raise QueryError(f"negative vmax {vmax}")
+        total = self.retrieved_integral().lower
+        for lo, hi, d1, d2 in self.gaps():
+            total += _optimistic_gap(lo, hi, d1, d2, vmax)
+        return max(total, 0.0)
+
+    def pesdissim(self, vmax: float) -> float:
+        """Upper bound on DISSIM (Definition 4 / Lemma 3), using the
+        certified upper end of each retrieved integral."""
+        if vmax < 0.0:
+            raise QueryError(f"negative vmax {vmax}")
+        total = self.retrieved_integral().upper
+        for lo, hi, d1, d2 in self.gaps():
+            total += _pessimistic_gap(lo, hi, d1, d2, vmax)
+        return total
+
+    # ------------------------------------------------------------------
+    # speed-independent bounds
+    # ------------------------------------------------------------------
+    def optdissim_inc(self, mindist: float) -> float:
+        """Lower bound on DISSIM given that every unseen segment is at
+        least ``mindist`` away (Definition 5): retrieved parts count
+        with their certified lower value, every gap as
+        ``mindist * gap_length``."""
+        if mindist < 0.0:
+            raise QueryError(f"negative mindist {mindist}")
+        total = self.retrieved_integral().lower
+        for lo, hi, _d1, _d2 in self.gaps():
+            total += mindist * (hi - lo)
+        return max(total, 0.0)
+
+
+def mindissim_inc(
+    mindist: float,
+    t_start: float,
+    t_end: float,
+    partials: list[PartialDissim] | None = None,
+) -> float:
+    """MINDISSIMINC of an index node (Definition 6).
+
+    ``mindist`` is MINDIST(Q, N) of the node being processed; nodes are
+    assumed to be visited in increasing MINDIST order.  ``partials`` is
+    the set ``S_C`` of not-yet-completed candidates (their
+    OPTDISSIMINC's participate in the minimum).
+    """
+    best = mindist * (t_end - t_start)
+    if partials:
+        best = min(
+            best, min(p.optdissim_inc(mindist) for p in partials)
+        )
+    return best
+
+
+# ----------------------------------------------------------------------
+# gap evaluation helpers
+# ----------------------------------------------------------------------
+def _meeting_time(
+    lo: float, hi: float, d1: float, d2: float, vmax: float
+) -> float:
+    """Time at which two ``V_max``-sloped legs anchored at ``(lo, d1)``
+    and ``(hi, d2)`` meet: ``mid + (d1 - d2) / (2 vmax)``, clamped into
+    the gap (the clamp only matters for user-supplied speeds smaller
+    than the true maximum)."""
+    mid = (lo + hi) / 2.0
+    if vmax <= 0.0:
+        return mid
+    return min(max(mid + (d1 - d2) / (2.0 * vmax), lo), hi)
+
+
+def _optimistic_gap(
+    lo: float, hi: float, d1: float | None, d2: float | None, vmax: float
+) -> float:
+    """Smallest possible distance-integral over a gap ``[lo, hi]`` whose
+    boundary distances are ``d1`` (at ``lo``, None if unknown) and
+    ``d2`` (at ``hi``, None if unknown)."""
+    span = hi - lo
+    if d1 is None and d2 is None:
+        # Nothing retrieved at all: the object may sit on the query.
+        return 0.0
+    if d1 is None:
+        # Leading gap: approach read backwards from the known end.
+        return ldd(d2, -vmax, span)
+    if d2 is None:
+        # Trailing gap: approach forwards from the known start.
+        return ldd(d1, -vmax, span)
+    t_meet = _meeting_time(lo, hi, d1, d2, vmax)
+    return ldd(d1, -vmax, t_meet - lo) + ldd(d2, -vmax, hi - t_meet)
+
+
+def _pessimistic_gap(
+    lo: float, hi: float, d1: float | None, d2: float | None, vmax: float
+) -> float:
+    """Largest possible distance-integral over a gap (diverging at
+    ``V_max``).  With no boundary distance known at all, nothing
+    constrains where the object is, so the bound is infinite (the
+    search only evaluates PESDISSIM for candidates it has seen at
+    least one segment of)."""
+    span = hi - lo
+    if d1 is None and d2 is None:
+        return math.inf
+    if d1 is None:
+        return ldd(d2, vmax, span)
+    if d2 is None:
+        return ldd(d1, vmax, span)
+    mid = (lo + hi) / 2.0
+    if vmax <= 0.0:
+        t_peak = mid
+    else:
+        t_peak = min(max(mid + (d2 - d1) / (2.0 * vmax), lo), hi)
+    return ldd(d1, vmax, t_peak - lo) + ldd(d2, vmax, hi - t_peak)

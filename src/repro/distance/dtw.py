@@ -1,0 +1,41 @@
+"""Dynamic Time Warping distance (Berndt & Clifford [2]).
+
+The paper excludes DTW from its quality study because LCSS and EDR were
+already shown to dominate it; we implement it anyway so the extended
+quality bench can verify that claim on our data.  Point cost is the
+spatial Euclidean distance; an optional Sakoe-Chiba ``band`` constrains
+the warping path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..trajectory import Trajectory
+
+__all__ = ["dtw_distance"]
+
+
+def dtw_distance(q: Trajectory, t: Trajectory, band: int | None = None) -> float:
+    """Classic DTW with sum-of-Euclidean-costs objective (O(n*m) time,
+    O(m) memory; ``band`` limits ``|i - j|`` when given)."""
+    a = list(q.samples)
+    b = list(t.samples)
+    n, m = len(a), len(b)
+    if band is not None and band < abs(n - m):
+        raise ValueError(
+            f"band {band} too narrow for lengths {n} and {m}"
+        )
+    inf = math.inf
+    prev = [inf] * (m + 1)
+    prev[0] = 0.0
+    for i, pa in enumerate(a, start=1):
+        cur = [inf] * (m + 1)
+        j_lo = 1 if band is None else max(1, i - band)
+        j_hi = m if band is None else min(m, i + band)
+        for j in range(j_lo, j_hi + 1):
+            pb = b[j - 1]
+            cost = math.hypot(pa.x - pb.x, pa.y - pb.y)
+            cur[j] = cost + min(prev[j], cur[j - 1], prev[j - 1])
+        prev = cur
+    return prev[m]

@@ -1,0 +1,60 @@
+"""Edit Distance on Real sequence (Chen, Özsu, Oria [5]) and its
+interpolation-improved variant EDR-I.
+
+EDR counts the insert/delete/replace operations needed to turn one
+sequence into the other, where two samples "match" (replace cost 0)
+when both coordinate differences are within ``eps``.  Following [5],
+trajectories should be z-normalised before comparison
+(:meth:`repro.trajectory.TrajectoryDataset.normalised`) and ``eps`` set
+to a quarter of the maximum coordinate standard deviation.
+"""
+
+from __future__ import annotations
+
+from ..trajectory import Trajectory
+
+__all__ = ["edr_distance", "edr_i_distance", "edr_normalised_distance"]
+
+
+def _matches(a, b, eps: float) -> bool:
+    return abs(a.x - b.x) <= eps and abs(a.y - b.y) <= eps
+
+
+def edr_distance(q: Trajectory, t: Trajectory, eps: float) -> int:
+    """Raw EDR edit count (dynamic program, O(n*m), memory O(m))."""
+    if eps < 0.0:
+        raise ValueError(f"negative eps {eps}")
+    a = list(q.samples)
+    b = list(t.samples)
+    m = len(b)
+    prev = list(range(m + 1))
+    for i, pa in enumerate(a, start=1):
+        cur = [i] + [0] * m
+        for j, pb in enumerate(b, start=1):
+            subcost = 0 if _matches(pa, pb, eps) else 1
+            cur[j] = min(
+                prev[j - 1] + subcost,  # match / replace
+                prev[j] + 1,  # delete from a
+                cur[j - 1] + 1,  # insert into a
+            )
+        prev = cur
+    return prev[m]
+
+
+def edr_normalised_distance(q: Trajectory, t: Trajectory, eps: float) -> float:
+    """EDR divided by ``max(n, m)`` — a [0, 1] variant convenient for
+    cross-length comparisons (not used by the paper's experiment, which
+    ranks by the raw count; provided for downstream users)."""
+    return edr_distance(q, t, eps) / max(len(q), len(t))
+
+
+def edr_i_distance(q: Trajectory, t: Trajectory, eps: float) -> int:
+    """EDR-I: interpolate the query at the data trajectory's sampling
+    timestamps inside the query lifetime before computing EDR (the
+    paper's improved variant)."""
+    stamps = sorted(
+        set(p.t for p in q.samples)
+        | set(ts for ts in (p.t for p in t.samples) if q.t_start <= ts <= q.t_end)
+    )
+    enriched = q.resampled(stamps) if len(stamps) >= 2 else q
+    return edr_distance(enriched, t, eps)

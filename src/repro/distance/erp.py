@@ -1,0 +1,51 @@
+"""Edit distance with Real Penalty (Chen & Ng, VLDB 2004).
+
+ERP is the metric cousin of EDR/DTW: gaps are penalised by the
+distance to a constant reference point ``g`` instead of a unit cost,
+which restores the triangle inequality (useful for metric-space
+pruning).  Included as an extension — the paper's study stops at LCSS
+and EDR, but downstream users of a trajectory-similarity library
+expect the full family.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry import Point
+from ..trajectory import Trajectory
+
+__all__ = ["erp_distance"]
+
+
+def erp_distance(
+    q: Trajectory, t: Trajectory, gap: Point | None = None
+) -> float:
+    """ERP with reference point ``gap`` (default: the origin).
+
+    Dynamic program, O(n*m) time, O(m) memory.
+    """
+    g = gap if gap is not None else Point(0.0, 0.0)
+    a = list(q.samples)
+    b = list(t.samples)
+    m = len(b)
+
+    def d(p1, p2) -> float:
+        return math.hypot(p1.x - p2.x, p1.y - p2.y)
+
+    gap_b = [d(pb, g) for pb in b]
+    # first row: delete all of b against the gap point
+    prev = [0.0] * (m + 1)
+    for j in range(1, m + 1):
+        prev[j] = prev[j - 1] + gap_b[j - 1]
+    for pa in a:
+        cur = [prev[0] + d(pa, g)] + [0.0] * m
+        for j in range(1, m + 1):
+            pb = b[j - 1]
+            cur[j] = min(
+                prev[j - 1] + d(pa, pb),  # match
+                prev[j] + d(pa, g),  # gap in b
+                cur[j - 1] + gap_b[j - 1],  # gap in a
+            )
+        prev = cur
+    return prev[m]

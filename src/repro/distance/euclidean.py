@@ -1,0 +1,33 @@
+"""Lock-step Euclidean distance between equally long trajectories.
+
+The time-series classic ([1], [22]): the sum (or mean) of the pairwise
+sample distances.  Only defined when both trajectories carry the same
+number of samples — exactly the limitation the paper's DISSIM metric is
+designed to remove.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import QueryError
+from ..trajectory import Trajectory
+
+__all__ = ["euclidean_distance", "mean_euclidean_distance"]
+
+
+def euclidean_distance(q: Trajectory, t: Trajectory) -> float:
+    """Sum of pairwise sample distances; raises unless lengths match."""
+    if len(q) != len(t):
+        raise QueryError(
+            f"lock-step Euclidean needs equal lengths "
+            f"({len(q)} vs {len(t)}); resample first or use DISSIM"
+        )
+    return sum(
+        math.hypot(a.x - b.x, a.y - b.y) for a, b in zip(q.samples, t.samples)
+    )
+
+
+def mean_euclidean_distance(q: Trajectory, t: Trajectory) -> float:
+    """The per-sample average of :func:`euclidean_distance`."""
+    return euclidean_distance(q, t) / len(q)

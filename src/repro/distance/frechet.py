@@ -1,0 +1,39 @@
+"""Discrete Fréchet distance (Eiter & Mannila 1994).
+
+The classic "dog-leash" distance on the sampled points: the smallest
+leash length that lets two walkers traverse their polylines in order.
+A purely spatial measure — included so the library covers the standard
+trajectory-similarity toolbox; contrast it with DISSIM, which is
+spatio*temporal*.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..trajectory import Trajectory
+
+__all__ = ["discrete_frechet_distance"]
+
+
+def discrete_frechet_distance(q: Trajectory, t: Trajectory) -> float:
+    """Discrete Fréchet distance between the two sample sequences
+    (dynamic program, O(n*m) time, O(m) memory)."""
+    a = list(q.samples)
+    b = list(t.samples)
+    m = len(b)
+
+    def d(i: int, j: int) -> float:
+        return math.hypot(a[i].x - b[j].x, a[i].y - b[j].y)
+
+    prev = [0.0] * m
+    prev[0] = d(0, 0)
+    for j in range(1, m):
+        prev[j] = max(prev[j - 1], d(0, j))
+    for i in range(1, len(a)):
+        cur = [0.0] * m
+        cur[0] = max(prev[0], d(i, 0))
+        for j in range(1, m):
+            cur[j] = max(min(prev[j], prev[j - 1], cur[j - 1]), d(i, j))
+        prev = cur
+    return prev[m - 1]

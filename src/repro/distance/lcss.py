@@ -1,0 +1,78 @@
+"""Longest Common SubSequence similarity for trajectories
+(Vlachos, Kollios, Gunopulos [21]) and its interpolation-improved
+variant LCSS-I used in the paper's quality study.
+
+Two samples match when both coordinate differences are within ``eps``
+(and, optionally, their indices within ``delta`` — the time-stretching
+window of [21]).  Similarity is ``LCSS / min(n, m)`` in ``[0, 1]``;
+``lcss_distance`` is one minus that, so that *smaller is more similar*
+as for every other measure in this package.
+"""
+
+from __future__ import annotations
+
+from ..trajectory import Trajectory
+
+__all__ = ["lcss_length", "lcss_similarity", "lcss_distance", "lcss_i_distance"]
+
+
+def _matches(a, b, eps: float) -> bool:
+    return abs(a.x - b.x) <= eps and abs(a.y - b.y) <= eps
+
+
+def lcss_length(
+    q: Trajectory, t: Trajectory, eps: float, delta: int | None = None
+) -> int:
+    """Length of the longest common subsequence under the
+    ``eps``/``delta`` matching rule (dynamic program, O(n*m), memory
+    O(min(n, m)))."""
+    if eps < 0.0:
+        raise ValueError(f"negative eps {eps}")
+    a = list(q.samples)
+    b = list(t.samples)
+    if len(b) > len(a):
+        a, b = b, a  # keep the DP row short
+    m = len(b)
+    prev = [0] * (m + 1)
+    for i, pa in enumerate(a, start=1):
+        cur = [0] * (m + 1)
+        for j, pb in enumerate(b, start=1):
+            if delta is not None and abs(i - j) > delta:
+                cur[j] = max(prev[j], cur[j - 1])
+                continue
+            if _matches(pa, pb, eps):
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[m]
+
+
+def lcss_similarity(
+    q: Trajectory, t: Trajectory, eps: float, delta: int | None = None
+) -> float:
+    """``LCSS / min(n, m)`` in ``[0, 1]`` (1 = identical up to eps)."""
+    denom = min(len(q), len(t))
+    return lcss_length(q, t, eps, delta) / denom
+
+
+def lcss_distance(
+    q: Trajectory, t: Trajectory, eps: float, delta: int | None = None
+) -> float:
+    """``1 - similarity``: 0 for eps-identical sequences."""
+    return 1.0 - lcss_similarity(q, t, eps, delta)
+
+
+def lcss_i_distance(
+    q: Trajectory, t: Trajectory, eps: float, delta: int | None = None
+) -> float:
+    """LCSS-I: the paper's "obvious improvement" — before matching,
+    the (under-sampled) query is linearly interpolated at the data
+    trajectory's sampling timestamps that fall inside the query's
+    lifetime, so both sequences sample comparable instants."""
+    stamps = sorted(
+        set(p.t for p in q.samples)
+        | set(ts for ts in (p.t for p in t.samples) if q.t_start <= ts <= q.t_end)
+    )
+    enriched = q.resampled(stamps) if len(stamps) >= 2 else q
+    return lcss_distance(enriched, t, eps, delta)

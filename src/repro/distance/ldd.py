@@ -1,0 +1,35 @@
+"""Linearly Depended Dissimilarity (Definition 2).
+
+``LDD(D, V, dt)`` is the time-integral of the distance between two
+objects that start ``D`` apart and move collinearly with relative speed
+``V`` for a duration ``dt`` — the area under a straight distance line,
+clamped at zero when the objects would meet:
+
+* if the line stays non-negative (``D + V*dt >= 0``): the trapezoid
+  ``dt * (D + V*dt/2)``;
+* otherwise the triangle until contact: ``D^2 / (2|V|)``.
+
+Negative ``V`` means approaching, positive means diverging (the paper's
+sign convention).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ldd"]
+
+
+def ldd(distance: float, relative_speed: float, duration: float) -> float:
+    """Evaluate LDD(D, V, dt).  ``distance`` and ``duration`` must be
+    non-negative."""
+    if distance < 0.0:
+        raise ValueError(f"negative distance {distance}")
+    if duration < 0.0:
+        raise ValueError(f"negative duration {duration}")
+    if duration == 0.0:
+        return 0.0
+    end_distance = distance + relative_speed * duration
+    if end_distance >= 0.0:
+        return duration * (distance + relative_speed * duration / 2.0)
+    # The objects meet at time D/|V| < dt and the distance stays at
+    # (at best) zero afterwards: only the initial triangle contributes.
+    return distance * distance / (2.0 * abs(relative_speed))

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TrajectoryError(ReproError):
+    """Raised for malformed trajectories (empty, unsorted, duplicated
+    timestamps, NaN coordinates, ...)."""
+
+
+class TemporalCoverageError(ReproError):
+    """Raised when an operation requires a trajectory to cover a time
+    period it does not (see ``coverage='full'`` semantics of DISSIM)."""
+
+
+class StorageError(ReproError):
+    """Raised by the paged-storage layer (page overflow, bad page id,
+    corrupt page payload, ...)."""
+
+
+class PageOverflowError(StorageError):
+    """Raised when a serialised node does not fit in one page."""
+
+
+class IndexError_(ReproError):
+    """Raised for structural index violations (named with a trailing
+    underscore to avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid query specifications (k < 1, empty or inverted
+    time periods, query trajectory not covering the period, ...)."""

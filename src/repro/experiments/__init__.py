@@ -1,0 +1,49 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from .datasets import (
+    PAPER_SPECS,
+    DatasetSpec,
+    build_dataset,
+    build_index,
+    scaled_specs,
+    table2,
+)
+from .performance import (
+    PerfPoint,
+    q1_cardinality,
+    q2_query_length,
+    q3_k,
+    run_workload,
+)
+from .quality import (
+    DEFAULT_MEASURES,
+    DEFAULT_P_VALUES,
+    QualityPoint,
+    compression_profile,
+    quality_experiment,
+)
+from .ascii_chart import ascii_chart, ascii_multi_chart
+from .report import format_table, print_table
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_SPECS",
+    "scaled_specs",
+    "build_dataset",
+    "build_index",
+    "table2",
+    "QualityPoint",
+    "quality_experiment",
+    "compression_profile",
+    "DEFAULT_P_VALUES",
+    "DEFAULT_MEASURES",
+    "PerfPoint",
+    "run_workload",
+    "q1_cardinality",
+    "q2_query_length",
+    "q3_k",
+    "format_table",
+    "print_table",
+    "ascii_chart",
+    "ascii_multi_chart",
+]

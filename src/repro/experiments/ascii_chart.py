@@ -1,0 +1,89 @@
+"""Tiny ASCII line charts for the experiment harness.
+
+The paper's evaluation is figures, not tables; these helpers render a
+figure-shaped view of a series directly into the bench output, so a
+``pytest benchmarks/ | tee`` transcript *looks* like Figure 10:
+
+    ms
+    398.07 |                                        o
+    298.61 |
+    199.14 |                   o
+     99.68 |        o
+      0.21 | o
+           +-----------------------------------------
+             100      250       500            1000
+
+Deterministic, dependency-free, and itself under test.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_chart", "ascii_multi_chart"]
+
+
+def ascii_chart(
+    xs: list[float],
+    ys: list[float],
+    height: int = 10,
+    width: int = 48,
+    y_label: str = "",
+    marker: str = "o",
+) -> str:
+    """Scatter one series on a character grid (x and y scaled to the
+    data ranges; y axis annotated with real values).  The marker is
+    ``y_label``'s first letter when a label is given, else ``marker``.
+    """
+    return ascii_multi_chart(xs, {y_label or marker: ys}, height, width)
+
+
+def ascii_multi_chart(
+    xs: list[float],
+    series: dict[str, list[float]],
+    height: int = 10,
+    width: int = 48,
+) -> str:
+    """Several series on one grid; each gets the first letter of its
+    name as its marker.  Returns a multi-line string."""
+    if not xs:
+        raise ValueError("no data points")
+    if height < 2 or width < 8:
+        raise ValueError("chart too small")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(xs)}"
+            )
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(xs), max(xs)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        marker = name[0] if name else "o"
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    label_width = max(
+        len(f"{y_hi:.2f}"), len(f"{y_lo:.2f}")
+    )
+    lines = []
+    for i, row in enumerate(grid):
+        frac = (height - 1 - i) / (height - 1)
+        value = y_lo + frac * y_span
+        lines.append(f"{value:>{label_width}.2f} | " + "".join(row).rstrip())
+    lines.append(" " * label_width + " +" + "-" * width)
+    # x tick labels at both ends
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    pad = width - len(left) - len(right)
+    lines.append(
+        " " * (label_width + 3) + left + " " * max(pad, 1) + right
+    )
+    if len(series) > 1:
+        legend = "   ".join(f"{name[0]} = {name}" for name in series)
+        lines.append(" " * (label_width + 3) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment returns structured rows; these helpers print them the
+way the paper's tables/figures read, so a bench run's stdout *is* the
+reproduction artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an ASCII table; floats use ``float_fmt``, everything else
+    ``str()``."""
+
+    def cell(v) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> None:
+    print(format_table(headers, rows, title, float_fmt))
+    print()

@@ -1,0 +1,20 @@
+"""Geometric primitives: points, bounding boxes, moving segments."""
+
+from .mbr import MBR2D, MBR3D, point_rect_distance
+from .point import Point, STPoint
+from .segment import (
+    STSegment,
+    distance_trinomial_coefficients,
+    min_moving_point_rect_distance,
+)
+
+__all__ = [
+    "Point",
+    "STPoint",
+    "STSegment",
+    "MBR2D",
+    "MBR3D",
+    "point_rect_distance",
+    "distance_trinomial_coefficients",
+    "min_moving_point_rect_distance",
+]

@@ -1,0 +1,225 @@
+"""Axis-aligned minimum bounding rectangles in 2D and 3D (x, y, t).
+
+These are the bounding volumes stored in R-tree / TB-tree nodes.  The 3D
+box treats time as the third axis, exactly as the 3D R-tree of
+Theodoridis et al. does; the spatial projection (:meth:`MBR3D.spatial`)
+is what MINDIST computations work against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from .point import Point, STPoint
+
+__all__ = ["MBR2D", "MBR3D", "point_rect_distance"]
+
+
+@dataclass(frozen=True, slots=True)
+class MBR2D:
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"inverted MBR2D: {self}")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "MBR2D":
+        """Bounding rectangle of a non-empty point collection."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty point collection")
+        return cls(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    def area(self) -> float:
+        """Rectangle area (zero for degenerate rectangles)."""
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree 'margin' measure."""
+        return self.width + self.height
+
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def contains_point(self, p: Point) -> bool:
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def contains(self, other: "MBR2D") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def intersects(self, other: "MBR2D") -> bool:
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def union(self, other: "MBR2D") -> "MBR2D":
+        return MBR2D(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersection_area(self, other: "MBR2D") -> float:
+        """Area of the overlap region (zero when disjoint)."""
+        w = min(self.xmax, other.xmax) - max(self.xmin, other.xmin)
+        h = min(self.ymax, other.ymax) - max(self.ymin, other.ymin)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def mindist_to_point(self, p: Point) -> float:
+        """Minimum Euclidean distance from ``p`` to this rectangle
+        (zero when ``p`` lies inside)."""
+        return point_rect_distance(p.x, p.y, self.xmin, self.ymin, self.xmax, self.ymax)
+
+
+def point_rect_distance(
+    px: float, py: float, xmin: float, ymin: float, xmax: float, ymax: float
+) -> float:
+    """Distance from point ``(px, py)`` to the rectangle, zero inside."""
+    dx = max(xmin - px, 0.0, px - xmax)
+    dy = max(ymin - py, 0.0, py - ymax)
+    return math.hypot(dx, dy)
+
+
+@dataclass(frozen=True, slots=True)
+class MBR3D:
+    """A closed axis-aligned box in (x, y, t) space.
+
+    This is the bounding volume of trajectory line segments and index
+    nodes.  ``tmin``/``tmax`` bound the temporal extent.
+    """
+
+    xmin: float
+    ymin: float
+    tmin: float
+    xmax: float
+    ymax: float
+    tmax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax or self.tmin > self.tmax:
+            raise ValueError(f"inverted MBR3D: {self}")
+
+    @classmethod
+    def from_st_points(cls, points: Iterable[STPoint]) -> "MBR3D":
+        """Bounding box of a non-empty spatiotemporal point collection."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty point collection")
+        return cls(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            min(p.t for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+            max(p.t for p in pts),
+        )
+
+    @property
+    def spatial(self) -> MBR2D:
+        """The (x, y) projection of the box."""
+        return MBR2D(self.xmin, self.ymin, self.xmax, self.ymax)
+
+    @property
+    def duration(self) -> float:
+        return self.tmax - self.tmin
+
+    def volume(self) -> float:
+        """Box volume in (x, y, t) space."""
+        return (
+            (self.xmax - self.xmin)
+            * (self.ymax - self.ymin)
+            * (self.tmax - self.tmin)
+        )
+
+    def margin(self) -> float:
+        """Sum of the three edge lengths (R*-tree margin in 3D)."""
+        return (
+            (self.xmax - self.xmin)
+            + (self.ymax - self.ymin)
+            + (self.tmax - self.tmin)
+        )
+
+    def contains_point(self, p: STPoint) -> bool:
+        return (
+            self.xmin <= p.x <= self.xmax
+            and self.ymin <= p.y <= self.ymax
+            and self.tmin <= p.t <= self.tmax
+        )
+
+    def contains(self, other: "MBR3D") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.tmin <= other.tmin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+            and self.tmax >= other.tmax
+        )
+
+    def intersects(self, other: "MBR3D") -> bool:
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+            or self.tmax < other.tmin
+            or other.tmax < self.tmin
+        )
+
+    def union(self, other: "MBR3D") -> "MBR3D":
+        return MBR3D(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            min(self.tmin, other.tmin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+            max(self.tmax, other.tmax),
+        )
+
+    def overlaps_period(self, t_start: float, t_end: float) -> bool:
+        """True when the box's temporal extent intersects ``[t_start, t_end]``."""
+        return not (self.tmax < t_start or t_end < self.tmin)
+
+    def enlargement(self, other: "MBR3D") -> float:
+        """Volume increase needed to also cover ``other`` (R-tree
+        choose-subtree criterion).  Pure arithmetic — no intermediate
+        box object, this sits on the insertion hot path."""
+        dx = max(self.xmax, other.xmax) - min(self.xmin, other.xmin)
+        dy = max(self.ymax, other.ymax) - min(self.ymin, other.ymin)
+        dt = max(self.tmax, other.tmax) - min(self.tmin, other.tmin)
+        return dx * dy * dt - self.volume()
+
+    def as_tuple(self) -> tuple[float, float, float, float, float, float]:
+        return (self.xmin, self.ymin, self.tmin, self.xmax, self.ymax, self.tmax)

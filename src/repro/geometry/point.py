@@ -1,0 +1,63 @@
+"""Planar and spatiotemporal points.
+
+The paper models a trajectory as a sequence of timestamped 2D positions
+with linear interpolation in between; :class:`STPoint` is that sample
+type and :class:`Point` the purely spatial projection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point", "STPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the 2D plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class STPoint:
+    """A spatiotemporal point: a 2D position sampled at time ``t``."""
+
+    x: float
+    y: float
+    t: float
+
+    @property
+    def spatial(self) -> Point:
+        """The spatial projection ``(x, y)``."""
+        return Point(self.x, self.y)
+
+    def distance_to(self, other: "STPoint") -> float:
+        """*Spatial* Euclidean distance to ``other`` (time ignored)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float, dt: float = 0.0) -> "STPoint":
+        """Return a copy shifted by ``(dx, dy, dt)``."""
+        return STPoint(self.x + dx, self.y + dy, self.t + dt)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Return ``(x, y, t)``."""
+        return (self.x, self.y, self.t)
+
+    def is_finite(self) -> bool:
+        """True when all three coordinates are finite numbers."""
+        return math.isfinite(self.x) and math.isfinite(self.y) and math.isfinite(self.t)

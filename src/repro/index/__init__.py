@@ -1,0 +1,31 @@
+"""R-tree-family trajectory indexes over the paged storage layer."""
+
+from .base import TrajectoryIndex, quadratic_split
+from .entry import ENTRY_BYTES, InternalEntry, LeafEntry
+from .mindist import mindist
+from .node import NO_PAGE, Node, node_capacity
+from .persistence import load_index, save_index
+from .rstar import RStarTree
+from .rtree3d import RTree3D
+from .strtree import STRTree
+from .tbtree import TBTree
+from .traversal import best_first_nodes
+
+__all__ = [
+    "TrajectoryIndex",
+    "quadratic_split",
+    "LeafEntry",
+    "InternalEntry",
+    "ENTRY_BYTES",
+    "Node",
+    "NO_PAGE",
+    "node_capacity",
+    "RTree3D",
+    "RStarTree",
+    "STRTree",
+    "TBTree",
+    "mindist",
+    "best_first_nodes",
+    "save_index",
+    "load_index",
+]

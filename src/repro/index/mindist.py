@@ -1,0 +1,52 @@
+"""MINDIST between a query trajectory and an index node (from [6]).
+
+``MINDIST(Q, N)`` is the minimum, over the time interval where the
+query period, the query trajectory and the node's temporal extent all
+overlap, of the spatial distance between the (interpolated) query
+position and the node's spatial bounding rectangle.  It lower-bounds
+the distance between the query and *any* segment stored under the node
+during that interval, which is what Definitions 5-6 rely on.
+
+Computed exactly: each query segment contributes the minimum of a
+piecewise-quadratic (see
+:func:`repro.geometry.segment.min_moving_point_rect_distance`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry import MBR3D, min_moving_point_rect_distance
+from ..trajectory import Trajectory
+
+__all__ = ["mindist"]
+
+
+def mindist(
+    query: Trajectory,
+    box: MBR3D,
+    t_start: float,
+    t_end: float,
+) -> float | None:
+    """MINDIST(Q, N) over the query period ``[t_start, t_end]``.
+
+    Returns ``None`` when the node's temporal extent does not intersect
+    the (query-period-clipped) query lifetime — such nodes hold no
+    segment relevant to the query and are skipped by the search
+    (Figure 7, line 33).
+    """
+    lo = max(box.tmin, t_start, query.t_start)
+    hi = min(box.tmax, t_end, query.t_end)
+    if lo > hi:
+        return None
+    rect = box.spatial
+    if lo == hi:
+        return rect.mindist_to_point(query.position_at(lo))
+    best = math.inf
+    for seg in query.segments_overlapping(lo, hi):
+        d = min_moving_point_rect_distance(seg, rect, lo, hi)
+        if d < best:
+            best = d
+            if best == 0.0:
+                break
+    return best

@@ -1,0 +1,244 @@
+"""Index nodes and their page serialisation.
+
+A node is one page worth of entries.  Leaf nodes (level 0) hold
+:class:`~repro.index.entry.LeafEntry` segments, internal nodes hold
+:class:`~repro.index.entry.InternalEntry` child pointers.  The TB-tree
+additionally stamps each leaf with the single trajectory it bundles and
+doubly links the leaves of one trajectory (``prev_leaf``/``next_leaf``).
+
+Layout (little-endian): a 32-byte header
+``kind(u8) level(u8) count(u16) pad(u32) owner(i64) prev(i64) next(i64)``
+followed by ``count`` fixed 56-byte entries.  With 4 KB pages this
+yields a fanout of 72.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..exceptions import IndexError_, PageOverflowError
+from ..geometry import MBR3D
+from .entry import ENTRY_BYTES, InternalEntry, LeafEntry
+
+__all__ = ["Node", "node_capacity", "tb_leaf_payload_size", "NO_PAGE", "HEADER_BYTES"]
+
+_HEADER_FMT = struct.Struct("<BBHIqqq")
+HEADER_BYTES = 32
+assert _HEADER_FMT.size == HEADER_BYTES
+
+_KIND_LEAF = 1
+_KIND_INTERNAL = 2
+_KIND_TB_LEAF = 3  # chained single-trajectory leaf (TB-tree)
+
+_CHAIN_LEN_FMT = struct.Struct("<H")
+_POINT_FMT = struct.Struct("<3d")
+
+NO_PAGE = -1
+
+
+def node_capacity(page_size: int) -> int:
+    """Maximum entries per node for the given page size."""
+    cap = (page_size - HEADER_BYTES) // ENTRY_BYTES
+    if cap < 2:
+        raise IndexError_(
+            f"page size {page_size} too small for a node (capacity {cap})"
+        )
+    return cap
+
+
+def tb_leaf_payload_size(entries: list) -> int:
+    """Serialized byte size of a TB-tree chained leaf's entries.
+
+    A TB leaf bundles segments of *one* trajectory in temporal order,
+    so consecutive segments normally share an endpoint; each maximal
+    contiguous run is stored as a point chain (``n`` segments cost
+    ``n + 1`` points instead of ``2n``) — this sharing is why the
+    paper's TB-tree indexes come out roughly half the 3D R-tree's
+    size (Table 2).
+    """
+    size = 0
+    prev_end = None
+    for e in entries:
+        s = e.segment
+        if prev_end is not None and s.start == prev_end:
+            size += _POINT_FMT.size  # extend the current chain
+        else:
+            size += _CHAIN_LEN_FMT.size + 2 * _POINT_FMT.size  # new chain
+        prev_end = s.end
+    return size
+
+
+class Node:
+    """One index node, always resident behind the buffer manager."""
+
+    __slots__ = (
+        "page_id",
+        "level",
+        "entries",
+        "owner_id",
+        "prev_leaf",
+        "next_leaf",
+        "chained",
+    )
+
+    def __init__(
+        self,
+        page_id: int,
+        level: int,
+        entries: list | None = None,
+        owner_id: int = NO_PAGE,
+        prev_leaf: int = NO_PAGE,
+        next_leaf: int = NO_PAGE,
+        chained: bool = False,
+    ) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.entries: list = entries if entries is not None else []
+        # TB-tree leaf metadata; unused (-1) for plain R-tree nodes.
+        self.owner_id = owner_id
+        self.prev_leaf = prev_leaf
+        self.next_leaf = next_leaf
+        # Chained leaves (TB-tree) use the shared-endpoint layout.
+        self.chained = chained
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"
+
+    def mbr(self) -> MBR3D:
+        """Bounding box of all entries; raises on an empty node."""
+        if not self.entries:
+            raise IndexError_(f"node {self.page_id} is empty, no MBR")
+        out = self.entries[0].mbr
+        for e in self.entries[1:]:
+            out = out.union(e.mbr)
+        return out
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self, page_size: int) -> bytes:
+        if self.chained and self.is_leaf:
+            return self._chained_to_bytes(page_size)
+        cap = node_capacity(page_size)
+        if len(self.entries) > cap:
+            raise PageOverflowError(
+                f"node {self.page_id} holds {len(self.entries)} entries, "
+                f"page capacity is {cap}"
+            )
+        kind = _KIND_LEAF if self.is_leaf else _KIND_INTERNAL
+        header = _HEADER_FMT.pack(
+            kind,
+            self.level,
+            len(self.entries),
+            0,
+            self.owner_id,
+            self.prev_leaf,
+            self.next_leaf,
+        )
+        parts = [header, b"\x00" * (HEADER_BYTES - len(header))]
+        for e in self.entries:
+            parts.append(e.to_bytes())
+        return b"".join(parts)
+
+    def _chained_to_bytes(self, page_size: int) -> bytes:
+        payload = tb_leaf_payload_size(self.entries)
+        if HEADER_BYTES + payload > page_size:
+            raise PageOverflowError(
+                f"chained leaf {self.page_id} payload of {payload} bytes "
+                f"exceeds page size {page_size}"
+            )
+        header = _HEADER_FMT.pack(
+            _KIND_TB_LEAF,
+            self.level,
+            len(self.entries),
+            0,
+            self.owner_id,
+            self.prev_leaf,
+            self.next_leaf,
+        )
+        parts = [header, b"\x00" * (HEADER_BYTES - len(header))]
+        # Group maximal runs of endpoint-sharing segments into chains.
+        chains: list[list] = []
+        prev_end = None
+        for e in self.entries:
+            s = e.segment
+            if prev_end is not None and s.start == prev_end:
+                chains[-1].append(s.end)
+            else:
+                chains.append([s.start, s.end])
+            prev_end = s.end
+        for chain in chains:
+            parts.append(_CHAIN_LEN_FMT.pack(len(chain) - 1))
+            for p in chain:
+                parts.append(_POINT_FMT.pack(p.x, p.y, p.t))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, page_id: int, data: bytes) -> "Node":
+        if len(data) < HEADER_BYTES:
+            raise IndexError_(f"page {page_id}: truncated node header")
+        kind, level, count, _pad, owner, prev_leaf, next_leaf = _HEADER_FMT.unpack(
+            data[: _HEADER_FMT.size]
+        )
+        if kind not in (_KIND_LEAF, _KIND_INTERNAL, _KIND_TB_LEAF):
+            raise IndexError_(f"page {page_id}: corrupt node kind {kind}")
+        if kind in (_KIND_LEAF, _KIND_TB_LEAF) and level != 0:
+            raise IndexError_(f"page {page_id}: leaf with level {level}")
+        if kind == _KIND_INTERNAL and level == 0:
+            raise IndexError_(f"page {page_id}: internal node with level 0")
+        if kind == _KIND_TB_LEAF:
+            return cls._chained_from_bytes(
+                page_id, data, count, owner, prev_leaf, next_leaf
+            )
+        need = HEADER_BYTES + count * ENTRY_BYTES
+        if len(data) < need:
+            raise IndexError_(
+                f"page {page_id}: {count} entries do not fit the page data"
+            )
+        entry_cls = LeafEntry if kind == _KIND_LEAF else InternalEntry
+        entries = []
+        offset = HEADER_BYTES
+        for _ in range(count):
+            entries.append(entry_cls.from_bytes(data[offset : offset + ENTRY_BYTES]))
+            offset += ENTRY_BYTES
+        return cls(page_id, level, entries, owner, prev_leaf, next_leaf)
+
+    @classmethod
+    def _chained_from_bytes(
+        cls, page_id, data, count, owner, prev_leaf, next_leaf
+    ) -> "Node":
+        from ..geometry import STPoint, STSegment
+
+        entries: list[LeafEntry] = []
+        offset = HEADER_BYTES
+        while len(entries) < count:
+            if offset + _CHAIN_LEN_FMT.size > len(data):
+                raise IndexError_(f"page {page_id}: truncated chain header")
+            (segs,) = _CHAIN_LEN_FMT.unpack_from(data, offset)
+            offset += _CHAIN_LEN_FMT.size
+            need = (segs + 1) * _POINT_FMT.size
+            if segs == 0 or offset + need > len(data):
+                raise IndexError_(f"page {page_id}: corrupt chain of {segs}")
+            points = [
+                STPoint(*_POINT_FMT.unpack_from(data, offset + i * _POINT_FMT.size))
+                for i in range(segs + 1)
+            ]
+            offset += need
+            for a, b in zip(points, points[1:]):
+                entries.append(LeafEntry(owner, STSegment(a, b)))
+        if len(entries) != count:
+            raise IndexError_(
+                f"page {page_id}: chained leaf decoded {len(entries)} of "
+                f"{count} entries"
+            )
+        return cls(
+            page_id, 0, entries, owner, prev_leaf, next_leaf, chained=True
+        )

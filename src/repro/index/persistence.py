@@ -1,0 +1,122 @@
+"""Saving and loading indexes.
+
+An index is a page file plus a handful of metadata (tree kind, root
+page, counters, ``max_speed`` for V_max).  ``save_index`` copies the
+pages into a :class:`~repro.storage.DiskPageFile` and writes the
+metadata as a JSON sidecar (``<path>.meta.json``); ``load_index``
+reopens both and returns a *finalized* (query-only) index — further
+insertions are rejected, exactly like after
+:meth:`~repro.index.base.TrajectoryIndex.finalize`.
+
+The TB-tree's per-trajectory leaf-chain anchors are persisted too, so
+``trajectory_segments`` keeps working on a loaded tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import IndexError_, StorageError
+from ..storage import DiskPageFile
+from .base import TrajectoryIndex
+from .rstar import RStarTree
+from .rtree3d import RTree3D
+from .strtree import STRTree
+from .tbtree import TBTree
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+_KINDS = {
+    "rtree": RTree3D,
+    "rstar": RStarTree,
+    "tbtree": TBTree,
+    "strtree": STRTree,
+}
+
+
+def _kind_of(index: TrajectoryIndex) -> str:
+    # Subclass order matters: STRTree and RStarTree are RTree3Ds.
+    if isinstance(index, STRTree):
+        return "strtree"
+    if isinstance(index, RStarTree):
+        return "rstar"
+    if isinstance(index, TBTree):
+        return "tbtree"
+    if isinstance(index, RTree3D):
+        return "rtree"
+    raise IndexError_(f"cannot persist index of type {type(index).__name__}")
+
+
+def _meta_path(path: Path) -> Path:
+    return path.with_name(path.name + ".meta.json")
+
+
+def save_index(index: TrajectoryIndex, path: str | Path) -> None:
+    """Write the index's pages and metadata next to each other.
+
+    The index is flushed first; it stays usable afterwards.
+    """
+    path = Path(path)
+    if path.exists():
+        raise StorageError(f"{path} already exists; refusing to overwrite")
+    index.buffer.flush(index._serializer)
+    with DiskPageFile(path, page_size=index.page_size) as dst:
+        for pid in range(index.pagefile.num_pages):
+            dst.allocate()
+            dst.write(pid, index.pagefile.read(pid))
+    meta = {
+        "version": _FORMAT_VERSION,
+        "kind": _kind_of(index),
+        "page_size": index.page_size,
+        "root_page": index.root_page,
+        "num_nodes": index.num_nodes,
+        "num_entries": index.num_entries,
+        "max_speed": index.max_speed,
+        "trajectory_ids": sorted(index.trajectory_ids),
+    }
+    if isinstance(index, TBTree):
+        meta["active_leaf"] = {
+            str(tid): page for tid, page in index._active_leaf.items()
+        }
+    _meta_path(path).write_text(json.dumps(meta))
+
+
+def load_index(
+    path: str | Path,
+    buffer_fraction: float = 0.10,
+    buffer_max_pages: int = 1000,
+) -> TrajectoryIndex:
+    """Reopen a saved index for querying (read-only)."""
+    path = Path(path)
+    meta_file = _meta_path(path)
+    if not meta_file.exists():
+        raise StorageError(f"missing metadata sidecar {meta_file}")
+    try:
+        meta = json.loads(meta_file.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"{meta_file}: corrupt metadata: {exc}") from exc
+    if meta.get("version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"{meta_file}: unsupported format version {meta.get('version')}"
+        )
+    kind = meta.get("kind")
+    if kind not in _KINDS:
+        raise StorageError(f"{meta_file}: unknown index kind {kind!r}")
+
+    pagefile = DiskPageFile(path, page_size=meta["page_size"])
+    index = _KINDS[kind](pagefile=pagefile)
+    index.root_page = meta["root_page"]
+    index.num_nodes = meta["num_nodes"]
+    index.num_entries = meta["num_entries"]
+    index.max_speed = meta["max_speed"]
+    index.trajectory_ids = set(meta["trajectory_ids"])
+    if kind == "tbtree" and "active_leaf" in meta:
+        index._active_leaf = {
+            int(tid): page for tid, page in meta["active_leaf"].items()
+        }
+    index.buffer.resize_to_fraction(buffer_fraction, buffer_max_pages)
+    index._finalized = True
+    return index

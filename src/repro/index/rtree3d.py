@@ -1,0 +1,291 @@
+"""The 3D R-tree over trajectory segments (Theodoridis et al. [19]).
+
+Time is the third axis: every line segment is inserted with its (x, y, t)
+bounding box using Guttman insertion (least volume enlargement
+choose-subtree, quadratic split).  An STR bulk-loading path is provided
+as an extension for building large indexes quickly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import IndexError_
+from ..geometry import MBR3D
+from .base import TrajectoryIndex, quadratic_split
+from .entry import InternalEntry, LeafEntry
+from .node import NO_PAGE, Node
+
+__all__ = ["RTree3D"]
+
+
+class RTree3D(TrajectoryIndex):
+    """A paged 3D R-tree with quadratic-split insertion."""
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert_entry(self, entry: LeafEntry) -> None:
+        if self.root_page == NO_PAGE:
+            root = self.new_node(level=0)
+            self.root_page = root.page_id
+            root.entries.append(entry)
+            self.touch(root)
+            self.num_entries += 1
+            return
+        path = self._choose_path(entry.mbr)
+        leaf = self.read_node(path[-1])
+        leaf.entries.append(entry)
+        self.touch(leaf)
+        self.num_entries += 1
+        self._propagate(path, entry.mbr)
+
+    def _choose_path(self, box: MBR3D) -> list[int]:
+        """Page ids from the root down to the chosen leaf, picking the
+        child needing the least volume enlargement (ties: smaller
+        volume, then smaller margin)."""
+        path = [self.root_page]
+        node = self.read_node(self.root_page)
+        while not node.is_leaf:
+            best = None
+            best_key = None
+            for e in node.entries:
+                key = (
+                    e.mbr.enlargement(box),
+                    e.mbr.volume(),
+                    e.mbr.margin(),
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = e
+            assert best is not None
+            path.append(best.child_page)
+            node = self.read_node(best.child_page)
+        return path
+
+    def _propagate(self, path: list[int], new_box: MBR3D) -> None:
+        """Walk the insertion path bottom-up, splitting overflowing
+        nodes and growing parent entries.
+
+        For non-split levels the parent entry is *unioned* with the
+        inserted box rather than recomputed from the child's entries —
+        exact on insertion (coverage only grows) and O(1) instead of
+        O(fanout), the classic AdjustTree shortcut.
+        """
+        for depth in range(len(path) - 1, -1, -1):
+            node = self.read_node(path[depth])
+            if len(node.entries) > self.capacity:
+                self._split(node, path, depth)
+            elif depth > 0:
+                parent = self.read_node(path[depth - 1])
+                self._union_child_entry(parent, node.page_id, new_box)
+                self.touch(parent)
+
+    def _split(self, node: Node, path: list[int], depth: int) -> None:
+        group_a, group_b = quadratic_split(
+            node.entries, self.capacity, self.min_fill
+        )
+        node.entries = group_a
+        self.touch(node)
+        sibling = self.new_node(node.level)
+        sibling.entries = group_b
+        self.touch(sibling)
+        if depth == 0:
+            # Root split: grow the tree by one level.
+            new_root = self.new_node(node.level + 1)
+            new_root.entries = [
+                InternalEntry(node.page_id, node.mbr()),
+                InternalEntry(sibling.page_id, sibling.mbr()),
+            ]
+            self.touch(new_root)
+            self.root_page = new_root.page_id
+            self._after_split(node, sibling, new_root.page_id)
+            return
+        parent = self.read_node(path[depth - 1])
+        self._replace_child_entry(parent, node)
+        parent.entries.append(InternalEntry(sibling.page_id, sibling.mbr()))
+        self.touch(parent)
+        self._after_split(node, sibling, parent.page_id)
+
+    def _after_split(self, node: Node, sibling: Node, parent_page: int) -> None:
+        """Hook for subclasses that keep extra per-node metadata (the
+        STR-tree's parent map and trajectory-preservation state)."""
+
+    # ------------------------------------------------------------------
+    # deletion (Guttman condense-tree, trajectory-at-a-time)
+    # ------------------------------------------------------------------
+    def delete_trajectory(self, trajectory_id: int) -> int:
+        """Remove every segment of ``trajectory_id``.
+
+        Underfull nodes are dissolved and their surviving leaf entries
+        re-inserted (the classic condense-tree); freed pages go to the
+        free list for reuse.  Only allowed before :meth:`finalize`.
+        """
+        self._check_deletable(trajectory_id)
+        orphans: list[LeafEntry] = []
+        deleted = 0
+        if self.root_page != NO_PAGE:
+            deleted, keep = self._delete_rec(
+                self.root_page, trajectory_id, orphans, is_root=True
+            )
+            if keep:
+                self._shrink_root()
+            else:
+                self.root_page = NO_PAGE
+        self.num_entries -= deleted + len(orphans)
+        self.trajectory_ids.discard(trajectory_id)
+        for entry in orphans:
+            self.insert_entry(entry)  # re-increments num_entries
+        return deleted
+
+    def _delete_rec(
+        self, page: int, tid: int, orphans: list, is_root: bool = False
+    ) -> tuple[int, bool]:
+        """Returns ``(entries deleted below, keep this node?)``."""
+        node = self.read_node(page)
+        if node.is_leaf:
+            before = len(node.entries)
+            node.entries = [e for e in node.entries if e.trajectory_id != tid]
+            deleted = before - len(node.entries)
+            if deleted:
+                self.touch(node)
+            if not is_root and (deleted and len(node.entries) < self.min_fill):
+                orphans.extend(node.entries)
+                self.release_node(node)
+                return (deleted, False)
+            if is_root and not node.entries:
+                self.release_node(node)
+                return (deleted, False)
+            return (deleted, True)
+
+        deleted = 0
+        changed = False
+        survivors = []
+        for e in node.entries:
+            child_deleted, keep = self._delete_rec(e.child_page, tid, orphans)
+            deleted += child_deleted
+            if not keep:
+                changed = True
+                continue
+            if child_deleted:
+                child = self.read_node(e.child_page)
+                survivors.append(InternalEntry(e.child_page, child.mbr()))
+                changed = True
+            else:
+                survivors.append(e)
+        node.entries = survivors
+        if changed:
+            self.touch(node)
+        underfull = len(node.entries) < self.min_fill
+        if not is_root and changed and underfull:
+            for e in node.entries:
+                self._dissolve_subtree(e.child_page, orphans)
+            self.release_node(node)
+            return (deleted, False)
+        if is_root and not node.entries:
+            self.release_node(node)
+            return (deleted, False)
+        return (deleted, True)
+
+    def _dissolve_subtree(self, page: int, orphans: list) -> None:
+        """Release a whole subtree, collecting its leaf entries."""
+        node = self.read_node(page)
+        if node.is_leaf:
+            orphans.extend(node.entries)
+        else:
+            for e in node.entries:
+                self._dissolve_subtree(e.child_page, orphans)
+        self.release_node(node)
+
+    def _shrink_root(self) -> None:
+        """Collapse single-child internal roots left by condensation."""
+        root = self.read_node(self.root_page)
+        while not root.is_leaf and len(root.entries) == 1:
+            child_page = root.entries[0].child_page
+            self.release_node(root)
+            self.root_page = child_page
+            root = self.read_node(child_page)
+
+    # ------------------------------------------------------------------
+    # STR bulk loading (extension)
+    # ------------------------------------------------------------------
+    def bulk_load(self, entries: list[LeafEntry]) -> None:
+        """Build the tree bottom-up with Sort-Tile-Recursive packing on
+        the (x, y, t) box centres.  The tree must be empty."""
+        if self.root_page != NO_PAGE:
+            raise IndexError_("bulk_load requires an empty index")
+        if not entries:
+            return
+        self.trajectory_ids.update(e.trajectory_id for e in entries)
+        self.max_speed = max(
+            self.max_speed, max(e.segment.speed for e in entries)
+        )
+        self.num_entries = len(entries)
+        level_nodes = self._pack_leaves(entries)
+        level = 1
+        while len(level_nodes) > 1:
+            parents = self._pack_internal(level_nodes, level)
+            level_nodes = parents
+            level += 1
+        self.root_page = level_nodes[0].page_id
+
+    def _pack_leaves(self, entries: list[LeafEntry]) -> list[Node]:
+        groups = _str_tiles(
+            entries,
+            lambda e: _center(e.mbr),
+            self.capacity,
+        )
+        nodes = []
+        for group in groups:
+            node = self.new_node(level=0)
+            node.entries = list(group)
+            self.touch(node)
+            nodes.append(node)
+        return nodes
+
+    def _pack_internal(self, children: list[Node], level: int) -> list[Node]:
+        child_entries = [InternalEntry(c.page_id, c.mbr()) for c in children]
+        groups = _str_tiles(
+            child_entries,
+            lambda e: _center(e.mbr),
+            self.capacity,
+        )
+        nodes = []
+        for group in groups:
+            node = self.new_node(level=level)
+            node.entries = list(group)
+            self.touch(node)
+            nodes.append(node)
+        return nodes
+
+
+def _center(box: MBR3D) -> tuple[float, float, float]:
+    return (
+        (box.xmin + box.xmax) / 2.0,
+        (box.ymin + box.ymax) / 2.0,
+        (box.tmin + box.tmax) / 2.0,
+    )
+
+
+def _str_tiles(items: list, center_of, capacity: int) -> list[list]:
+    """Sort-Tile-Recursive grouping of ``items`` into runs of at most
+    ``capacity``: slab by x-centre, slice by y-centre, pack by t-centre."""
+    n = len(items)
+    pages = math.ceil(n / capacity)
+    slabs_x = max(1, round(pages ** (1.0 / 3.0)))
+    per_slab = math.ceil(n / slabs_x)
+    by_x = sorted(items, key=lambda it: center_of(it)[0])
+    groups: list[list] = []
+    for sx in range(0, n, per_slab):
+        slab = by_x[sx : sx + per_slab]
+        slab_pages = math.ceil(len(slab) / capacity)
+        slices_y = max(1, round(math.sqrt(slab_pages)))
+        per_slice = math.ceil(len(slab) / slices_y)
+        by_y = sorted(slab, key=lambda it: center_of(it)[1])
+        for sy in range(0, len(slab), per_slice):
+            chunk = sorted(
+                by_y[sy : sy + per_slice], key=lambda it: center_of(it)[2]
+            )
+            for st in range(0, len(chunk), capacity):
+                groups.append(chunk[st : st + capacity])
+    return groups

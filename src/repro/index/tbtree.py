@@ -1,0 +1,323 @@
+"""The TB-tree (Trajectory-Bundle tree, Pfoser, Jensen, Theodoridis [13]).
+
+The defining property: each leaf bundles segments of *one* trajectory,
+kept in temporal order, and the leaves of a trajectory are doubly
+linked — so trajectory-oriented queries (and the BFMST plane sweep,
+which wants temporally sorted leaf entries) get them for free.
+
+Insertion: a segment is appended to its trajectory's active (last)
+leaf; when that leaf is full a fresh leaf is chained to it and inserted
+into the upper R-tree levels by least-volume-enlargement descent (our
+choose-subtree stands in for the original's rightmost-path heuristic;
+the bundling/chaining property, which is what the paper's experiments
+exercise, is identical).  Internal-node overflows use the quadratic
+split; a parent map is maintained in memory so MBR adjustments and
+splits can walk upwards from any leaf.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import IndexError_
+from .base import TrajectoryIndex, quadratic_split
+from .entry import InternalEntry, LeafEntry
+from .node import HEADER_BYTES, NO_PAGE, Node, tb_leaf_payload_size
+
+__all__ = ["TBTree"]
+
+
+class TBTree(TrajectoryIndex):
+    """A paged TB-tree.
+
+    Leaves use the *chained* page layout: the bundled segments of one
+    trajectory are serialised as point chains with shared endpoints
+    (~24 bytes per segment instead of 56), which is what makes the
+    TB-tree index roughly half the 3D R-tree's size in Table 2.  A
+    leaf is full when its *serialised payload* would overflow the
+    page, not at a fixed entry count.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._active_leaf: dict[int, int] = {}  # trajectory id -> leaf page
+        self._parent_of: dict[int, int] = {}  # page -> parent page
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def _leaf_fits(self, leaf: Node, entry: LeafEntry) -> bool:
+        payload = tb_leaf_payload_size(leaf.entries + [entry])
+        return HEADER_BYTES + payload <= self.page_size
+
+    def insert_entry(self, entry: LeafEntry) -> None:
+        tid = entry.trajectory_id
+        leaf_page = self._active_leaf.get(tid)
+        if leaf_page is not None:
+            leaf = self.read_node(leaf_page)
+            if leaf.entries and entry.segment.ts < leaf.entries[-1].segment.te:
+                raise IndexError_(
+                    f"TB-tree requires temporally ordered insertion per "
+                    f"trajectory (object {tid})"
+                )
+            if self._leaf_fits(leaf, entry):
+                leaf.entries.append(entry)
+                self.touch(leaf)
+                self.num_entries += 1
+                self._adjust_upwards(leaf.page_id, entry.mbr)
+                return
+        self._start_new_leaf(tid, entry, leaf_page)
+        self.num_entries += 1
+
+    def _start_new_leaf(
+        self, tid: int, entry: LeafEntry, prev_leaf_page: int | None
+    ) -> None:
+        leaf = self.new_node(level=0, owner_id=tid)
+        leaf.chained = True
+        leaf.entries.append(entry)
+        if prev_leaf_page is not None:
+            leaf.prev_leaf = prev_leaf_page
+            prev = self.read_node(prev_leaf_page)
+            prev.next_leaf = leaf.page_id
+            self.touch(prev)
+        self.touch(leaf)
+        self._active_leaf[tid] = leaf.page_id
+        self._attach_leaf(leaf)
+
+    def _attach_leaf(self, leaf: Node) -> None:
+        """Hang a fresh leaf off the upper levels of the tree."""
+        if self.root_page == NO_PAGE:
+            self.root_page = leaf.page_id
+            return
+        root = self.read_node(self.root_page)
+        if root.is_leaf:
+            # Two leaves now: grow the first internal level.
+            new_root = self.new_node(level=1)
+            new_root.entries = [
+                InternalEntry(root.page_id, root.mbr()),
+                InternalEntry(leaf.page_id, leaf.mbr()),
+            ]
+            self.touch(new_root)
+            self._parent_of[root.page_id] = new_root.page_id
+            self._parent_of[leaf.page_id] = new_root.page_id
+            self.root_page = new_root.page_id
+            return
+        # Descend to the level-1 node with least volume enlargement.
+        leaf_box = leaf.mbr()
+        target = root
+        while target.level > 1:
+            best = min(
+                target.entries,
+                key=lambda e: (
+                    e.mbr.enlargement(leaf_box),
+                    e.mbr.volume(),
+                    e.mbr.margin(),
+                ),
+            )
+            target = self.read_node(best.child_page)
+        target.entries.append(InternalEntry(leaf.page_id, leaf_box))
+        self.touch(target)
+        self._parent_of[leaf.page_id] = target.page_id
+        self._split_or_adjust(target, leaf_box)
+
+    # ------------------------------------------------------------------
+    # upward maintenance via the parent map
+    # ------------------------------------------------------------------
+    def _adjust_upwards(self, page_id: int, box) -> None:
+        """Grow ancestor entries to also cover ``box`` (exact on
+        insertion: subtree coverage only ever grows, so a union beats
+        an O(fanout) recompute)."""
+        while True:
+            parent_page = self._parent_of.get(page_id)
+            if parent_page is None:
+                return
+            parent = self.read_node(parent_page)
+            self._union_child_entry(parent, page_id, box)
+            self.touch(parent)
+            page_id = parent_page
+
+    def _split_or_adjust(self, node: Node, box) -> None:
+        """Handle a possible overflow of an internal node, walking up;
+        ``box`` is the newly inserted coverage to fold into ancestors."""
+        while True:
+            if len(node.entries) > self.capacity:
+                parent = self._split_internal(node)
+                if parent is None:
+                    return
+                node = parent
+            else:
+                self._adjust_upwards(node.page_id, box)
+                return
+
+    def _split_internal(self, node: Node) -> Node | None:
+        """Split an overflowing internal node; returns the parent to
+        continue on, or ``None`` when a new root was installed."""
+        group_a, group_b = quadratic_split(
+            node.entries, self.capacity, self.min_fill
+        )
+        node.entries = group_a
+        self.touch(node)
+        sibling = self.new_node(node.level)
+        sibling.entries = group_b
+        self.touch(sibling)
+        for e in group_b:
+            self._parent_of[e.child_page] = sibling.page_id
+        parent_page = self._parent_of.get(node.page_id)
+        if parent_page is None:
+            new_root = self.new_node(node.level + 1)
+            new_root.entries = [
+                InternalEntry(node.page_id, node.mbr()),
+                InternalEntry(sibling.page_id, sibling.mbr()),
+            ]
+            self.touch(new_root)
+            self._parent_of[node.page_id] = new_root.page_id
+            self._parent_of[sibling.page_id] = new_root.page_id
+            self.root_page = new_root.page_id
+            return None
+        parent = self.read_node(parent_page)
+        self._replace_child_entry(parent, node)
+        parent.entries.append(InternalEntry(sibling.page_id, sibling.mbr()))
+        self.touch(parent)
+        self._parent_of[sibling.page_id] = parent_page
+        return parent
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete_trajectory(self, trajectory_id: int) -> int:
+        """Remove a trajectory's whole leaf chain.
+
+        Detaches every chain leaf from the upper levels, then condenses
+        underfull internal nodes by re-attaching their surviving leaves
+        (leaf *nodes* are moved as units, so the single-trajectory and
+        chain properties of every other object are untouched).
+        """
+        self._check_deletable(trajectory_id)
+        chain = self.leaf_chain(trajectory_id)
+        deleted = sum(len(leaf.entries) for leaf in chain)
+        for leaf in chain:
+            self._detach_leaf(leaf)
+        self._active_leaf.pop(trajectory_id, None)
+        self.trajectory_ids.discard(trajectory_id)
+        self.num_entries -= deleted
+        return deleted
+
+    def _detach_leaf(self, leaf: Node) -> None:
+        parent_page = self._parent_of.pop(leaf.page_id, None)
+        if parent_page is None:
+            # the leaf is the root
+            if self.root_page == leaf.page_id:
+                self.root_page = NO_PAGE
+            self.release_node(leaf)
+            return
+        parent = self.read_node(parent_page)
+        parent.entries = [
+            e for e in parent.entries if e.child_page != leaf.page_id
+        ]
+        self.touch(parent)
+        self.release_node(leaf)
+        self._condense(parent)
+
+    def _condense(self, node: Node) -> None:
+        """Dissolve underfull internal nodes bottom-up, re-attaching
+        their surviving leaves."""
+        while True:
+            parent_page = self._parent_of.get(node.page_id)
+            if parent_page is None:
+                # node is the root
+                if not node.entries:
+                    self.release_node(node)
+                    self.root_page = NO_PAGE
+                elif not node.is_leaf and len(node.entries) == 1:
+                    child_page = node.entries[0].child_page
+                    self._parent_of.pop(child_page, None)
+                    self.release_node(node)
+                    self.root_page = child_page
+                else:
+                    self._refresh_exact(node)
+                return
+            if len(node.entries) >= self.min_fill:
+                self._refresh_exact(node)
+                parent = self.read_node(parent_page)
+                self._replace_child_entry(parent, node)
+                self.touch(parent)
+                node = parent
+                continue
+            # dissolve: collect surviving leaves, remove from parent
+            leaves: list[int] = []
+            for e in node.entries:
+                self._collect_leaf_pages(e.child_page, leaves)
+            parent = self.read_node(parent_page)
+            parent.entries = [
+                e for e in parent.entries if e.child_page != node.page_id
+            ]
+            self.touch(parent)
+            self._parent_of.pop(node.page_id, None)
+            self.release_node(node)
+            for page in leaves:
+                self._attach_leaf(self.read_node(page))
+            node = self.read_node(parent_page)
+
+    def _collect_leaf_pages(self, page: int, out: list[int]) -> None:
+        node = self.read_node(page)
+        self._parent_of.pop(page, None)
+        if node.is_leaf:
+            out.append(page)
+            return
+        for e in node.entries:
+            self._collect_leaf_pages(e.child_page, out)
+        self.release_node(node)
+
+    def _refresh_exact(self, node: Node) -> None:
+        """Propagate an exact (possibly shrunken) MBR up the tree."""
+        child = node
+        while True:
+            parent_page = self._parent_of.get(child.page_id)
+            if parent_page is None:
+                return
+            parent = self.read_node(parent_page)
+            self._replace_child_entry(parent, child)
+            self.touch(parent)
+            child = parent
+
+    def _on_release(self, page_id: int) -> None:
+        self._parent_of.pop(page_id, None)
+        orphaned = [
+            child for child, parent in self._parent_of.items()
+            if parent == page_id
+        ]
+        for child in orphaned:
+            del self._parent_of[child]
+        stale = [
+            tid for tid, page in self._active_leaf.items() if page == page_id
+        ]
+        for tid in stale:
+            del self._active_leaf[tid]
+
+    # ------------------------------------------------------------------
+    # TB-specific accessors
+    # ------------------------------------------------------------------
+    def leaf_chain(self, trajectory_id: int) -> list[Node]:
+        """The linked leaves of a trajectory, first to last."""
+        page = self._first_leaf_of(trajectory_id)
+        out = []
+        while page != NO_PAGE:
+            node = self.read_node(page)
+            out.append(node)
+            page = node.next_leaf
+        return out
+
+    def _first_leaf_of(self, trajectory_id: int) -> int:
+        page = self._active_leaf.get(trajectory_id, NO_PAGE)
+        if page == NO_PAGE:
+            return NO_PAGE
+        node = self.read_node(page)
+        while node.prev_leaf != NO_PAGE:
+            node = self.read_node(node.prev_leaf)
+        return node.page_id
+
+    def trajectory_segments(self, trajectory_id: int) -> list[LeafEntry]:
+        """All indexed segments of one trajectory, in temporal order —
+        the access path the leaf chain exists for."""
+        out: list[LeafEntry] = []
+        for leaf in self.leaf_chain(trajectory_id):
+            out.extend(leaf.entries)
+        return out

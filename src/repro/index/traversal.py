@@ -1,0 +1,50 @@
+"""Best-first index traversal (Hjaltason & Samet [8]).
+
+Yields index nodes in non-decreasing order of their MINDIST from the
+query trajectory, expanding internal nodes as they are dequeued — the
+traversal order Definitions 5-6 and Heuristic 2 are built on.  Nodes
+whose temporal extent misses the query period are never enqueued.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from ..trajectory import Trajectory
+from .base import TrajectoryIndex
+from .mindist import mindist
+from .node import NO_PAGE, Node
+
+__all__ = ["best_first_nodes"]
+
+
+def best_first_nodes(
+    index: TrajectoryIndex,
+    query: Trajectory,
+    t_start: float,
+    t_end: float,
+) -> Iterator[tuple[float, Node]]:
+    """Yield ``(mindist, node)`` pairs in increasing MINDIST order.
+
+    The root is enqueued with distance 0; each dequeued internal node
+    enqueues its temporally overlapping children keyed by MINDIST of
+    their *entry* MBB (the child page itself is only read when
+    dequeued, so node accesses reflect true I/O).
+    """
+    if index.root_page == NO_PAGE:
+        return
+    counter = 0  # heap tie-breaker: FIFO among equal distances
+    heap: list[tuple[float, int, int]] = [(0.0, counter, index.root_page)]
+    while heap:
+        dist, _tie, page_id = heapq.heappop(heap)
+        node = index.read_node(page_id)
+        yield (dist, node)
+        if node.is_leaf:
+            continue
+        for e in node.entries:
+            d = mindist(query, e.mbr, t_start, t_end)
+            if d is None:
+                continue
+            counter += 1
+            heapq.heappush(heap, (d, counter, e.child_page))

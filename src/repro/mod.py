@@ -1,0 +1,255 @@
+"""A small Moving-Object-Database facade.
+
+The paper frames everything as a feature of a *MOD system*: one
+historical trajectory store whose general-purpose index serves range,
+nearest-neighbour **and** similarity queries.  This module packages the
+library's pieces behind that single surface, the way a downstream
+application would embed them:
+
+    mod = MovingObjectDatabase(tree="tbtree")
+    mod.add(trajectory)           # or .add_all(dataset)
+    mod.freeze()                  # build once, query many times
+    mod.range(window, t0, t1)
+    mod.nearest(point, t0, t1, k=3)
+    mod.most_similar(query, k=5)
+    mod.similar_to(object_id, t0, t1, k=5)   # "find objects moving like #42"
+    mod.estimate_cost(query, t0, t1)
+
+The facade owns the build/freeze lifecycle and keeps the dataset and
+the index consistent; everything heavy stays in the underlying
+modules.
+"""
+
+from __future__ import annotations
+
+from .exceptions import QueryError
+from .geometry import MBR2D, Point
+from .index import RStarTree, RTree3D, STRTree, TBTree, TrajectoryIndex, save_index
+from .search import (
+    MSTMatch,
+    SearchStats,
+    bfmst_search,
+    linear_scan_kmst,
+    nearest_neighbours,
+    range_query,
+)
+from .selectivity import MSTCostEstimate, SpatioTemporalHistogram
+from .trajectory import Trajectory, TrajectoryDataset
+
+__all__ = ["MovingObjectDatabase"]
+
+_TREES = {
+    "rtree": RTree3D,
+    "rstar": RStarTree,
+    "tbtree": TBTree,
+    "strtree": STRTree,
+}
+
+
+class MovingObjectDatabase:
+    """Historical trajectory store + one general-purpose index."""
+
+    def __init__(
+        self,
+        tree: str = "rtree",
+        page_size: int = 4096,
+        histogram_resolution: int = 12,
+    ) -> None:
+        if tree not in _TREES:
+            raise QueryError(
+                f"unknown tree kind {tree!r}; pick one of {sorted(_TREES)}"
+            )
+        self._tree_kind = tree
+        self._page_size = page_size
+        self._histogram_resolution = histogram_resolution
+        self.dataset = TrajectoryDataset()
+        self.index: TrajectoryIndex | None = None
+        self._histogram: SpatioTemporalHistogram | None = None
+
+    # ------------------------------------------------------------------
+    # build lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self.index is not None
+
+    def add(self, trajectory: Trajectory) -> None:
+        """Register a trajectory (before :meth:`freeze`)."""
+        if self.frozen:
+            raise QueryError("database is frozen; no further insertions")
+        self.dataset.add(trajectory)
+
+    def add_all(self, dataset: TrajectoryDataset) -> None:
+        for tr in dataset:
+            self.add(tr)
+
+    def freeze(self, mutable: bool = False) -> "MovingObjectDatabase":
+        """Build the index over everything added so far; returns self.
+
+        With ``mutable=True`` the index is *not* finalized: the store
+        keeps accepting :meth:`insert` and :meth:`remove` afterwards
+        (at the cost of the build-time buffer staying large).
+        """
+        if self.frozen:
+            raise QueryError("database already frozen")
+        if len(self.dataset) == 0:
+            raise QueryError("nothing to index; add trajectories first")
+        index = _TREES[self._tree_kind](page_size=self._page_size)
+        index.bulk_insert(self.dataset)
+        if not mutable:
+            index.finalize()
+        self.index = index
+        self._mutable = mutable
+        return self
+
+    @property
+    def mutable(self) -> bool:
+        """True when the store accepts post-freeze inserts/removals."""
+        return bool(getattr(self, "_mutable", False)) and self.frozen
+
+    def insert(self, trajectory: Trajectory) -> None:
+        """Add a trajectory to a *mutable* frozen store (indexed
+        immediately)."""
+        if not self.frozen:
+            raise QueryError("freeze(mutable=True) first, or use add()")
+        if not self.mutable:
+            raise QueryError("store was frozen immutable; cannot insert")
+        self.dataset.add(trajectory)
+        try:
+            self.index.insert(trajectory)
+        except Exception:
+            self.dataset.remove(trajectory.object_id)
+            raise
+        self._histogram = None
+
+    def remove(self, object_id: int) -> None:
+        """Delete an object from a *mutable* frozen store (index
+        condensed immediately)."""
+        if not self.frozen:
+            raise QueryError("nothing indexed yet; freeze() first")
+        if not self.mutable:
+            raise QueryError("store was frozen immutable; cannot remove")
+        self.index.delete_trajectory(object_id)
+        self.dataset.remove(object_id)
+        self._histogram = None
+
+    def save(self, path) -> None:
+        """Persist the index (see :func:`repro.index.save_index`)."""
+        self._require_frozen()
+        save_index(self.index, path)
+
+    def _require_frozen(self) -> TrajectoryIndex:
+        if self.index is None:
+            raise QueryError("freeze() the database before querying")
+        return self.index
+
+    # ------------------------------------------------------------------
+    # queries (the paper's 'one index serves all' claim, as an API)
+    # ------------------------------------------------------------------
+    def range(self, window: MBR2D, t_start: float, t_end: float) -> set[int]:
+        """Objects whose path enters ``window`` during the interval."""
+        return range_query(self._require_frozen(), window, t_start, t_end)
+
+    def nearest(
+        self, point: Point, t_start: float, t_end: float, k: int = 1
+    ) -> list[tuple[int, float]]:
+        """The k objects passing closest to ``point`` in the interval."""
+        return nearest_neighbours(
+            self._require_frozen(), point, t_start, t_end, k=k
+        )
+
+    def most_similar(
+        self,
+        query: Trajectory,
+        k: int = 1,
+        period: tuple[float, float] | None = None,
+        exclude_ids: set[int] | frozenset[int] = frozenset(),
+        use_index: bool = True,
+    ) -> tuple[list[MSTMatch], SearchStats | None]:
+        """k-MST search; ``use_index=False`` falls back to the linear
+        scan (useful when the optimiser predicts poor pruning)."""
+        if use_index:
+            return bfmst_search(
+                self._require_frozen(), query, period, k=k,
+                exclude_ids=exclude_ids,
+            )
+        matches = linear_scan_kmst(
+            self.dataset, query, period, k=k, exclude_ids=exclude_ids
+        )
+        return (matches, None)
+
+    def browse(
+        self,
+        query: Trajectory,
+        period: tuple[float, float] | None = None,
+        exclude_ids: set[int] | frozenset[int] = frozenset(),
+    ):
+        """Lazily yield matches in increasing DISSIM order (incremental
+        distance browsing; stop consuming whenever satisfied)."""
+        from .search import bfmst_browse
+
+        return bfmst_browse(
+            self._require_frozen(), query, period, exclude_ids=exclude_ids
+        )
+
+    def similar_to(
+        self,
+        object_id: int,
+        t_start: float | None = None,
+        t_end: float | None = None,
+        k: int = 1,
+    ) -> tuple[list[MSTMatch], SearchStats | None]:
+        """Which objects moved most like ``object_id`` during the
+        window (the object itself excluded)?"""
+        source = self.dataset[object_id]
+        lo = source.t_start if t_start is None else t_start
+        hi = source.t_end if t_end is None else t_end
+        query = source.sliced(lo, hi)
+        return self.most_similar(
+            query, k=k, period=(lo, hi), exclude_ids={object_id}
+        )
+
+    # ------------------------------------------------------------------
+    # optimiser support
+    # ------------------------------------------------------------------
+    def histogram(self) -> SpatioTemporalHistogram:
+        """The (lazily built, cached) selectivity histogram."""
+        if self._histogram is None:
+            r = self._histogram_resolution
+            self._histogram = SpatioTemporalHistogram(self.dataset, r, r, r)
+        return self._histogram
+
+    def estimate_cost(
+        self, query: Trajectory, t_start: float, t_end: float
+    ) -> MSTCostEstimate:
+        """Predicted k-MST effort for a window (see
+        :class:`repro.selectivity.MSTCostEstimate`)."""
+        return self.histogram().estimate_mst_cost(query, t_start, t_end)
+
+    def estimate_range_selectivity(
+        self, window: MBR2D, t_start: float, t_end: float
+    ) -> float:
+        return self.histogram().estimate_range_selectivity(
+            window, t_start, t_end
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def describe(self) -> dict:
+        """A status snapshot (counts, index size, tree kind)."""
+        info = {
+            "objects": len(self.dataset),
+            "segments": self.dataset.total_segments(),
+            "tree": self._tree_kind,
+            "frozen": self.frozen,
+            "mutable": self.mutable,
+        }
+        if self.index is not None:
+            info.update(
+                index_nodes=self.index.num_nodes,
+                index_mb=self.index.size_mb(),
+                height=self.index.height,
+            )
+        return info

@@ -1,0 +1,28 @@
+"""Query processing: BFMST (the paper's algorithm), the linear-scan
+ground truth, classical range/NN queries and the time-relaxed
+extension."""
+
+from .bfmst import bfmst_search
+from .browse import bfmst_browse
+from .continuous_nn import NNInterval, continuous_nearest_neighbour
+from .linear_scan import linear_scan_kmst
+from .nn import nearest_neighbours, nearest_neighbours_brute_force
+from .range_query import range_query, range_query_brute_force
+from .results import MSTMatch, SearchStats
+from .time_relaxed import time_relaxed_dissim, time_relaxed_kmst
+
+__all__ = [
+    "bfmst_search",
+    "bfmst_browse",
+    "linear_scan_kmst",
+    "range_query",
+    "range_query_brute_force",
+    "nearest_neighbours",
+    "nearest_neighbours_brute_force",
+    "continuous_nearest_neighbour",
+    "NNInterval",
+    "time_relaxed_dissim",
+    "time_relaxed_kmst",
+    "MSTMatch",
+    "SearchStats",
+]

@@ -1,0 +1,295 @@
+"""BFMST — the best-first k-Most-Similar-Trajectory search (Section 4).
+
+The algorithm dequeues index nodes in increasing MINDIST order
+(Hjaltason-Samet traversal), incrementally accumulates per-candidate
+dissimilarity as leaf segments arrive, and prunes with the paper's two
+heuristics:
+
+* **Heuristic 1** — a candidate whose OPTDISSIM (speed-dependent lower
+  bound) exceeds the current k-th best upper value can never make the
+  answer: move it to *Rejected*.
+* **Heuristic 2** — when the dequeued node's MINDISSIMINC
+  (speed-independent lower bound, Definition 6) exceeds the current
+  k-th best, no remaining node can improve any candidate: terminate.
+
+Error management follows Section 4.4, simplified by the one-sidedness
+of the trapezoid rule (the approximation never under-estimates, see
+``repro.distance.trinomial``): every candidate carries a certified
+interval ``[lower, upper]``; pruning compares lower bounds against the
+k-th smallest upper bound; after termination, candidates whose
+intervals straddle the k-th boundary are *refined* with the exact
+closed-form integral before the final ranking.
+
+The algorithm assumes — like the paper — that indexed trajectories are
+valid throughout the query period; candidates that never complete
+their coverage are returned (if they make the top k) as certified
+upper bounds with ``exact=False``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distance import PartialDissim, segment_dissim
+from ..exceptions import QueryError, TemporalCoverageError
+from ..geometry import STSegment
+from ..index import TrajectoryIndex, best_first_nodes
+from ..trajectory import Trajectory
+from .results import MSTMatch, SearchStats
+
+__all__ = ["bfmst_search"]
+
+
+class _Candidate:
+    """Per-trajectory bookkeeping: coverage record plus the retrieved
+    segment windows (kept so ambiguous answers can be re-integrated
+    exactly during refinement)."""
+
+    __slots__ = ("tid", "partial", "windows")
+
+    def __init__(self, tid: int, t_start: float, t_end: float) -> None:
+        self.tid = tid
+        self.partial = PartialDissim(t_start, t_end)
+        self.windows: list[tuple[STSegment, float, float]] = []
+
+
+class _TopK:
+    """The k smallest candidate upper bounds (the paper's MSim buffer).
+
+    Candidate values only ever decrease (more coverage tightens
+    PESDISSIM; completion replaces it with the measured DISSIM), and
+    rejected candidates always lie above the threshold, so a simple
+    sorted list with replace-the-max updates stays exact.
+    """
+
+    __slots__ = ("k", "items")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.items: list[list] = []  # [upper, tid] sorted ascending
+
+    def update(self, tid: int, upper: float) -> None:
+        for item in self.items:
+            if item[1] == tid:
+                item[0] = upper
+                self.items.sort(key=lambda it: it[0])
+                return
+        if len(self.items) < self.k:
+            self.items.append([upper, tid])
+            self.items.sort(key=lambda it: it[0])
+        elif upper < self.items[-1][0]:
+            self.items[-1] = [upper, tid]
+            self.items.sort(key=lambda it: it[0])
+
+    @property
+    def threshold(self) -> float:
+        """Upper bound on the true k-th smallest dissimilarity; ``inf``
+        until k candidates exist."""
+        if len(self.items) < self.k:
+            return math.inf
+        return self.items[-1][0]
+
+
+def bfmst_search(
+    index: TrajectoryIndex,
+    query: Trajectory,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    vmax: float | None = None,
+    use_heuristic1: bool = True,
+    use_heuristic2: bool = True,
+    refine: bool = True,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+) -> tuple[list[MSTMatch], SearchStats]:
+    """Run a k-MST search and return ``(matches, stats)``.
+
+    Parameters
+    ----------
+    index:
+        A finalized (or at least fully built) :class:`RTree3D` or
+        :class:`TBTree`.
+    query:
+        The query trajectory ``Q``.
+    period:
+        The query period ``[t1, tn]``; defaults to the query's
+        lifetime.  The query must cover it.
+    k:
+        Number of most similar trajectories to return.
+    vmax:
+        The paper's ``V_max`` — sum of the maximum indexed speed and
+        the maximum query speed; computed from the index metadata when
+        omitted.  Must dominate the true maximum for the bounds to be
+        safe (it does when derived from the data).
+    use_heuristic1 / use_heuristic2:
+        Ablation switches for OPTDISSIM candidate pruning and
+        MINDISSIMINC early termination.
+    refine:
+        Re-integrate exactly (arcsinh closed form) the candidates whose
+        certified intervals straddle the k-th boundary before ranking.
+    exclude_ids:
+        Trajectory ids never to report (e.g. the query itself when it
+        is also indexed).
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    t_start, t_end = period if period is not None else (query.t_start, query.t_end)
+    if t_start >= t_end:
+        raise QueryError(f"empty or inverted query period [{t_start}, {t_end}]")
+    if not query.covers(t_start, t_end):
+        raise TemporalCoverageError(
+            f"query {query.object_id!r} does not cover the period "
+            f"[{t_start}, {t_end}]"
+        )
+    if vmax is None:
+        vmax = index.max_speed + query.max_speed()
+    if vmax < 0.0:
+        raise QueryError(f"negative vmax {vmax}")
+
+    stats = SearchStats(total_nodes=index.num_nodes)
+    accesses_before = index.node_accesses
+    io_before = index.pagefile.stats.snapshot()
+    period_len = t_end - t_start
+
+    valid: dict[int, _Candidate] = {}
+    completed: dict[int, _Candidate] = {}
+    rejected: set[int] = set(exclude_ids)
+    top = _TopK(k)
+
+    for node_dist, node in best_first_nodes(index, query, t_start, t_end):
+        # ---- Heuristic 2: MINDISSIMINC early termination -------------
+        threshold = top.threshold
+        if use_heuristic2 and math.isfinite(threshold):
+            base = node_dist * period_len
+            if base > threshold:
+                # The paper's shortcut: only compute the candidate
+                # OPTDISSIMINC's when the cheap bound already exceeds
+                # the threshold (Definition 6 is a min, so otherwise
+                # MINDISSIMINC <= base <= threshold anyway).
+                if all(
+                    c.partial.optdissim_inc(node_dist) > threshold
+                    for c in valid.values()
+                ):
+                    stats.terminated_early = True
+                    break
+
+        if not node.is_leaf:
+            stats.internal_accesses += 1
+            continue
+        stats.leaf_accesses += 1
+
+        # ---- leaf processing: temporal plane sweep -------------------
+        for entry in sorted(node.entries, key=lambda e: e.segment.ts):
+            tid = entry.trajectory_id
+            if tid in rejected or tid in completed:
+                continue
+            lo = max(entry.segment.ts, t_start)
+            hi = min(entry.segment.te, t_end)
+            if lo >= hi:
+                continue
+            cand = valid.get(tid)
+            if cand is None:
+                cand = _Candidate(tid, t_start, t_end)
+                valid[tid] = cand
+                stats.candidates_created += 1
+            integral, d_lo, d_hi = segment_dissim(query, entry.segment, lo, hi)
+            cand.partial.add_interval(lo, hi, integral, d_lo, d_hi)
+            cand.windows.append((entry.segment, lo, hi))
+            stats.entries_processed += 1
+            stats.dissim_evaluations += 1
+
+            if cand.partial.is_complete():
+                del valid[tid]
+                completed[tid] = cand
+                stats.candidates_completed += 1
+                top.update(tid, cand.partial.retrieved_integral().upper)
+                continue
+
+            top.update(tid, cand.partial.pesdissim(vmax))
+            if use_heuristic1:
+                threshold = top.threshold
+                if (
+                    math.isfinite(threshold)
+                    and cand.partial.optdissim(vmax) > threshold
+                ):
+                    del valid[tid]
+                    rejected.add(tid)
+                    stats.candidates_rejected += 1
+
+    matches = _assemble(completed, valid, vmax, query, top, k, refine, stats)
+
+    stats.node_accesses = index.node_accesses - accesses_before
+    io_after = index.pagefile.stats.diff(io_before)
+    stats.buffer_hits = io_after.buffer_hits
+    stats.buffer_misses = io_after.buffer_misses
+    return matches, stats
+
+
+def _assemble(
+    completed: dict[int, _Candidate],
+    valid: dict[int, _Candidate],
+    vmax: float,
+    query: Trajectory,
+    top: _TopK,
+    k: int,
+    refine: bool,
+    stats: SearchStats,
+) -> list[MSTMatch]:
+    """Rank the candidates, exactly re-integrating the ambiguous ones
+    (the paper's post-processing step, Section 4.4)."""
+    scored: list[MSTMatch] = []
+    for cand in completed.values():
+        total = cand.partial.retrieved_integral()
+        scored.append(
+            MSTMatch(cand.tid, total.upper, total.error_bound, exact=True)
+        )
+    for cand in valid.values():
+        # Never completed (terminated early, or the trajectory does not
+        # span the whole period): report the certified upper bound.
+        scored.append(
+            MSTMatch(cand.tid, cand.partial.pesdissim(vmax), 0.0, exact=False)
+        )
+    scored.sort(key=lambda m: (m.upper, m.trajectory_id))
+    if not scored:
+        return []
+
+    if refine and _needs_refinement(scored, k):
+        kth_upper = scored[min(k, len(scored)) - 1].upper
+        refined: dict[int, float] = {}
+        for m in scored:
+            if not (m.exact and m.error_bound > 0.0 and m.lower <= kth_upper):
+                continue
+            cand = completed[m.trajectory_id]
+            exact_total = 0.0
+            for seg, lo, hi in cand.windows:
+                integral, _dl, _dh = segment_dissim(query, seg, lo, hi, exact=True)
+                exact_total += integral.approx
+            refined[m.trajectory_id] = exact_total
+            stats.refinement_candidates += 1
+        scored = [
+            MSTMatch(m.trajectory_id, refined[m.trajectory_id], 0.0, True)
+            if m.trajectory_id in refined
+            else m
+            for m in scored
+        ]
+        scored.sort(key=lambda m: (m.upper, m.trajectory_id))
+    return scored[:k]
+
+
+def _needs_refinement(scored: list[MSTMatch], k: int) -> bool:
+    """True when certified intervals around the k-th boundary overlap,
+    i.e. the approximate ranking might differ from the exact one."""
+    boundary = min(k, len(scored)) - 1
+    kth_upper = scored[boundary].upper
+    # An outside candidate whose lower end dips below the k-th upper
+    # could swap into the answer set...
+    for m in scored[boundary + 1 :]:
+        if m.lower < kth_upper:
+            return True
+    # ...and adjacent inside candidates with overlapping intervals
+    # could swap order.
+    for i in range(boundary):
+        overlap = scored[i + 1].lower < scored[i].upper
+        fuzzy = scored[i].error_bound > 0.0 or scored[i + 1].error_bound > 0.0
+        if overlap and fuzzy:
+            return True
+    return False

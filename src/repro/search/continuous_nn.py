@@ -1,0 +1,245 @@
+"""Historical continuous nearest-neighbour search (after Frentzos,
+Gratsias, Pelekis & Theodoridis [6]).
+
+"Who was closest to the moving query object at *every* instant of
+``[t1, tn]``?"  The answer is a partition of the period into intervals,
+each labelled with the object nearest throughout — the query type whose
+MINDIST machinery the MST paper reuses, so it belongs in the same
+library.
+
+The computation is the *lower envelope* of the candidates' distance
+functions.  Between two consecutive shared timestamps every candidate's
+squared distance to the query is one quadratic (the trinomial of
+Section 3), so the envelope is computed exactly: walk each elementary
+interval, keep the current winner, and jump to the next analytic
+crossing (root of a quadratic difference).
+
+``index=`` enables candidate pruning: a cheap upper bound on the
+best-possible distance (one real candidate's worst case) turns into an
+inflated corridor box, and only trajectories with a segment in that box
+survive — the others can never win any instant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..distance import distance_at, merged_timestamps
+from ..exceptions import QueryError, TemporalCoverageError
+from ..geometry import MBR3D, distance_trinomial_coefficients
+from ..index import TrajectoryIndex
+from ..trajectory import Trajectory, TrajectoryDataset
+
+__all__ = ["NNInterval", "continuous_nearest_neighbour"]
+
+# Relative step used to nudge past a crossing when re-evaluating the
+# winner (distance curves may osculate).
+_NUDGE = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class NNInterval:
+    """One piece of the continuous-NN answer: ``object_id`` is the
+    nearest object throughout ``[t_lo, t_hi]``."""
+
+    t_lo: float
+    t_hi: float
+    object_id: int
+
+
+def continuous_nearest_neighbour(
+    dataset: TrajectoryDataset,
+    query: Trajectory,
+    t_start: float,
+    t_end: float,
+    index: TrajectoryIndex | None = None,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+) -> list[NNInterval]:
+    """The time-partitioned nearest neighbour of ``query`` over
+    ``[t_start, t_end]``.
+
+    Candidates are the dataset trajectories covering the full period
+    (the paper family's standing assumption).  Returns maximal
+    intervals; adjacent intervals always have different winners.
+    """
+    if t_start >= t_end:
+        raise QueryError(f"empty or inverted period [{t_start}, {t_end}]")
+    if not query.covers(t_start, t_end):
+        raise TemporalCoverageError(
+            f"query {query.object_id!r} does not cover "
+            f"[{t_start}, {t_end}]"
+        )
+    candidates = [
+        tr
+        for tr in dataset
+        if tr.object_id not in exclude_ids and tr.covers(t_start, t_end)
+    ]
+    if not candidates:
+        return []
+    if index is not None and len(candidates) > 1:
+        keep = _index_candidate_ids(index, dataset, query, t_start, t_end)
+        if keep:
+            filtered = [tr for tr in candidates if tr.object_id in keep]
+            if filtered:
+                candidates = filtered
+
+    # Elementary intervals: between consecutive *merged* timestamps of
+    # the query and every candidate, each candidate's squared distance
+    # is a single quadratic.
+    stamps: set[float] = {t_start, t_end}
+    stamps.update(query.sampling_timestamps_in(t_start, t_end))
+    for tr in candidates:
+        stamps.update(tr.sampling_timestamps_in(t_start, t_end))
+    grid = sorted(stamps)
+
+    pieces: list[NNInterval] = []
+    for lo, hi in zip(grid, grid[1:]):
+        if not (lo < (lo + hi) / 2.0 < hi):
+            continue  # sub-ulp sliver
+        pieces.extend(_envelope_on_interval(query, candidates, lo, hi))
+
+    return _coalesce(pieces)
+
+
+# ----------------------------------------------------------------------
+# envelope on one elementary interval
+# ----------------------------------------------------------------------
+def _envelope_on_interval(
+    query: Trajectory, candidates: list[Trajectory], lo: float, hi: float
+) -> list[NNInterval]:
+    mid = (lo + hi) / 2.0
+    qseg = query.segment_covering(mid).clipped(lo, hi)
+    span = hi - lo
+    funcs: list[tuple[int, float, float, float]] = []  # (oid, a, b, c)
+    for tr in candidates:
+        tseg = tr.segment_covering(mid).clipped(lo, hi)
+        a, b, c, _t0, _t1 = distance_trinomial_coefficients(qseg, tseg)
+        funcs.append((tr.object_id, a, b, c))
+
+    out: list[NNInterval] = []
+    tau = 0.0
+    guard = 0
+    max_pieces = 2 * len(funcs) * len(funcs) + 4  # analytic upper bound
+    while tau < span and guard <= max_pieces:
+        guard += 1
+        winner = _argmin_at(funcs, tau, span)
+        cross = _next_crossing(funcs, winner, tau, span)
+        end = span if cross is None else cross
+        out.append(NNInterval(lo + tau, lo + end, funcs[winner][0]))
+        if cross is None:
+            break
+        tau = max(cross, tau + span * _NUDGE)
+    return out
+
+
+def _value(f, tau: float) -> float:
+    _oid, a, b, c = f
+    return (a * tau + b) * tau + c
+
+
+def _argmin_at(funcs, tau: float, span: float) -> int:
+    """Index of the function smallest just *after* ``tau`` (ties broken
+    by the derivative, then by probing forward)."""
+    eps = span * 1e-9
+    probe = min(tau + eps, span)
+    best = 0
+    best_key = None
+    for i, f in enumerate(funcs):
+        _oid, a, b, c = f
+        key = (_value(f, probe), 2.0 * a * probe + b, f[0])
+        if best_key is None or key < best_key:
+            best_key = key
+            best = i
+    return best
+
+
+def _next_crossing(funcs, winner: int, tau: float, span: float) -> float | None:
+    """Earliest time in ``(tau, span)`` where some other function drops
+    (strictly) below the current winner."""
+    _w_oid, wa, wb, wc = funcs[winner]
+    earliest: float | None = None
+    lo_bound = tau + span * 1e-12
+    for i, (oid, a, b, c) in enumerate(funcs):
+        if i == winner:
+            continue
+        # g(tau) = other - winner; crossing when g hits 0 going down.
+        ga = a - wa
+        gb = b - wb
+        gc = c - wc
+        for root in _roots_in(ga, gb, gc, lo_bound, span):
+            # require the other to actually be lower just after
+            after = min(root + span * 1e-9, span)
+            if _value((oid, a, b, c), after) < _value(funcs[winner], after):
+                if earliest is None or root < earliest:
+                    earliest = root
+                break
+    return earliest
+
+
+def _roots_in(a: float, b: float, c: float, lo: float, hi: float) -> list[float]:
+    """Sorted real roots of ``a x^2 + b x + c`` inside ``(lo, hi]``."""
+    roots: list[float] = []
+    if a == 0.0:
+        if b != 0.0:
+            roots = [-c / b]
+    else:
+        disc = b * b - 4.0 * a * c
+        if disc >= 0.0:
+            s = math.sqrt(disc)
+            # numerically stable pair
+            q = -(b + math.copysign(s, b)) / 2.0
+            r1 = q / a
+            r2 = c / q if q != 0.0 else r1
+            roots = sorted((r1, r2))
+    return [r for r in roots if lo < r <= hi]
+
+
+def _coalesce(pieces: list[NNInterval]) -> list[NNInterval]:
+    out: list[NNInterval] = []
+    for piece in pieces:
+        if out and out[-1].object_id == piece.object_id:
+            out[-1] = NNInterval(out[-1].t_lo, piece.t_hi, piece.object_id)
+        else:
+            out.append(piece)
+    return out
+
+
+# ----------------------------------------------------------------------
+# index-based candidate pruning
+# ----------------------------------------------------------------------
+def _index_candidate_ids(
+    index: TrajectoryIndex,
+    dataset: TrajectoryDataset,
+    query: Trajectory,
+    t_start: float,
+    t_end: float,
+) -> set[int]:
+    """Ids that could win at some instant: everything with a segment
+    inside the query corridor inflated by an upper bound on the
+    nearest distance.
+
+    The bound: pick any covering candidate and take its *maximum*
+    distance to the query over the period (evaluated at the merged
+    timestamps — exact for piecewise-linear motion up to the convexity
+    of each piece, then padded).  At every instant the true nearest is
+    at most that far away.
+    """
+    pivot = None
+    for tr in dataset:
+        if tr.covers(t_start, t_end):
+            pivot = tr
+            break
+    if pivot is None:
+        return set()
+    stamps = merged_timestamps(query, pivot, t_start, t_end)
+    worst = max(distance_at(query, pivot, t) for t in stamps)
+    # Each distance piece is convex (sqrt of a quadratic), so its
+    # maximum over a piece is at a piece endpoint: `worst` is exact.
+    sliced = query.sliced(t_start, t_end)
+    r = sliced.spatial_mbr()
+    box = MBR3D(
+        r.xmin - worst, r.ymin - worst, t_start,
+        r.xmax + worst, r.ymax + worst, t_end,
+    )
+    return {e.trajectory_id for e in index.range_search(box)}

@@ -1,0 +1,57 @@
+"""Linear-scan k-MST — the index-free ground truth.
+
+Evaluates DISSIM between the query and every qualifying trajectory and
+keeps the k smallest.  Used for correctness testing (BFMST must return
+the same answer set), as the pruning-power denominator in spirit, and
+as the honest baseline a user without an index would run.
+"""
+
+from __future__ import annotations
+
+from ..distance import dissim, dissim_exact
+from ..exceptions import QueryError, TemporalCoverageError
+from ..trajectory import Trajectory, TrajectoryDataset
+from .results import MSTMatch
+
+__all__ = ["linear_scan_kmst"]
+
+
+def linear_scan_kmst(
+    dataset: TrajectoryDataset,
+    query: Trajectory,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    exact: bool = False,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+) -> list[MSTMatch]:
+    """Return the k most similar trajectories by exhaustive evaluation.
+
+    Trajectories not covering the period are skipped (Definition 1
+    requires common validity).  With ``exact=True`` the closed-form
+    integral is used; otherwise the paper's trapezoid approximation
+    (whose error bound is carried into the result).
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    t_start, t_end = period if period is not None else (query.t_start, query.t_end)
+    if not query.covers(t_start, t_end):
+        raise TemporalCoverageError(
+            f"query {query.object_id!r} does not cover the period "
+            f"[{t_start}, {t_end}]"
+        )
+    matches: list[MSTMatch] = []
+    for tr in dataset:
+        if tr.object_id in exclude_ids:
+            continue
+        if not tr.covers(t_start, t_end):
+            continue
+        if exact:
+            value = dissim_exact(query, tr, (t_start, t_end))
+            matches.append(MSTMatch(tr.object_id, value, 0.0, True))
+        else:
+            result = dissim(query, tr, (t_start, t_end))
+            matches.append(
+                MSTMatch(tr.object_id, result.approx, result.error_bound, True)
+            )
+    matches.sort(key=lambda m: (m.dissim, m.trajectory_id))
+    return matches[:k]

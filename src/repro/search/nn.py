@@ -1,0 +1,112 @@
+"""Point nearest-neighbour search over indexed trajectories (after [6]).
+
+"Which object passed closest to location ``p`` during ``[t1, t2]``?" —
+the historical NN query of Frentzos et al.'s companion paper, served by
+the same index as BFMST.  Implemented with the standard best-first
+strategy: nodes and leaf entries are popped from one priority queue
+keyed by MINDIST to the query point, and the first ``k`` popped leaf
+entries (deduplicated per object) are the exact answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from ..exceptions import QueryError
+from ..geometry import MBR2D, Point, min_moving_point_rect_distance
+from ..index import NO_PAGE, TrajectoryIndex
+from ..trajectory import TrajectoryDataset
+
+__all__ = ["nearest_neighbours", "nearest_neighbours_brute_force"]
+
+
+def _point_rect(p: Point, box) -> float:
+    return box.spatial.mindist_to_point(p)
+
+
+def _segment_point_distance(seg, p: Point, t_start: float, t_end: float) -> float | None:
+    """Minimum distance from the moving point to the static point ``p``
+    over the window; ``None`` without temporal overlap."""
+    lo = max(seg.ts, t_start)
+    hi = min(seg.te, t_end)
+    if lo > hi:
+        return None
+    # A point is a degenerate rectangle.
+    rect = MBR2D(p.x, p.y, p.x, p.y)
+    return min_moving_point_rect_distance(seg, rect, lo, hi)
+
+
+def nearest_neighbours(
+    index: TrajectoryIndex,
+    point: Point,
+    t_start: float,
+    t_end: float,
+    k: int = 1,
+) -> list[tuple[int, float]]:
+    """The ``k`` objects passing closest to ``point`` during the
+    interval, as ``(trajectory_id, distance)`` sorted ascending."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if t_start > t_end:
+        raise QueryError(f"inverted interval [{t_start}, {t_end}]")
+    out: list[tuple[int, float]] = []
+    seen: set[int] = set()
+    if index.root_page == NO_PAGE:
+        return out
+    counter = 0
+    # Heap items: (distance, tie, kind, payload); kind 0 = node page,
+    # kind 1 = resolved leaf entry distance.
+    heap: list = [(0.0, counter, 0, index.root_page)]
+    while heap and len(out) < k:
+        dist, _tie, kind, payload = heapq.heappop(heap)
+        if kind == 1:
+            tid = payload
+            if tid not in seen:
+                seen.add(tid)
+                out.append((tid, dist))
+            continue
+        node = index.read_node(payload)
+        if node.is_leaf:
+            for e in node.entries:
+                if e.trajectory_id in seen:
+                    continue
+                d = _segment_point_distance(e.segment, point, t_start, t_end)
+                if d is None:
+                    continue
+                counter += 1
+                heapq.heappush(heap, (d, counter, 1, e.trajectory_id))
+        else:
+            for e in node.entries:
+                if not e.mbr.overlaps_period(t_start, t_end):
+                    continue
+                counter += 1
+                heapq.heappush(
+                    heap, (_point_rect(point, e.mbr), counter, 0, e.child_page)
+                )
+    return out
+
+
+def nearest_neighbours_brute_force(
+    dataset: TrajectoryDataset,
+    point: Point,
+    t_start: float,
+    t_end: float,
+    k: int = 1,
+) -> list[tuple[int, float]]:
+    """Index-free reference implementation."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    best: list[tuple[int, float]] = []
+    for tr in dataset:
+        if not tr.overlaps(t_start, t_end):
+            continue
+        d_min = math.inf
+        for seg in tr.segments_overlapping(t_start, t_end):
+            d = _segment_point_distance(seg, point, t_start, t_end)
+            if d is not None and d < d_min:
+                d_min = d
+        if math.isfinite(d_min):
+            best.append((tr.object_id, d_min))
+    best.sort(key=lambda item: (item[1], item[0]))
+    return best[:k]

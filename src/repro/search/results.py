@@ -1,0 +1,65 @@
+"""Result and statistics types shared by the search algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MSTMatch", "SearchStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class MSTMatch:
+    """One answer of a (k-)MST search.
+
+    ``dissim`` is the trapezoid-approximated DISSIM; the exact metric
+    lies in ``[dissim - error_bound, dissim]`` (Lemma 1 is one-sided).
+    ``exact`` is ``False`` only in the rare case the paper's Section
+    4.4 discusses: the search terminated while this candidate was still
+    partially retrieved, so ``dissim`` is a certified *upper* bound
+    (its PESDISSIM) rather than a measured value.
+    """
+
+    trajectory_id: int
+    dissim: float
+    error_bound: float = 0.0
+    exact: bool = True
+
+    @property
+    def lower(self) -> float:
+        return self.dissim - self.error_bound
+
+    @property
+    def upper(self) -> float:
+        return self.dissim
+
+
+@dataclass
+class SearchStats:
+    """Observability block returned next to every BFMST answer.
+
+    ``pruning_power`` is the paper's "pruned space": the fraction of
+    index nodes the search never touched.
+    """
+
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    internal_accesses: int = 0
+    entries_processed: int = 0
+    candidates_created: int = 0
+    candidates_completed: int = 0
+    candidates_rejected: int = 0
+    dissim_evaluations: int = 0
+    total_nodes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    terminated_early: bool = False
+    refinement_candidates: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def pruning_power(self) -> float:
+        """``1 - touched/total`` in [0, 1]; 0 for an empty index."""
+        if self.total_nodes <= 0:
+            return 0.0
+        touched = min(self.node_accesses, self.total_nodes)
+        return 1.0 - touched / self.total_nodes

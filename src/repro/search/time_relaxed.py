@@ -1,0 +1,113 @@
+"""Time-Relaxed MST queries — the paper's announced future work
+(Section 6), implemented here as an extension.
+
+A time-relaxed query asks for the minimum dissimilarity between the
+query and each candidate *regardless of when the query object starts*:
+``TR-DISSIM(Q, T) = min over tau of DISSIM(Q shifted by tau, T)``,
+where the shift range keeps the (whole) shifted query inside the
+candidate's lifetime.
+
+The objective is continuous and piecewise smooth in ``tau`` but not
+convex, so the minimiser is located by a coarse grid scan (one point
+per smallest sampling interval, capped) followed by golden-section
+refinement inside the best bracket.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distance import dissim_exact
+from ..exceptions import QueryError
+from ..trajectory import Trajectory, TrajectoryDataset
+from .results import MSTMatch
+
+__all__ = ["time_relaxed_dissim", "time_relaxed_kmst"]
+
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def time_relaxed_dissim(
+    query: Trajectory,
+    target: Trajectory,
+    grid: int = 64,
+    tolerance: float = 1e-6,
+) -> tuple[float, float]:
+    """``(best_dissim, best_shift)`` minimising
+    ``DISSIM(query >> shift, target)`` over all shifts that keep the
+    query inside the target's lifetime.
+
+    Raises :class:`QueryError` when the target is shorter than the
+    query (no admissible shift exists).
+    """
+    tau_lo = target.t_start - query.t_start
+    tau_hi = target.t_end - query.t_end
+    if tau_hi < tau_lo:
+        raise QueryError(
+            f"target {target.object_id!r} (duration {target.duration}) is "
+            f"shorter than the query (duration {query.duration})"
+        )
+
+    def objective(tau: float) -> float:
+        shifted = query.time_shifted(tau)
+        return dissim_exact(
+            shifted, target, (shifted.t_start, shifted.t_end)
+        )
+
+    if tau_hi == tau_lo:
+        return (objective(tau_lo), tau_lo)
+
+    # Coarse scan to find the best bracket.
+    steps = max(2, min(grid, 512))
+    taus = [tau_lo + (tau_hi - tau_lo) * i / steps for i in range(steps + 1)]
+    values = [objective(t) for t in taus]
+    best_i = min(range(len(values)), key=values.__getitem__)
+    a = taus[max(best_i - 1, 0)]
+    b = taus[min(best_i + 1, len(taus) - 1)]
+
+    # Golden-section refinement inside [a, b].
+    c = b - _GOLDEN * (b - a)
+    d = a + _GOLDEN * (b - a)
+    fc = objective(c)
+    fd = objective(d)
+    span = tau_hi - tau_lo
+    while (b - a) > tolerance * max(span, 1.0):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _GOLDEN * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _GOLDEN * (b - a)
+            fd = objective(d)
+    best_tau = (a + b) / 2.0
+    best_val = objective(best_tau)
+    # Keep whichever of the coarse and refined candidates won (the
+    # refinement only explored one bracket).
+    if values[best_i] < best_val:
+        return (values[best_i], taus[best_i])
+    return (best_val, best_tau)
+
+
+def time_relaxed_kmst(
+    dataset: TrajectoryDataset,
+    query: Trajectory,
+    k: int = 1,
+    grid: int = 64,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+) -> list[tuple[MSTMatch, float]]:
+    """The k candidates with the smallest time-relaxed dissimilarity,
+    as ``(match, best_shift)`` pairs; candidates shorter than the query
+    are skipped."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    out: list[tuple[MSTMatch, float]] = []
+    for tr in dataset:
+        if tr.object_id in exclude_ids:
+            continue
+        if tr.duration < query.duration:
+            continue
+        value, shift = time_relaxed_dissim(query, tr, grid)
+        out.append((MSTMatch(tr.object_id, value, 0.0, True), shift))
+    out.sort(key=lambda item: (item[0].dissim, item[0].trajectory_id))
+    return out[:k]

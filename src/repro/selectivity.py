@@ -1,0 +1,192 @@
+"""Selectivity estimation for spatiotemporal queries.
+
+The paper's second future-work direction (Section 6) is selectivity
+estimation for query optimisation, in the spirit of Tao, Sun &
+Papadias.  This module provides the classic building block: a uniform
+(x, y, t) grid histogram over the indexed segments, from which an
+optimiser can estimate
+
+* how many segments / distinct objects a **range query** will touch
+  (pick index scan vs. full scan), and
+* how expensive a **k-MST query window** will be (how much data is
+  temporally alive and spatially near the query corridor).
+
+Estimates are *estimates*: the contract is calibration on benign data
+(tested), never exactness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .exceptions import QueryError, TrajectoryError
+from .geometry import MBR2D, MBR3D
+from .trajectory import Trajectory, TrajectoryDataset
+
+__all__ = ["SpatioTemporalHistogram", "MSTCostEstimate"]
+
+
+@dataclass(frozen=True, slots=True)
+class MSTCostEstimate:
+    """Rough cost prediction for a k-MST query window."""
+
+    alive_segments: float  # segments expected inside the time window
+    corridor_segments: float  # of those, near the query's spatial corridor
+    corridor_fraction: float  # corridor / alive (1.0 => nothing prunable)
+
+
+class SpatioTemporalHistogram:
+    """A uniform (x, y, t) grid of segment counts.
+
+    Each segment contributes weight 1, spread over the cells its
+    bounding box overlaps proportionally to overlap volume (degenerate
+    boxes fall back to their centre cell).  Memory is
+    ``nx * ny * nt`` floats — 16x16x16 (the default) is 4096 cells.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        nx: int = 16,
+        ny: int = 16,
+        nt: int = 16,
+    ) -> None:
+        if min(nx, ny, nt) < 1:
+            raise QueryError("histogram resolution must be >= 1 per axis")
+        if len(dataset) == 0:
+            raise TrajectoryError("cannot build a histogram of nothing")
+        self.nx, self.ny, self.nt = nx, ny, nt
+        self.bounds = dataset.mbr()
+        self.total_segments = dataset.total_segments()
+        self._cells = [0.0] * (nx * ny * nt)
+        self._steps = (
+            max(self.bounds.xmax - self.bounds.xmin, 1e-12) / nx,
+            max(self.bounds.ymax - self.bounds.ymin, 1e-12) / ny,
+            max(self.bounds.tmax - self.bounds.tmin, 1e-12) / nt,
+        )
+        for tr in dataset:
+            for seg in tr.segments():
+                self._deposit(seg.mbr())
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _axis_range(self, lo: float, hi: float, axis: int) -> range:
+        origin = (self.bounds.xmin, self.bounds.ymin, self.bounds.tmin)[axis]
+        step = self._steps[axis]
+        n = (self.nx, self.ny, self.nt)[axis]
+        first = min(max(int((lo - origin) / step), 0), n - 1)
+        last = min(max(int(math.ceil((hi - origin) / step)) - 1, first), n - 1)
+        return range(first, last + 1)
+
+    def _cell_bounds(self, i: int, axis: int) -> tuple[float, float]:
+        origin = (self.bounds.xmin, self.bounds.ymin, self.bounds.tmin)[axis]
+        step = self._steps[axis]
+        return (origin + i * step, origin + (i + 1) * step)
+
+    def _deposit(self, box: MBR3D) -> None:
+        xs = self._axis_range(box.xmin, box.xmax, 0)
+        ys = self._axis_range(box.ymin, box.ymax, 1)
+        ts = self._axis_range(box.tmin, box.tmax, 2)
+        weights = []
+        for i in xs:
+            wx = _overlap(self._cell_bounds(i, 0), (box.xmin, box.xmax))
+            for j in ys:
+                wy = _overlap(self._cell_bounds(j, 1), (box.ymin, box.ymax))
+                for k in ts:
+                    wt = _overlap(self._cell_bounds(k, 2), (box.tmin, box.tmax))
+                    weights.append((self._index(i, j, k), wx * wy * wt))
+        total = sum(w for _idx, w in weights)
+        if total <= 0.0:
+            # Degenerate box (point/axis-parallel): centre cell only.
+            i = self._axis_range(box.xmin, box.xmax, 0)[0]
+            j = self._axis_range(box.ymin, box.ymax, 1)[0]
+            k = self._axis_range(box.tmin, box.tmax, 2)[0]
+            self._cells[self._index(i, j, k)] += 1.0
+            return
+        for idx, w in weights:
+            self._cells[idx] += w / total
+
+    def _index(self, i: int, j: int, k: int) -> int:
+        return (k * self.ny + j) * self.nx + i
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def estimate_box_count(self, box: MBR3D) -> float:
+        """Expected number of segments whose box intersects ``box``
+        (uniformity-within-cell assumption)."""
+        total = 0.0
+        xs = self._axis_range(box.xmin, box.xmax, 0)
+        ys = self._axis_range(box.ymin, box.ymax, 1)
+        ts = self._axis_range(box.tmin, box.tmax, 2)
+        for i in xs:
+            fx = _coverage(self._cell_bounds(i, 0), (box.xmin, box.xmax))
+            for j in ys:
+                fy = _coverage(self._cell_bounds(j, 1), (box.ymin, box.ymax))
+                for k in ts:
+                    ft = _coverage(self._cell_bounds(k, 2), (box.tmin, box.tmax))
+                    total += self._cells[self._index(i, j, k)] * fx * fy * ft
+        return total
+
+    def estimate_range_selectivity(
+        self, window: MBR2D, t_start: float, t_end: float
+    ) -> float:
+        """Fraction of all segments a range query is expected to touch."""
+        if t_start > t_end:
+            raise QueryError(f"inverted interval [{t_start}, {t_end}]")
+        box = MBR3D(
+            window.xmin, window.ymin, t_start, window.xmax, window.ymax, t_end
+        )
+        return min(self.estimate_box_count(box) / self.total_segments, 1.0)
+
+    def estimate_alive_segments(self, t_start: float, t_end: float) -> float:
+        """Segments expected inside a time window (spatially anywhere)."""
+        box = MBR3D(
+            self.bounds.xmin,
+            self.bounds.ymin,
+            t_start,
+            self.bounds.xmax,
+            self.bounds.ymax,
+            t_end,
+        )
+        return self.estimate_box_count(box)
+
+    def estimate_mst_cost(
+        self, query: Trajectory, t_start: float, t_end: float,
+        corridor_width: float | None = None,
+    ) -> MSTCostEstimate:
+        """Predict how much data a BFMST run over this window will
+        face: everything temporally alive, and the subset inside the
+        query's spatial corridor (its bounding rectangle, inflated by
+        ``corridor_width``, default one spatial cell)."""
+        alive = self.estimate_alive_segments(t_start, t_end)
+        pad = corridor_width
+        if pad is None:
+            pad = max(self._steps[0], self._steps[1])
+        q = query.sliced(max(t_start, query.t_start), min(t_end, query.t_end))
+        r = q.spatial_mbr()
+        corridor = MBR3D(
+            r.xmin - pad, r.ymin - pad, t_start,
+            r.xmax + pad, r.ymax + pad, t_end,
+        )
+        near = self.estimate_box_count(corridor)
+        near = min(near, alive) if alive > 0 else near
+        fraction = near / alive if alive > 0 else 1.0
+        return MSTCostEstimate(alive, near, min(fraction, 1.0))
+
+
+def _overlap(cell: tuple[float, float], span: tuple[float, float]) -> float:
+    """Length of the intersection of two 1D intervals."""
+    return max(0.0, min(cell[1], span[1]) - max(cell[0], span[0]))
+
+
+def _coverage(cell: tuple[float, float], span: tuple[float, float]) -> float:
+    """Fraction of the cell the span covers (for intersect-counting we
+    additionally count touching cells fully when the span is
+    degenerate)."""
+    width = cell[1] - cell[0]
+    if width <= 0.0:
+        return 1.0
+    return min(_overlap(cell, span) / width, 1.0)

@@ -1,0 +1,14 @@
+"""Paged storage substrate: page files, LRU buffer manager, I/O stats."""
+
+from .buffer import LRUBufferManager
+from .pagefile import PAGE_SIZE_DEFAULT, DiskPageFile, InMemoryPageFile, PageFile
+from .stats import IOStats
+
+__all__ = [
+    "PAGE_SIZE_DEFAULT",
+    "PageFile",
+    "InMemoryPageFile",
+    "DiskPageFile",
+    "LRUBufferManager",
+    "IOStats",
+]

@@ -1,0 +1,166 @@
+"""Fixed-size page files.
+
+The disk substrate under the indexes: a flat array of fixed-size pages
+(4 KB by default, matching the paper's setup) addressed by integer page
+ids.  Two backends share one interface:
+
+* :class:`InMemoryPageFile` — a list of byte blocks; fast, used by the
+  tests and benches,
+* :class:`DiskPageFile` — a real file with one 4 KB slot per page, for
+  users who want the index to persist.
+
+Both enforce the page-size invariant and count physical I/O.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..exceptions import PageOverflowError, StorageError
+from .stats import IOStats
+
+__all__ = ["PAGE_SIZE_DEFAULT", "PageFile", "InMemoryPageFile", "DiskPageFile"]
+
+PAGE_SIZE_DEFAULT = 4096
+
+
+class PageFile:
+    """Abstract fixed-size page store."""
+
+    def __init__(self, page_size: int = PAGE_SIZE_DEFAULT, stats: IOStats | None = None):
+        if page_size < 64:
+            raise StorageError(f"page size {page_size} unreasonably small")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+
+    # -- interface ------------------------------------------------------
+    def allocate(self) -> int:
+        """Reserve a fresh page and return its id."""
+        raise NotImplementedError
+
+    def read(self, page_id: int) -> bytes:
+        """Fetch the raw bytes of a page (exactly ``page_size`` long)."""
+        raise NotImplementedError
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Store ``data`` into a page; shorter payloads are zero-padded,
+        longer ones raise :class:`PageOverflowError`."""
+        raise NotImplementedError
+
+    @property
+    def num_pages(self) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+    def _pad(self, data: bytes) -> bytes:
+        if len(data) > self.page_size:
+            raise PageOverflowError(
+                f"payload of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        return data.ljust(self.page_size, b"\x00")
+
+    def size_bytes(self) -> int:
+        """Total file size in bytes."""
+        return self.num_pages * self.page_size
+
+    def size_mb(self) -> float:
+        """Total file size in binary megabytes (what Table 2 reports)."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
+
+class InMemoryPageFile(PageFile):
+    """Page store backed by a Python list (the default backend)."""
+
+    def __init__(self, page_size: int = PAGE_SIZE_DEFAULT, stats: IOStats | None = None):
+        super().__init__(page_size, stats)
+        self._pages: list[bytes] = []
+
+    def allocate(self) -> int:
+        self._pages.append(b"\x00" * self.page_size)
+        return len(self._pages) - 1
+
+    def read(self, page_id: int) -> bytes:
+        self._check(page_id)
+        self.stats.physical_reads += 1
+        return self._pages[page_id]
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check(page_id)
+        self.stats.physical_writes += 1
+        self._pages[page_id] = self._pad(data)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def _check(self, page_id: int) -> None:
+        if not (0 <= page_id < len(self._pages)):
+            raise StorageError(
+                f"page id {page_id} out of range [0, {len(self._pages)})"
+            )
+
+
+class DiskPageFile(PageFile):
+    """Page store backed by a real file of fixed-size slots."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        stats: IOStats | None = None,
+    ):
+        super().__init__(page_size, stats)
+        self._path = Path(path)
+        # "r+b" keeps existing content; create the file when absent.
+        mode = "r+b" if self._path.exists() else "w+b"
+        self._fh = open(self._path, mode)
+        self._fh.seek(0, os.SEEK_END)
+        size = self._fh.tell()
+        if size % page_size != 0:
+            raise StorageError(
+                f"{self._path}: size {size} is not a multiple of the "
+                f"page size {page_size}"
+            )
+        self._num_pages = size // page_size
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "DiskPageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def allocate(self) -> int:
+        page_id = self._num_pages
+        self._fh.seek(page_id * self.page_size)
+        self._fh.write(b"\x00" * self.page_size)
+        self._num_pages += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        self._check(page_id)
+        self.stats.physical_reads += 1
+        self._fh.seek(page_id * self.page_size)
+        data = self._fh.read(self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(f"{self._path}: short read on page {page_id}")
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check(page_id)
+        self.stats.physical_writes += 1
+        self._fh.seek(page_id * self.page_size)
+        self._fh.write(self._pad(data))
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def _check(self, page_id: int) -> None:
+        if not (0 <= page_id < self._num_pages):
+            raise StorageError(
+                f"page id {page_id} out of range [0, {self._num_pages})"
+            )

@@ -1,0 +1,61 @@
+"""I/O accounting for the paged-storage layer.
+
+The paper's performance claims are about node accesses and pruned
+space; these counters make both observable.  A single
+:class:`IOStats` instance is shared by a page file and its buffer
+manager so a search can snapshot/diff it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Mutable counter block for physical and logical page traffic."""
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    logical_reads: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(
+            self.physical_reads,
+            self.physical_writes,
+            self.logical_reads,
+            self.buffer_hits,
+            self.buffer_misses,
+            self.evictions,
+        )
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Counter deltas since the ``earlier`` snapshot."""
+        return IOStats(
+            self.physical_reads - earlier.physical_reads,
+            self.physical_writes - earlier.physical_writes,
+            self.logical_reads - earlier.logical_reads,
+            self.buffer_hits - earlier.buffer_hits,
+            self.buffer_misses - earlier.buffer_misses,
+            self.evictions - earlier.evictions,
+        )
+
+    def reset(self) -> None:
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.logical_reads = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Buffer hit ratio in [0, 1]; 0 when nothing was requested."""
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0

@@ -1,0 +1,157 @@
+"""Trajectory analytics.
+
+Descriptive statistics a MOD operator wants before and after running
+similarity queries: speed and heading profiles, stop detection,
+sampling-rate diagnostics (the paper's whole premise is that real
+sampling rates vary — this is where you measure by how much).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import TrajectoryError
+from ..geometry import Point
+from .trajectory import Trajectory
+
+__all__ = [
+    "SamplingStats",
+    "Stop",
+    "speed_profile",
+    "heading_profile",
+    "total_turning",
+    "detect_stops",
+    "sampling_stats",
+    "cumulative_length_at",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SamplingStats:
+    """Diagnostics of a trajectory's sampling clock."""
+
+    samples: int
+    min_interval: float
+    max_interval: float
+    mean_interval: float
+    #: max/min interval ratio; 1.0 = perfectly regular clock.
+    irregularity: float
+
+
+@dataclass(frozen=True, slots=True)
+class Stop:
+    """A maximal stretch where the object (almost) did not move."""
+
+    t_lo: float
+    t_hi: float
+    centre: Point
+
+    @property
+    def duration(self) -> float:
+        return self.t_hi - self.t_lo
+
+
+def speed_profile(trajectory: Trajectory) -> list[tuple[float, float]]:
+    """``(segment midpoint time, segment speed)`` per segment."""
+    return [
+        ((seg.ts + seg.te) / 2.0, seg.speed) for seg in trajectory.segments()
+    ]
+
+
+def heading_profile(trajectory: Trajectory) -> list[tuple[float, float]]:
+    """``(segment midpoint time, heading in radians)`` per *moving*
+    segment (stationary segments have no heading and are skipped)."""
+    out = []
+    for seg in trajectory.segments():
+        vx, vy = seg.velocity
+        if vx == 0.0 and vy == 0.0:
+            continue
+        out.append(((seg.ts + seg.te) / 2.0, math.atan2(vy, vx)))
+    return out
+
+
+def total_turning(trajectory: Trajectory) -> float:
+    """Sum of absolute heading changes (radians) — 0 for a straight
+    run, large for a wanderer.  Useful as a tortuosity measure."""
+    headings = [h for _t, h in heading_profile(trajectory)]
+    total = 0.0
+    for a, b in zip(headings, headings[1:]):
+        delta = abs(b - a)
+        if delta > math.pi:
+            delta = 2.0 * math.pi - delta
+        total += delta
+    return total
+
+
+def detect_stops(
+    trajectory: Trajectory,
+    max_speed: float,
+    min_duration: float = 0.0,
+) -> list[Stop]:
+    """Maximal runs of consecutive segments slower than ``max_speed``
+    that last at least ``min_duration``."""
+    if max_speed < 0.0:
+        raise TrajectoryError(f"negative speed threshold {max_speed}")
+    stops: list[Stop] = []
+    run_start: float | None = None
+    run_points: list[Point] = []
+    last_end = trajectory.t_start
+
+    def flush(end_time: float) -> None:
+        nonlocal run_start, run_points
+        if run_start is not None and end_time - run_start >= min_duration:
+            cx = sum(p.x for p in run_points) / len(run_points)
+            cy = sum(p.y for p in run_points) / len(run_points)
+            stops.append(Stop(run_start, end_time, Point(cx, cy)))
+        run_start = None
+        run_points = []
+
+    for seg in trajectory.segments():
+        if seg.speed <= max_speed:
+            if run_start is None:
+                run_start = seg.ts
+                run_points = [Point(seg.start.x, seg.start.y)]
+            run_points.append(Point(seg.end.x, seg.end.y))
+            last_end = seg.te
+        else:
+            flush(last_end)
+    flush(last_end)
+    return stops
+
+
+def sampling_stats(trajectory: Trajectory) -> SamplingStats:
+    """Clock diagnostics; ``irregularity`` is the max/min gap ratio."""
+    gaps = [
+        b.t - a.t
+        for a, b in zip(trajectory.samples, trajectory.samples[1:])
+    ]
+    lo = min(gaps)
+    hi = max(gaps)
+    return SamplingStats(
+        samples=len(trajectory),
+        min_interval=lo,
+        max_interval=hi,
+        mean_interval=sum(gaps) / len(gaps),
+        irregularity=hi / lo if lo > 0 else math.inf,
+    )
+
+
+def cumulative_length_at(trajectory: Trajectory, t: float) -> float:
+    """Distance travelled from the start up to time ``t``."""
+    if not (trajectory.t_start <= t <= trajectory.t_end):
+        raise TrajectoryError(
+            f"time {t} outside lifetime "
+            f"[{trajectory.t_start}, {trajectory.t_end}]"
+        )
+    total = 0.0
+    for seg in trajectory.segments():
+        if seg.te <= t:
+            total += seg.spatial_length()
+        elif seg.ts < t:
+            part = seg.clipped(seg.ts, t)
+            total += part.spatial_length()
+            break
+        else:
+            break
+    return total

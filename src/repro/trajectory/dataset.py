@@ -1,0 +1,157 @@
+"""Trajectory dataset container.
+
+A :class:`TrajectoryDataset` is the in-memory moving-object database:
+an id-keyed collection of trajectories plus the dataset-level metadata
+the search algorithms need (most importantly the maximum object speed,
+the ``V_max`` ingredient of the speed-dependent bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..exceptions import TrajectoryError
+from ..geometry import MBR3D
+from .trajectory import Trajectory
+
+__all__ = ["TrajectoryDataset"]
+
+
+class TrajectoryDataset:
+    """An id-keyed collection of trajectories.
+
+    Duplicate object ids are rejected: each moving object contributes
+    exactly one (historical) trajectory, as in the paper's setting.
+    """
+
+    def __init__(self, trajectories: Iterable[Trajectory] = ()) -> None:
+        self._by_id: dict = {}
+        self._max_speed: float | None = None
+        for tr in trajectories:
+            self.add(tr)
+
+    # ------------------------------------------------------------------
+    # collection protocol
+    # ------------------------------------------------------------------
+    def add(self, trajectory: Trajectory) -> None:
+        """Insert a trajectory; raises on duplicate object id."""
+        if trajectory.object_id in self._by_id:
+            raise TrajectoryError(
+                f"duplicate trajectory id {trajectory.object_id!r}"
+            )
+        self._by_id[trajectory.object_id] = trajectory
+        self._max_speed = None
+
+    def remove(self, object_id) -> Trajectory:
+        """Remove and return a trajectory; raises ``KeyError`` when the
+        id is unknown."""
+        try:
+            removed = self._by_id.pop(object_id)
+        except KeyError:
+            raise KeyError(f"no trajectory with id {object_id!r}") from None
+        self._max_speed = None
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._by_id.values())
+
+    def __contains__(self, object_id) -> bool:
+        return object_id in self._by_id
+
+    def __getitem__(self, object_id) -> Trajectory:
+        try:
+            return self._by_id[object_id]
+        except KeyError:
+            raise KeyError(f"no trajectory with id {object_id!r}") from None
+
+    def get(self, object_id, default=None):
+        return self._by_id.get(object_id, default)
+
+    def ids(self) -> list:
+        """Object ids in insertion order."""
+        return list(self._by_id)
+
+    # ------------------------------------------------------------------
+    # dataset-level metadata
+    # ------------------------------------------------------------------
+    def max_speed(self) -> float:
+        """Largest segment speed over all trajectories (cached).
+
+        This is the dataset half of the paper's ``V_max``; the query's
+        own max speed is added at query time.
+        """
+        if self._max_speed is None:
+            if not self._by_id:
+                raise TrajectoryError("empty dataset has no max speed")
+            self._max_speed = max(tr.max_speed() for tr in self)
+        return self._max_speed
+
+    def total_samples(self) -> int:
+        """Total number of recorded positions across all trajectories."""
+        return sum(len(tr) for tr in self)
+
+    def total_segments(self) -> int:
+        """Total number of line segments (the paper's "# entries")."""
+        return sum(tr.num_segments for tr in self)
+
+    def mbr(self) -> MBR3D:
+        """Bounding box of the whole dataset."""
+        boxes = [tr.mbr() for tr in self]
+        if not boxes:
+            raise TrajectoryError("empty dataset has no MBR")
+        out = boxes[0]
+        for b in boxes[1:]:
+            out = out.union(b)
+        return out
+
+    def time_span(self) -> tuple[float, float]:
+        """``(min start, max end)`` over all trajectories."""
+        if not self._by_id:
+            raise TrajectoryError("empty dataset has no time span")
+        return (
+            min(tr.t_start for tr in self),
+            max(tr.t_end for tr in self),
+        )
+
+    def covering(self, t_start: float, t_end: float) -> list[Trajectory]:
+        """Trajectories whose lifetime spans ``[t_start, t_end]``."""
+        return [tr for tr in self if tr.covers(t_start, t_end)]
+
+    # ------------------------------------------------------------------
+    # normalisation (dataset-wide moments, per Chen et al. [5])
+    # ------------------------------------------------------------------
+    def spatial_moments(self) -> tuple[float, float, float, float]:
+        """Dataset-wide ``(mean_x, mean_y, std_x, std_y)`` over every
+        sample of every trajectory (population statistics)."""
+        n = self.total_samples()
+        if n == 0:
+            raise TrajectoryError("empty dataset has no moments")
+        sx = sy = 0.0
+        for tr in self:
+            for p in tr:
+                sx += p.x
+                sy += p.y
+        mx, my = sx / n, sy / n
+        vx = vy = 0.0
+        for tr in self:
+            for p in tr:
+                vx += (p.x - mx) ** 2
+                vy += (p.y - my) ** 2
+        return (mx, my, (vx / n) ** 0.5, (vy / n) ** 0.5)
+
+    def normalised(self) -> "TrajectoryDataset":
+        """A z-normalised copy of the dataset (used before LCSS/EDR
+        comparisons, as suggested in Chen et al. [5])."""
+        mx, my, sx, sy = self.spatial_moments()
+        return TrajectoryDataset(
+            tr.normalised(mx, my, sx, sy) for tr in self
+        )
+
+    def max_spatial_std(self) -> float:
+        """``max(std_x, std_y)`` — the LCSS/EDR matching threshold in
+        the paper is a quarter of this."""
+        _, _, sx, sy = self.spatial_moments()
+        return max(sx, sy)

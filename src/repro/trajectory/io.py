@@ -1,0 +1,102 @@
+"""Reading and writing trajectory datasets.
+
+Two plain-text formats are supported:
+
+* **CSV** — one sample per row, ``object_id,x,y,t``, grouped by object
+  id (rows of the same object must appear consecutively and in time
+  order; this is the layout of the public fleet datasets the paper
+  cites).
+* **JSON** — ``{"trajectories": [{"id": ..., "samples": [[x, y, t], ...]}]}``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..exceptions import TrajectoryError
+from .dataset import TrajectoryDataset
+from .trajectory import Trajectory
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "read_json",
+    "write_json",
+]
+
+
+def write_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write a dataset as ``object_id,x,y,t`` rows with a header."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["object_id", "x", "y", "t"])
+        for tr in dataset:
+            for p in tr:
+                writer.writerow([tr.object_id, repr(p.x), repr(p.y), repr(p.t)])
+
+
+def read_csv(path: str | Path) -> TrajectoryDataset:
+    """Read a dataset written by :func:`write_csv` (header optional)."""
+    path = Path(path)
+    dataset = TrajectoryDataset()
+    current_id: str | None = None
+    samples: list[tuple[float, float, float]] = []
+
+    def flush() -> None:
+        nonlocal samples, current_id
+        if current_id is not None:
+            dataset.add(Trajectory(current_id, samples))
+        samples = []
+
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        for lineno, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if lineno == 1 and row[0] == "object_id":
+                continue
+            if len(row) != 4:
+                raise TrajectoryError(
+                    f"{path}:{lineno}: expected 4 columns, got {len(row)}"
+                )
+            oid, xs, ys, ts = row
+            if oid != current_id:
+                flush()
+                current_id = oid
+            try:
+                samples.append((float(xs), float(ys), float(ts)))
+            except ValueError as exc:
+                raise TrajectoryError(f"{path}:{lineno}: {exc}") from exc
+    flush()
+    return dataset
+
+
+def write_json(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write a dataset to a JSON document."""
+    doc = {
+        "trajectories": [
+            {
+                "id": tr.object_id,
+                "samples": [[p.x, p.y, p.t] for p in tr],
+            }
+            for tr in dataset
+        ]
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def read_json(path: str | Path) -> TrajectoryDataset:
+    """Read a dataset written by :func:`write_json`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TrajectoryError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "trajectories" not in doc:
+        raise TrajectoryError(f"{path}: missing 'trajectories' key")
+    dataset = TrajectoryDataset()
+    for item in doc["trajectories"]:
+        dataset.add(Trajectory(item["id"], [tuple(s) for s in item["samples"]]))
+    return dataset

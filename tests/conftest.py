@@ -1,0 +1,116 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro import RTree3D, TBTree, Trajectory, TrajectoryDataset, generate_gstd
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+finite_coord = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+small_coord = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def trajectories(draw, min_samples=2, max_samples=12, id_=0):
+    """Random well-formed trajectories on a [0, n] time axis."""
+    n = draw(st.integers(min_value=min_samples, max_value=max_samples))
+    # Strictly increasing timestamps with bounded, non-degenerate gaps.
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    t = 0.0
+    times = [0.0]
+    for g in gaps:
+        t += g
+        times.append(t)
+    xs = draw(st.lists(small_coord, min_size=n, max_size=n))
+    ys = draw(st.lists(small_coord, min_size=n, max_size=n))
+    return Trajectory(id_, list(zip(xs, ys, times)))
+
+
+@st.composite
+def cotemporal_trajectory_pairs(draw, max_samples=10):
+    """Two trajectories spanning the same [0, T] window (possibly with
+    different sampling instants) — the DISSIM setting."""
+    total = draw(st.floats(min_value=1.0, max_value=20.0))
+
+    def one(idx: int) -> Trajectory:
+        n = draw(st.integers(min_value=2, max_value=max_samples))
+        interior = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=0.99),
+                min_size=n - 2,
+                max_size=n - 2,
+                unique=True,
+            )
+        )
+        times = sorted([0.0, *[f * total for f in interior], total])
+        # unique fractions can still collide after scaling; nudge.
+        for i in range(1, len(times)):
+            if times[i] <= times[i - 1]:
+                times[i] = math.nextafter(times[i - 1], math.inf)
+        xs = draw(st.lists(small_coord, min_size=len(times), max_size=len(times)))
+        ys = draw(st.lists(small_coord, min_size=len(times), max_size=len(times)))
+        return Trajectory(idx, list(zip(xs, ys, times)))
+
+    return one(0), one(1)
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def tiny_dataset() -> TrajectoryDataset:
+    """20 objects, 40 samples each, common [0, 2000] window."""
+    return generate_gstd(20, samples_per_object=40, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> TrajectoryDataset:
+    """60 objects, 60 samples each — big enough for index structure."""
+    return generate_gstd(60, samples_per_object=60, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_rtree(small_dataset) -> RTree3D:
+    index = RTree3D()
+    index.bulk_insert(small_dataset)
+    index.finalize()
+    return index
+
+
+@pytest.fixture(scope="session")
+def small_tbtree(small_dataset) -> TBTree:
+    index = TBTree()
+    index.bulk_insert(small_dataset)
+    index.finalize()
+    return index
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def straight_line(object_id, x0, y0, vx, vy, times) -> Trajectory:
+    """Uniform linear motion sampled at ``times`` (test helper)."""
+    return Trajectory(
+        object_id,
+        [(x0 + vx * t, y0 + vy * t, t) for t in times],
+    )

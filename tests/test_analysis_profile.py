@@ -1,0 +1,189 @@
+"""Tests for trajectory analytics and exact distance profiles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    Trajectory,
+    dissim_exact,
+    distance_at,
+    distance_profile,
+)
+from repro.exceptions import TrajectoryError
+from repro.trajectory import (
+    cumulative_length_at,
+    detect_stops,
+    heading_profile,
+    sampling_stats,
+    speed_profile,
+    total_turning,
+)
+
+from conftest import cotemporal_trajectory_pairs, straight_line
+
+
+class TestSpeedHeading:
+    def test_speed_profile_values(self):
+        tr = Trajectory(1, [(0, 0, 0), (3, 4, 1), (3, 4, 2)])
+        profile = speed_profile(tr)
+        assert profile == [(0.5, pytest.approx(5.0)), (1.5, 0.0)]
+
+    def test_heading_profile_skips_stationary(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 0, 1), (1, 0, 2), (1, 1, 3)])
+        headings = heading_profile(tr)
+        assert len(headings) == 2
+        assert headings[0][1] == pytest.approx(0.0)
+        assert headings[1][1] == pytest.approx(math.pi / 2)
+
+    def test_total_turning_straight_line_zero(self):
+        tr = straight_line(1, 0.0, 0.0, 1.0, 0.5, [0, 1, 2, 3, 4])
+        assert total_turning(tr) == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_turning_right_angle(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 0, 1), (1, 1, 2)])
+        assert total_turning(tr) == pytest.approx(math.pi / 2)
+
+    def test_total_turning_wraps_correctly(self):
+        # heading +170deg then -170deg: the short way round is 20deg.
+        a = math.radians(170)
+        tr = Trajectory(
+            1,
+            [
+                (0, 0, 0),
+                (math.cos(a), math.sin(a), 1),
+                (math.cos(a) + math.cos(-a), math.sin(a) + math.sin(-a), 2),
+            ],
+        )
+        assert total_turning(tr) == pytest.approx(math.radians(20), abs=1e-9)
+
+
+class TestStops:
+    def test_detects_parked_interval(self):
+        tr = Trajectory(
+            1,
+            [(0, 0, 0), (5, 0, 1), (5, 0, 5), (5.01, 0, 6), (10, 0, 7)],
+        )
+        stops = detect_stops(tr, max_speed=0.1)
+        assert len(stops) == 1
+        stop = stops[0]
+        assert stop.t_lo == 1.0 and stop.t_hi == 6.0
+        assert stop.duration == 5.0
+        assert stop.centre.x == pytest.approx(5.0, abs=0.01)
+
+    def test_min_duration_filters_short_pauses(self):
+        tr = Trajectory(
+            1, [(0, 0, 0), (5, 0, 1), (5, 0, 1.5), (10, 0, 2.5)]
+        )
+        assert detect_stops(tr, 0.1, min_duration=1.0) == []
+        assert len(detect_stops(tr, 0.1, min_duration=0.2)) == 1
+
+    def test_no_stops_on_constant_motion(self):
+        tr = straight_line(1, 0.0, 0.0, 2.0, 0.0, [0, 1, 2, 3])
+        assert detect_stops(tr, 0.5) == []
+
+    def test_negative_threshold_rejected(self):
+        tr = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0, 1])
+        with pytest.raises(TrajectoryError):
+            detect_stops(tr, -1.0)
+
+    def test_stop_at_trajectory_end(self):
+        tr = Trajectory(1, [(0, 0, 0), (5, 0, 1), (5, 0, 9)])
+        stops = detect_stops(tr, 0.01)
+        assert len(stops) == 1
+        assert stops[0].t_hi == 9.0
+
+
+class TestSamplingStats:
+    def test_regular_clock(self):
+        tr = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0, 1, 2, 3])
+        st = sampling_stats(tr)
+        assert st.samples == 4
+        assert st.min_interval == st.max_interval == st.mean_interval == 1.0
+        assert st.irregularity == 1.0
+
+    def test_irregular_clock(self):
+        tr = Trajectory(1, [(0, 0, 0.0), (0, 0, 0.5), (0, 0, 2.5)])
+        st = sampling_stats(tr)
+        assert st.min_interval == 0.5
+        assert st.max_interval == 2.0
+        assert st.irregularity == 4.0
+
+
+class TestCumulativeLength:
+    def test_endpoints(self):
+        tr = Trajectory(1, [(0, 0, 0), (3, 4, 1), (3, 4, 2)])
+        assert cumulative_length_at(tr, 0.0) == 0.0
+        assert cumulative_length_at(tr, 2.0) == pytest.approx(5.0)
+
+    def test_partial_segment(self):
+        tr = straight_line(1, 0.0, 0.0, 2.0, 0.0, [0, 10])
+        assert cumulative_length_at(tr, 5.0) == pytest.approx(10.0)
+
+    def test_outside_lifetime_rejected(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(TrajectoryError):
+            cumulative_length_at(tr, 2.0)
+
+
+class TestDistanceProfile:
+    def test_value_matches_distance_at(self):
+        a = Trajectory(1, [(0, 0, 0), (5, 2, 4), (1, 1, 10)])
+        b = Trajectory(2, [(1, 1, 0), (2, 2, 3), (0, 5, 10)])
+        profile = distance_profile(a, b)
+        for i in range(21):
+            t = 10.0 * i / 20.0
+            assert profile.value_at(t) == pytest.approx(
+                distance_at(a, b, t), abs=1e-9
+            )
+
+    def test_integral_is_dissim(self):
+        a = Trajectory(1, [(0, 0, 0), (5, 2, 4), (1, 1, 10)])
+        b = Trajectory(2, [(1, 1, 0), (2, 2, 3), (0, 5, 10)])
+        profile = distance_profile(a, b)
+        assert profile.integral() == pytest.approx(dissim_exact(a, b))
+
+    @given(cotemporal_trajectory_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_integral_property(self, pair):
+        q, t = pair
+        profile = distance_profile(q, t)
+        assert profile.integral() == pytest.approx(
+            dissim_exact(q, t), rel=1e-9, abs=1e-9
+        )
+
+    def test_minimum_finds_closest_approach(self):
+        # parked at origin; flyby passes through at t = 5.
+        q = straight_line(1, 0.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        t = straight_line(2, -5.0, 0.0, 1.0, 0.0, [0.0, 10.0])
+        profile = distance_profile(q, t)
+        d, at = profile.minimum()
+        assert d == pytest.approx(0.0, abs=1e-9)
+        assert at == pytest.approx(5.0, abs=1e-9)
+
+    def test_maximum_at_boundary(self):
+        q = straight_line(1, 0.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        t = straight_line(2, -5.0, 0.0, 1.0, 0.0, [0.0, 10.0])
+        d, at = distance_profile(q, t).maximum()
+        assert d == pytest.approx(5.0)
+        assert at in (0.0, 10.0)
+
+    def test_mean_distance(self):
+        a = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0.0, 10.0])
+        b = straight_line(2, 0.0, 3.0, 1.0, 0.0, [0.0, 10.0])
+        assert distance_profile(a, b).mean_distance() == pytest.approx(3.0)
+
+    def test_sample_grid(self):
+        a = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0.0, 10.0])
+        b = straight_line(2, 0.0, 3.0, 1.0, 0.0, [0.0, 10.0])
+        pts = distance_profile(a, b).sample(10)
+        assert len(pts) == 11
+        assert pts[0][0] == 0.0 and pts[-1][0] == 10.0
+        assert all(d == pytest.approx(3.0) for _t, d in pts)
+
+    def test_value_outside_profile_rejected(self):
+        a = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0.0, 10.0])
+        profile = distance_profile(a, a.with_id(2))
+        with pytest.raises(ValueError):
+            profile.value_at(11.0)

@@ -1,0 +1,94 @@
+"""Public API surface checks.
+
+Guards against accidental breakage of the documented interface: every
+name in ``repro.__all__`` resolves, the exception hierarchy roots at
+``ReproError``, and the subpackage ``__all__`` lists are honest.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    IndexError_,
+    PageOverflowError,
+    QueryError,
+    ReproError,
+    StorageError,
+    TemporalCoverageError,
+    TrajectoryError,
+)
+
+SUBPACKAGES = [
+    "repro.geometry",
+    "repro.trajectory",
+    "repro.distance",
+    "repro.storage",
+    "repro.index",
+    "repro.search",
+    "repro.datagen",
+    "repro.compression",
+    "repro.experiments",
+]
+
+
+class TestTopLevelAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_lists_are_honest(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_public_functions_have_docstrings(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert undocumented == []
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TrajectoryError,
+            TemporalCoverageError,
+            StorageError,
+            PageOverflowError,
+            IndexError_,
+            QueryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_page_overflow_is_a_storage_error(self):
+        assert issubclass(PageOverflowError, StorageError)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert IndexError_ is not IndexError
+        assert not issubclass(IndexError_, IndexError)
+
+    def test_one_except_catches_everything(self):
+        """The documented catch-all pattern works."""
+        from repro import Trajectory
+
+        with pytest.raises(ReproError):
+            Trajectory(1, [])
+        with pytest.raises(ReproError):
+            from repro.storage import InMemoryPageFile
+
+            InMemoryPageFile(page_size=256).read(5)

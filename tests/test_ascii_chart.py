@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import ascii_chart, ascii_multi_chart
+
+
+class TestAsciiChart:
+    def test_single_series_shape(self):
+        text = ascii_chart([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0], height=4, width=12)
+        lines = text.splitlines()
+        assert len(lines) == 6  # 4 grid rows + axis + x labels
+        assert "3.00" in lines[0]
+        assert "0.00" in lines[3]
+        assert lines[4].strip().startswith("+")
+        # monotone series: markers descend left to right visually
+        assert lines[0].rstrip().endswith("o")
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_chart([0, 1, 2], [5.0, 5.0, 5.0], height=3, width=10)
+        assert "5.00" in text
+
+    def test_multi_series_markers_and_legend(self):
+        text = ascii_multi_chart(
+            [0, 1, 2],
+            {"rtree": [1.0, 2.0, 3.0], "tbtree": [3.0, 2.0, 1.0]},
+            height=5,
+            width=16,
+        )
+        assert "r = rtree" in text
+        assert "t = tbtree" in text
+        assert "r" in text and "t" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_multi_chart([0, 1], {"a": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], [])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], [0.0, 1.0], height=1, width=4)
+
+    def test_x_labels_present(self):
+        text = ascii_chart([100, 1000], [1.0, 2.0], height=3, width=20)
+        assert "100" in text.splitlines()[-1]
+        assert "1000" in text.splitlines()[-1]
+
+    def test_deterministic(self):
+        a = ascii_chart([0, 1, 2], [1.0, 4.0, 2.0])
+        b = ascii_chart([0, 1, 2], [1.0, 4.0, 2.0])
+        assert a == b

@@ -1,0 +1,89 @@
+"""Hypothesis-driven whole-system property: BFMST over arbitrary
+well-formed worlds equals the exhaustive exact scan.
+
+This complements the seeded random worlds in ``test_bfmst.py`` with
+adversarially shrunken inputs — hypothesis loves to find degenerate
+geometry (coincident points, zero speeds, needle-thin boxes).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    RTree3D,
+    TBTree,
+    Trajectory,
+    TrajectoryDataset,
+    bfmst_search,
+    linear_scan_kmst,
+)
+
+coord = st.floats(min_value=-50.0, max_value=50.0)
+
+
+@st.composite
+def worlds(draw):
+    """A dataset of 3-7 trajectories over a common [0, T] window plus a
+    query window inside it."""
+    total = draw(st.floats(min_value=2.0, max_value=40.0))
+    n_objects = draw(st.integers(min_value=3, max_value=7))
+    dataset = TrajectoryDataset()
+    for oid in range(n_objects):
+        n = draw(st.integers(min_value=2, max_value=7))
+        interior = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.05, max_value=0.95),
+                    min_size=n - 2,
+                    max_size=n - 2,
+                    unique=True,
+                )
+            )
+        )
+        times = [0.0, *[f * total for f in interior], total]
+        # drop accidental duplicates after scaling
+        times = sorted(set(times))
+        pts = [
+            (draw(coord), draw(coord), t)
+            for t in times
+        ]
+        dataset.add(Trajectory(oid, pts))
+    f_lo = draw(st.floats(min_value=0.0, max_value=0.6))
+    f_len = draw(st.floats(min_value=0.2, max_value=0.39))
+    period = (f_lo * total, (f_lo + f_len) * total)
+    source = dataset[draw(st.integers(min_value=0, max_value=n_objects - 1))]
+    query = source.sliced(*period).with_id(-1)
+    k = draw(st.integers(min_value=1, max_value=n_objects))
+    return dataset, query, period, k
+
+
+@given(worlds())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_bfmst_equals_exact_scan_on_arbitrary_worlds(world):
+    dataset, query, period, k = world
+    want = linear_scan_kmst(dataset, query, period, k=k, exact=True)
+    for cls in (RTree3D, TBTree):
+        index = cls(page_size=512)
+        index.bulk_insert(dataset)
+        index.finalize()
+        got, _stats = bfmst_search(index, query, period, k=k)
+        got_ids = [m.trajectory_id for m in got]
+        want_ids = [m.trajectory_id for m in want]
+        if got_ids != want_ids:
+            # Only acceptable difference: exact ties reordered.
+            by_id = {m.trajectory_id: m for m in want}
+            assert set(got_ids) == set(want_ids)
+            for g in got:
+                w = by_id[g.trajectory_id]
+                assert g.lower - 1e-7 <= w.dissim <= g.upper + 1e-7
+            values = [by_id[i].dissim for i in got_ids]
+            assert values == pytest.approx(sorted(values), abs=1e-7)
+        else:
+            for g, w in zip(got, want):
+                slack = 1e-7 * max(1.0, w.dissim)
+                assert g.lower - slack <= w.dissim <= g.upper + slack

@@ -1,0 +1,232 @@
+"""Tests for the pruning bounds (Definitions 3-6, Lemmas 2-4).
+
+The headline properties, checked on randomly generated partial
+retrievals:
+
+* ``OPTDISSIM <= exact DISSIM <= PESDISSIM`` with the true ``V_max``,
+* ``OPTDISSIMINC <= exact DISSIM`` whenever ``mindist`` really lower
+  bounds the distance over the unretrieved gaps,
+* ``MINDISSIMINC`` is the minimum of its two ingredients.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PartialDissim, dissim_exact, distance_at, mindissim_inc
+from repro.distance import IntegralResult, segment_dissim
+from repro.exceptions import QueryError
+
+from conftest import cotemporal_trajectory_pairs
+
+
+def build_partial(q, t, keep_segments):
+    """A PartialDissim for t with only ``keep_segments`` (by index)
+    retrieved."""
+    partial = PartialDissim(q.t_start, q.t_end)
+    for k in sorted(keep_segments):
+        seg = t.segment(k)
+        total, d_lo, d_hi = segment_dissim(q, seg, seg.ts, seg.te)
+        partial.add_interval(seg.ts, seg.te, total, d_lo, d_hi)
+    return partial
+
+
+class TestRecordKeeping:
+    def test_empty_period_rejected(self):
+        with pytest.raises(QueryError):
+            PartialDissim(5.0, 5.0)
+
+    def test_interval_outside_period_rejected(self):
+        p = PartialDissim(0.0, 10.0)
+        with pytest.raises(QueryError):
+            p.add_interval(8.0, 12.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+
+    def test_overlapping_interval_rejected(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(2.0, 5.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+        with pytest.raises(QueryError):
+            p.add_interval(4.0, 6.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+        with pytest.raises(QueryError):
+            p.add_interval(0.0, 3.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+
+    def test_adjacent_intervals_coalesce(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(0.0, 4.0, IntegralResult(1.0, 0.1), 2.0, 3.0)
+        p.add_interval(4.0, 10.0, IntegralResult(2.0, 0.2), 3.0, 1.0)
+        assert len(p.intervals) == 1
+        iv = p.intervals[0]
+        assert (iv.t_lo, iv.t_hi) == (0.0, 10.0)
+        assert iv.integral.approx == pytest.approx(3.0)
+        assert iv.integral.error_bound == pytest.approx(0.3)
+        assert (iv.d_lo, iv.d_hi) == (2.0, 1.0)
+        assert p.is_complete()
+
+    def test_out_of_order_insertion(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(6.0, 8.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+        p.add_interval(0.0, 2.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+        p.add_interval(2.0, 6.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+        assert [(\
+            iv.t_lo, iv.t_hi) for iv in p.intervals] == [(0.0, 8.0)]
+        assert not p.is_complete()
+
+    def test_gap_enumeration_with_boundaries(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(2.0, 4.0, IntegralResult(1.0, 0.0), 7.0, 8.0)
+        p.add_interval(6.0, 9.0, IntegralResult(1.0, 0.0), 9.0, 3.0)
+        gaps = p.gaps()
+        assert gaps == [
+            (0.0, 2.0, None, 7.0),
+            (4.0, 6.0, 8.0, 9.0),
+            (9.0, 10.0, 3.0, None),
+        ]
+
+    def test_covered_duration(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(1.0, 3.0, IntegralResult(0.0, 0.0), 0.0, 0.0)
+        assert p.covered_duration() == pytest.approx(2.0)
+
+    def test_negative_vmax_rejected(self):
+        p = PartialDissim(0.0, 10.0)
+        with pytest.raises(QueryError):
+            p.optdissim(-1.0)
+        with pytest.raises(QueryError):
+            p.pesdissim(-1.0)
+        with pytest.raises(QueryError):
+            p.optdissim_inc(-1.0)
+
+
+class TestHandComputedBounds:
+    def test_no_coverage_bounds(self):
+        p = PartialDissim(0.0, 10.0)
+        assert p.optdissim(5.0) == 0.0
+        # With no segment seen, nothing bounds the object's position:
+        # the pessimistic estimate is infinite.
+        assert p.pesdissim(5.0) == float("inf")
+
+    def test_trailing_gap(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(0.0, 6.0, IntegralResult(12.0, 0.0), 2.0, 4.0)
+        # gap [6, 10], distance 4 at t=6.
+        # optimistic: approach at vmax=1 -> 4,3,2,1,0 area = 8 - hits 0
+        # at t=10 exactly: trapezoid (4+0)/2*4 = 8.
+        assert p.optdissim(1.0) == pytest.approx(12.0 + 8.0)
+        # pessimistic: diverge to 8: (4+8)/2*4 = 24.
+        assert p.pesdissim(1.0) == pytest.approx(12.0 + 24.0)
+
+    def test_interior_gap_v_shape(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(0.0, 4.0, IntegralResult(0.0, 0.0), 0.0, 3.0)
+        p.add_interval(8.0, 10.0, IntegralResult(0.0, 0.0), 3.0, 0.0)
+        # gap [4, 8]: d=3 on both sides, vmax=1: V bottoms at 1 at t=6.
+        # area = 2 legs of trapezoid (3+1)/2*2 = 4 each = 8.
+        assert p.optdissim(1.0) == pytest.approx(8.0)
+        # Λ-shape peaks at 5: (3+5)/2*2 * 2 = 16.
+        assert p.pesdissim(1.0) == pytest.approx(16.0)
+
+    def test_interior_gap_touching_zero(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(0.0, 4.0, IntegralResult(0.0, 0.0), 0.0, 1.0)
+        p.add_interval(8.0, 10.0, IntegralResult(0.0, 0.0), 1.0, 0.0)
+        # vmax=1, gap of 4: legs reach 0 after 1 unit each:
+        # triangles 0.5 + 0.5 = 1.
+        assert p.optdissim(1.0) == pytest.approx(1.0)
+
+    def test_optdissim_inc(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(0.0, 4.0, IntegralResult(7.0, 0.5), 1.0, 1.0)
+        # retrieved lower (7 - 0.5) + gap 6 * mindist 2 = 18.5
+        assert p.optdissim_inc(2.0) == pytest.approx(18.5)
+
+    def test_mindissim_inc_minimum_of_ingredients(self):
+        p = PartialDissim(0.0, 10.0)
+        p.add_interval(0.0, 9.0, IntegralResult(100.0, 0.0), 1.0, 1.0)
+        # node term: 2 * 10 = 20; candidate term: 100 + 2*1 = 102.
+        assert mindissim_inc(2.0, 0.0, 10.0, [p]) == pytest.approx(20.0)
+        # with a cheap candidate the candidate term wins
+        q = PartialDissim(0.0, 10.0)
+        q.add_interval(0.0, 9.0, IntegralResult(1.0, 0.0), 1.0, 1.0)
+        assert mindissim_inc(2.0, 0.0, 10.0, [p, q]) == pytest.approx(3.0)
+
+    def test_mindissim_inc_no_candidates(self):
+        assert mindissim_inc(3.0, 0.0, 4.0, []) == pytest.approx(12.0)
+        assert mindissim_inc(3.0, 0.0, 4.0, None) == pytest.approx(12.0)
+
+
+class TestLemmas:
+    @given(cotemporal_trajectory_pairs(), st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_lemma_2_and_3_bracket_exact_dissim(self, pair, rnd):
+        """OPTDISSIM <= DISSIM <= PESDISSIM for any partial retrieval
+        with the true V_max (Lemmas 2 and 3)."""
+        q, t = pair
+        exact = dissim_exact(q, t)
+        vmax = q.max_speed() + t.max_speed()
+        keep = [k for k in range(t.num_segments) if rnd.random() < 0.5]
+        partial = build_partial(q, t, keep)
+        slack = 1e-6 * max(1.0, exact)
+        assert partial.optdissim(vmax) <= exact + slack
+        assert partial.pesdissim(vmax) >= exact - slack
+
+    @given(cotemporal_trajectory_pairs(), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_definition_5_lower_bound(self, pair, rnd):
+        """OPTDISSIMINC <= DISSIM when mindist really bounds the gap
+        distance from below."""
+        q, t = pair
+        exact = dissim_exact(q, t)
+        keep = [k for k in range(t.num_segments) if rnd.random() < 0.5]
+        partial = build_partial(q, t, keep)
+        # True minimum distance over the gaps (dense sampling, then
+        # shrunk to stay a certain lower bound).
+        gap_min = None
+        for lo, hi, _d1, _d2 in partial.gaps():
+            for i in range(33):
+                # lo + (hi - lo) can round one ulp past the lifetime end
+                at = min(lo + (hi - lo) * i / 32.0, q.t_end, t.t_end)
+                d = distance_at(q, t, at)
+                gap_min = d if gap_min is None else min(gap_min, d)
+        mindist = 0.0 if gap_min is None else max(gap_min - 1e-6, 0.0) * 0.99
+        slack = 1e-6 * max(1.0, exact)
+        assert partial.optdissim_inc(mindist) <= exact + slack
+
+    @given(cotemporal_trajectory_pairs(), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_tighten_with_coverage(self, pair, rnd):
+        """Adding a retrieved interval never loosens the bracket."""
+        q, t = pair
+        vmax = q.max_speed() + t.max_speed()
+        order = list(range(t.num_segments))
+        rnd.shuffle(order)
+        partial = PartialDissim(q.t_start, q.t_end)
+        prev_opt = partial.optdissim(vmax)
+        prev_pes = partial.pesdissim(vmax)
+        for k in order:
+            seg = t.segment(k)
+            total, d_lo, d_hi = segment_dissim(q, seg, seg.ts, seg.te)
+            partial.add_interval(seg.ts, seg.te, total, d_lo, d_hi)
+            opt = partial.optdissim(vmax)
+            pes = partial.pesdissim(vmax)
+            # Monotone up to the trapezoid approximation error carried
+            # by the retrieved intervals (OPT uses certified lowers,
+            # PES certified uppers, so each may give back that much).
+            err = partial.retrieved_integral().error_bound
+            slack = err + 1e-6 * max(1.0, opt)
+            assert opt >= prev_opt - slack
+            if pes != float("inf") and prev_pes != float("inf"):
+                assert pes <= prev_pes + slack
+            prev_opt, prev_pes = opt, pes
+
+    @given(cotemporal_trajectory_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_complete_coverage_collapses_bounds(self, pair):
+        q, t = pair
+        vmax = q.max_speed() + t.max_speed()
+        partial = build_partial(q, t, range(t.num_segments))
+        assert partial.is_complete()
+        exact = dissim_exact(q, t)
+        width = partial.retrieved_integral().error_bound
+        slack = 1e-6 * max(1.0, exact)
+        assert partial.pesdissim(vmax) - partial.optdissim(vmax) <= width + slack

@@ -1,0 +1,117 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def small_csv(tmp_path):
+    path = tmp_path / "ds.csv"
+    rc = main(
+        [
+            "generate",
+            str(path),
+            "--kind",
+            "gstd",
+            "--objects",
+            "12",
+            "--samples",
+            "30",
+            "--seed",
+            "3",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_csv(self, small_csv, capsys):
+        assert small_csv.exists()
+
+    def test_generate_json_trucks(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        rc = main(
+            ["generate", str(path), "--kind", "trucks", "--objects", "5",
+             "--samples", "20"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "5 trajectories" in out
+
+
+class TestBuildInfoQuery:
+    def test_full_pipeline(self, small_csv, tmp_path, capsys):
+        index_path = tmp_path / "idx.pages"
+        rc = main(
+            ["build", str(small_csv), str(index_path), "--tree", "tbtree"]
+        )
+        assert rc == 0
+        assert index_path.exists()
+        out = capsys.readouterr().out
+        assert "built tbtree" in out
+
+        rc = main(["info", str(index_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TBTree" in out
+        assert "entries:     348" in out  # 12 * 29
+
+        rc = main(
+            ["query", str(index_path), str(small_csv), "--object", "3",
+             "--window", "0.2", "--k", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "object 3" in out  # the source is its own best match
+        assert "pruning power" in out
+
+    def test_query_unknown_object(self, small_csv, tmp_path, capsys):
+        index_path = tmp_path / "idx.pages"
+        main(["build", str(small_csv), str(index_path)])
+        capsys.readouterr()
+        rc = main(
+            ["query", str(index_path), str(small_csv), "--object", "999"]
+        )
+        assert rc == 2
+
+    def test_build_missing_dataset(self, tmp_path):
+        rc = main(["build", str(tmp_path / "nope.csv"), str(tmp_path / "i")])
+        assert rc == 1
+
+    def test_info_missing_index(self, tmp_path):
+        rc = main(["info", str(tmp_path / "nope.pages")])
+        assert rc == 1
+
+
+class TestExperimentCommand:
+    def test_q2_smoke(self, capsys):
+        rc = main(
+            ["experiment", "q2", "--scale", "0.15", "--queries", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 10 Q2" in out
+
+    def test_q3_smoke(self, capsys):
+        rc = main(
+            ["experiment", "q3", "--scale", "0.15", "--queries", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 10 Q3" in out
+
+    def test_quality_smoke(self, capsys):
+        rc = main(
+            ["experiment", "quality", "--trucks", "6", "--queries", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DISSIM" in out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0

@@ -1,0 +1,127 @@
+"""Tests for TD-TR, Douglas-Peucker and uniform downsampling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Trajectory, td_tr, td_tr_fraction
+from repro.compression import (
+    douglas_peucker,
+    synchronized_euclidean_distance,
+    uniform_downsample,
+)
+from repro.exceptions import TrajectoryError
+
+from conftest import trajectories
+
+
+def zigzag(n=20, amp=1.0):
+    return Trajectory(
+        0, [(float(i), amp * ((-1) ** i), float(i)) for i in range(n)]
+    )
+
+
+class TestSED:
+    def test_zero_on_straight_line(self):
+        tr = Trajectory(0, [(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        assert synchronized_euclidean_distance(tr, 1, 0, 2) == pytest.approx(0.0)
+
+    def test_detects_time_deviation(self):
+        """The point is ON the chord spatially but at the wrong time —
+        plain Douglas-Peucker misses this, SED must not."""
+        # Object sits at x=0.1 at time 5, then rushes to x=1 at 10;
+        # straight movement 0->10 would put it at x=0.5 at t=5.
+        tr = Trajectory(0, [(0, 0, 0), (0.1, 0, 5), (1, 0, 10)])
+        sed = synchronized_euclidean_distance(tr, 1, 0, 2)
+        assert sed == pytest.approx(0.4)
+
+    def test_perpendicular_vs_sed(self):
+        tr = Trajectory(0, [(0, 0, 0), (0.1, 0, 5), (1, 0, 10)])
+        dp = douglas_peucker(tr, 0.2)
+        td = td_tr(tr, 0.2)
+        assert len(dp) == 2  # spatially on the line: dropped
+        assert len(td) == 3  # temporally off: kept
+
+
+class TestTDTR:
+    def test_keeps_endpoints(self):
+        tr = zigzag()
+        out = td_tr(tr, 1e9)
+        assert len(out) == 2
+        assert out[0] == tr[0] and out[-1] == tr[-1]
+
+    def test_zero_tolerance_keeps_everything_noncollinear(self):
+        tr = zigzag()
+        assert len(td_tr(tr, 0.0)) == len(tr)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(TrajectoryError):
+            td_tr(zigzag(), -1.0)
+        with pytest.raises(TrajectoryError):
+            td_tr_fraction(zigzag(), -0.1)
+
+    def test_fraction_p_zero_is_identity(self):
+        tr = zigzag()
+        assert td_tr_fraction(tr, 0.0) is tr
+
+    def test_vertex_count_decreases_with_p(self):
+        """Figure 8's qualitative content: increasing p sheds
+        vertices monotonically while keeping the sketch."""
+        tr = zigzag(60, amp=0.3)
+        counts = [len(td_tr_fraction(tr, p)) for p in (0.001, 0.01, 0.02, 0.1)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] >= 2
+
+    @given(trajectories(min_samples=4, max_samples=12))
+    @settings(max_examples=60, deadline=None)
+    def test_all_dropped_points_within_tolerance(self, tr):
+        """After compression, every original sample is within the SED
+        tolerance of the compressed trajectory's interpolation."""
+        tol = 0.5
+        out = td_tr(tr, tol)
+        for p in tr:
+            q = out.position_at(p.t)
+            dist = ((p.x - q.x) ** 2 + (p.y - q.y) ** 2) ** 0.5
+            assert dist <= tol + 1e-9
+
+    @given(trajectories(min_samples=3, max_samples=12))
+    @settings(max_examples=60, deadline=None)
+    def test_kept_samples_are_original(self, tr):
+        out = td_tr(tr, 0.3)
+        originals = set(p.as_tuple() for p in tr)
+        for p in out:
+            assert p.as_tuple() in originals
+
+    def test_id_preserved(self):
+        tr = zigzag().with_id(42)
+        assert td_tr(tr, 0.5).object_id == 42
+
+
+class TestUniformDownsample:
+    def test_keeps_endpoints(self):
+        tr = zigzag(11)
+        out = uniform_downsample(tr, 3)
+        assert out[0] == tr[0] and out[-1] == tr[-1]
+        assert [p.t for p in out] == [0.0, 3.0, 6.0, 9.0, 10.0]
+
+    def test_every_one_is_identity(self):
+        tr = zigzag(7)
+        assert list(uniform_downsample(tr, 1)) == list(tr)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(TrajectoryError):
+            uniform_downsample(zigzag(), 0)
+
+
+class TestDouglasPeucker:
+    def test_collinear_collapse(self):
+        tr = Trajectory(0, [(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)])
+        assert len(douglas_peucker(tr, 0.01)) == 2
+
+    def test_spike_kept(self):
+        tr = Trajectory(0, [(0, 0, 0), (1, 5, 1), (2, 0, 2)])
+        assert len(douglas_peucker(tr, 0.5)) == 3
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(TrajectoryError):
+            douglas_peucker(zigzag(), -1.0)

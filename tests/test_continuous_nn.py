@@ -1,0 +1,151 @@
+"""Tests for the historical continuous nearest-neighbour query.
+
+The headline property: at any sampled instant, the interval winner
+reported by the envelope computation is (within float slop) as close
+to the query as the true nearest object.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    RTree3D,
+    Trajectory,
+    TrajectoryDataset,
+    continuous_nearest_neighbour,
+    distance_at,
+    generate_gstd,
+)
+from repro.exceptions import QueryError, TemporalCoverageError
+
+from conftest import straight_line
+
+
+def winners_at(intervals, t):
+    for iv in intervals:
+        if iv.t_lo <= t <= iv.t_hi:
+            return iv.object_id
+    raise AssertionError(f"no interval covers {t}")
+
+
+class TestHandBuiltScenarios:
+    def test_single_candidate(self):
+        q = straight_line(0, 0.0, 0.0, 1.0, 0.0, [0.0, 10.0])
+        ds = TrajectoryDataset([straight_line(1, 0.0, 1.0, 1.0, 0.0, [0.0, 10.0])])
+        out = continuous_nearest_neighbour(ds, q, 0.0, 10.0)
+        assert out == [type(out[0])(0.0, 10.0, 1)]
+
+    def test_handover_at_crossing(self):
+        """Candidate 1 starts nearer, candidate 2 overtakes midway:
+        exactly one handover, at the analytic crossing time."""
+        q = straight_line(0, 0.0, 0.0, 0.0, 0.0, [0.0, 10.0])  # parked at origin
+        # 1: constant distance 2.  2: approaches from 12 to 0 at speed 1.2...
+        one = straight_line(1, 2.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        two = straight_line(2, 12.0, 0.0, -1.0, 0.0, [0.0, 10.0])
+        ds = TrajectoryDataset([one, two])
+        out = continuous_nearest_neighbour(ds, q, 0.0, 10.0)
+        # two's distance: 12 - t; equals 2 at t = 10 -> touches at the
+        # very end; so one wins nearly everywhere.
+        assert out[0].object_id == 1
+        # start closer so the crossing lands at t = 5: |7 - t| < 2 on
+        # (5, 9), so the winner is 1, then 2, then 1 again.
+        two_fast = straight_line(2, 7.0, 0.0, -1.0, 0.0, [0.0, 10.0])
+        ds2 = TrajectoryDataset([one, two_fast])
+        out2 = continuous_nearest_neighbour(ds2, q, 0.0, 10.0)
+        assert [iv.object_id for iv in out2] == [1, 2, 1]
+        assert out2[0].t_hi == pytest.approx(5.0, abs=1e-6)
+        assert out2[1].t_hi == pytest.approx(9.0, abs=1e-6)
+
+    def test_win_lose_win(self):
+        """A flyby: candidate 2 dips below candidate 1's constant
+        distance and rises again -> three intervals."""
+        q = straight_line(0, 0.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        one = straight_line(1, 0.0, 2.0, 0.0, 0.0, [0.0, 10.0])  # distance 2
+        # two passes through the origin at t = 5 along x
+        two = straight_line(2, -5.0, 0.0, 1.0, 0.0, [0.0, 10.0])
+        ds = TrajectoryDataset([one, two])
+        out = continuous_nearest_neighbour(ds, q, 0.0, 10.0)
+        assert [iv.object_id for iv in out] == [1, 2, 1]
+        # |x(t)| = |t - 5| < 2 for t in (3, 7)
+        assert out[0].t_hi == pytest.approx(3.0, abs=1e-6)
+        assert out[1].t_hi == pytest.approx(7.0, abs=1e-6)
+
+    def test_partition_is_gapless(self):
+        q = straight_line(0, 0.0, 0.0, 0.1, 0.2, [0.0, 10.0])
+        ds = TrajectoryDataset(
+            [
+                straight_line(1, 1.0, 0.0, -0.1, 0.1, [0.0, 10.0]),
+                straight_line(2, 0.0, 1.5, 0.2, -0.1, [0.0, 10.0]),
+                straight_line(3, -1.0, -1.0, 0.15, 0.25, [0.0, 10.0]),
+            ]
+        )
+        out = continuous_nearest_neighbour(ds, q, 0.0, 10.0)
+        assert out[0].t_lo == 0.0
+        assert out[-1].t_hi == 10.0
+        for a, b in zip(out, out[1:]):
+            assert a.t_hi == pytest.approx(b.t_lo, abs=1e-9)
+            assert a.object_id != b.object_id
+
+    def test_excluded_and_noncovering_candidates_skipped(self):
+        q = straight_line(0, 0.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        near = straight_line(1, 0.5, 0.0, 0.0, 0.0, [0.0, 10.0])
+        far = straight_line(2, 5.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        short = straight_line(3, 0.1, 0.0, 0.0, 0.0, [2.0, 3.0])
+        ds = TrajectoryDataset([near, far, short])
+        out = continuous_nearest_neighbour(ds, q, 0.0, 10.0, exclude_ids={1})
+        assert [iv.object_id for iv in out] == [2]
+
+    def test_no_candidates(self):
+        q = straight_line(0, 0.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        ds = TrajectoryDataset([straight_line(1, 0, 0, 0, 0, [20.0, 30.0])])
+        assert continuous_nearest_neighbour(ds, q, 0.0, 10.0) == []
+
+    def test_validation(self):
+        q = straight_line(0, 0.0, 0.0, 0.0, 0.0, [0.0, 10.0])
+        ds = TrajectoryDataset([q.with_id(1)])
+        with pytest.raises(QueryError):
+            continuous_nearest_neighbour(ds, q, 5.0, 5.0)
+        with pytest.raises(TemporalCoverageError):
+            continuous_nearest_neighbour(ds, q, 0.0, 11.0)
+
+
+class TestAgainstDenseSampling:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_interval_winner_is_pointwise_optimal(self, seed):
+        ds = generate_gstd(10, samples_per_object=20, seed=seed)
+        rng = random.Random(seed)
+        ids = ds.ids()
+        source = ds[ids[rng.randrange(len(ids))]]
+        lo = source.t_start + source.duration * 0.3
+        hi = source.t_start + source.duration * 0.6
+        query = source.sliced(lo, hi).with_id(-1)
+        out = continuous_nearest_neighbour(ds, query, lo, hi)
+        assert out[0].t_lo == pytest.approx(lo)
+        assert out[-1].t_hi == pytest.approx(hi)
+        for i in range(101):
+            t = min(lo + (hi - lo) * i / 100.0, hi)
+            winner = winners_at(out, t)
+            d_winner = distance_at(query, ds[winner], t)
+            d_best = min(
+                distance_at(query, tr, t) for tr in ds if tr.covers(lo, hi)
+            )
+            assert d_winner <= d_best + 1e-7
+
+    def test_index_pruning_preserves_answer(self, small_dataset, small_rtree):
+        rng = random.Random(9)
+        ids = small_dataset.ids()
+        source = small_dataset[ids[rng.randrange(len(ids))]]
+        lo = source.t_start + source.duration * 0.2
+        hi = source.t_start + source.duration * 0.4
+        query = source.sliced(lo, hi).with_id(-1)
+        plain = continuous_nearest_neighbour(small_dataset, query, lo, hi)
+        pruned = continuous_nearest_neighbour(
+            small_dataset, query, lo, hi, index=small_rtree
+        )
+        assert [(iv.object_id) for iv in plain] == [
+            (iv.object_id) for iv in pruned
+        ]
+        for a, b in zip(plain, pruned):
+            assert a.t_lo == pytest.approx(b.t_lo, abs=1e-9)
+            assert a.t_hi == pytest.approx(b.t_hi, abs=1e-9)

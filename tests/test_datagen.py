@@ -1,0 +1,180 @@
+"""Tests for the GSTD-style generator, the synthetic Trucks fleet and
+the Table 3 query workloads."""
+
+import math
+import random
+
+import pytest
+
+from repro import GSTDConfig, TrucksConfig, generate_gstd, generate_trucks
+from repro.datagen import GSTDGenerator, TrucksGenerator, make_query, make_workload
+from repro.exceptions import QueryError, TrajectoryError
+
+
+class TestGSTD:
+    def test_deterministic_with_seed(self):
+        a = generate_gstd(5, samples_per_object=20, seed=3)
+        b = generate_gstd(5, samples_per_object=20, seed=3)
+        for ta, tb in zip(a, b):
+            assert ta == tb
+
+    def test_different_seeds_differ(self):
+        a = generate_gstd(5, samples_per_object=20, seed=3)
+        b = generate_gstd(5, samples_per_object=20, seed=4)
+        assert any(ta != tb for ta, tb in zip(a, b))
+
+    def test_counts_and_common_window(self):
+        ds = generate_gstd(7, samples_per_object=30, seed=1)
+        assert len(ds) == 7
+        assert ds.total_samples() == 7 * 30
+        for tr in ds:
+            assert tr.t_start == 0.0
+            assert tr.t_end == GSTDConfig().duration
+
+    def test_positions_stay_in_unit_square(self):
+        ds = generate_gstd(10, samples_per_object=100, seed=5)
+        for tr in ds:
+            for p in tr:
+                assert -1e-9 <= p.x <= 1.0 + 1e-9
+                assert -1e-9 <= p.y <= 1.0 + 1e-9
+
+    def test_jitter_produces_irregular_clocks(self):
+        ds = generate_gstd(3, samples_per_object=50, seed=2, sampling_jitter=0.4)
+        tr = ds[0]
+        gaps = {round(b.t - a.t, 9) for a, b in zip(tr.samples, tr.samples[1:])}
+        assert len(gaps) > 1  # not a regular clock
+
+    def test_zero_jitter_regular_clock(self):
+        ds = generate_gstd(2, samples_per_object=11, seed=2, sampling_jitter=0.0)
+        tr = ds[0]
+        gaps = {round(b.t - a.t, 6) for a, b in zip(tr.samples, tr.samples[1:])}
+        assert len(gaps) == 1
+
+    def test_normal_speed_distribution_supported(self):
+        ds = generate_gstd(
+            3, samples_per_object=20, seed=2, speed_distribution="normal"
+        )
+        assert len(ds) == 3
+
+    def test_random_heading_mode(self):
+        ds = generate_gstd(3, samples_per_object=20, seed=2, heading="random")
+        assert len(ds) == 3
+
+    def test_gaussian_initial_distribution(self):
+        cfg = GSTDConfig(num_objects=4, initial_distribution="gaussian", seed=9)
+        ds = GSTDGenerator(cfg).generate()
+        assert len(ds) == 4
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(TrajectoryError):
+            GSTDConfig(num_objects=0)
+        with pytest.raises(TrajectoryError):
+            GSTDConfig(samples_per_object=1)
+        with pytest.raises(TrajectoryError):
+            GSTDConfig(duration=0.0)
+        with pytest.raises(TrajectoryError):
+            GSTDConfig(sampling_jitter=1.0)
+        with pytest.raises(TrajectoryError):
+            GSTDConfig(speed_scale=0.0)
+
+
+class TestTrucks:
+    def test_deterministic(self):
+        a = generate_trucks(5, samples_per_truck=30, seed=1)
+        b = generate_trucks(5, samples_per_truck=30, seed=1)
+        for ta, tb in zip(a, b):
+            assert ta == tb
+
+    def test_counts_and_window(self):
+        ds = generate_trucks(6, samples_per_truck=40, seed=1)
+        assert len(ds) == 6
+        cfg = TrucksConfig()
+        for tr in ds:
+            assert tr.t_start == 0.0
+            assert tr.t_end == pytest.approx(cfg.duration)
+            assert len(tr) == 40
+
+    def test_positions_inside_region(self):
+        cfg = TrucksConfig(num_trucks=5, samples_per_truck=50, seed=3)
+        ds = TrucksGenerator(cfg).generate()
+        for tr in ds:
+            for p in tr:
+                assert -1e-6 <= p.x <= cfg.region_size + 1e-6
+                assert -1e-6 <= p.y <= cfg.region_size + 1e-6
+
+    def test_trucks_share_routes(self):
+        """Several trucks visit the same destination pool, so some
+        pairs are much more similar than others (the quality
+        experiment relies on this structure)."""
+        ds = generate_trucks(12, samples_per_truck=60, seed=2, num_routes=3)
+        from repro import dissim_exact
+
+        values = []
+        trs = list(ds)
+        for i in range(len(trs)):
+            for j in range(i + 1, len(trs)):
+                values.append(dissim_exact(trs[i], trs[j]))
+        assert max(values) > 3.0 * min(values)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(TrajectoryError):
+            TrucksConfig(num_trucks=0)
+        with pytest.raises(TrajectoryError):
+            TrucksConfig(samples_per_truck=1)
+        with pytest.raises(TrajectoryError):
+            TrucksConfig(num_routes=0)
+        with pytest.raises(TrajectoryError):
+            TrucksConfig(dwell_fraction=0.95)
+
+    def test_full_scale_parameters_documented(self):
+        """The paper-scale invocation stays one call away (not run at
+        full size here; just a small sanity slice of the same code
+        path)."""
+        ds = generate_trucks(10, samples_per_truck=25, seed=7)
+        assert ds.total_segments() == 10 * 24
+
+
+class TestWorkloads:
+    def test_query_is_slice_of_data(self, tiny_dataset):
+        rng = random.Random(5)
+        query, (t0, t1) = make_query(tiny_dataset, 0.1, rng)
+        assert query.t_start == pytest.approx(t0)
+        assert query.t_end == pytest.approx(t1)
+        # the source trajectory contains the query geometrically
+        best, best_id = math.inf, None
+        from repro import dissim_exact
+
+        for tr in tiny_dataset:
+            d = dissim_exact(query, tr, (t0, t1))
+            if d < best:
+                best, best_id = d, tr.object_id
+        assert best == pytest.approx(0.0, abs=1e-9)
+
+    def test_full_length_query(self, tiny_dataset):
+        rng = random.Random(6)
+        query, (t0, t1) = make_query(tiny_dataset, 1.0, rng)
+        span = tiny_dataset.time_span()
+        assert (t0, t1) == span
+
+    def test_invalid_length_rejected(self, tiny_dataset):
+        rng = random.Random(7)
+        with pytest.raises(QueryError):
+            make_query(tiny_dataset, 0.0, rng)
+        with pytest.raises(QueryError):
+            make_query(tiny_dataset, 1.5, rng)
+
+    def test_workload_reproducible(self, tiny_dataset):
+        w1 = make_workload(tiny_dataset, 5, 0.1, seed=3)
+        w2 = make_workload(tiny_dataset, 5, 0.1, seed=3)
+        assert len(w1) == 5
+        for (qa, pa), (qb, pb) in zip(w1, w2):
+            assert qa == qb and pa == pb
+
+    def test_workload_unique_query_ids(self, tiny_dataset):
+        w = make_workload(tiny_dataset, 5, 0.1, seed=3)
+        ids = [q.object_id for q, _p in w]
+        assert len(set(ids)) == 5
+
+    def test_workload_bad_count_rejected(self, tiny_dataset):
+        with pytest.raises(QueryError):
+            make_workload(tiny_dataset, 0, 0.1)

@@ -1,0 +1,147 @@
+"""Tests for TrajectoryDataset and the CSV/JSON I/O round trips."""
+
+import pytest
+
+from repro import Trajectory, TrajectoryDataset, read_csv, read_json, write_csv, write_json
+from repro.exceptions import TrajectoryError
+
+
+def make_ds() -> TrajectoryDataset:
+    return TrajectoryDataset(
+        [
+            Trajectory(1, [(0, 0, 0), (3, 4, 1), (3, 4, 2)]),
+            Trajectory(2, [(5, 5, 0), (6, 5, 2)]),
+        ]
+    )
+
+
+class TestDataset:
+    def test_len_iter_contains(self):
+        ds = make_ds()
+        assert len(ds) == 2
+        assert 1 in ds and 3 not in ds
+        assert [tr.object_id for tr in ds] == [1, 2]
+
+    def test_getitem_and_missing(self):
+        ds = make_ds()
+        assert ds[2].object_id == 2
+        with pytest.raises(KeyError):
+            ds[99]
+        assert ds.get(99) is None
+
+    def test_duplicate_id_rejected(self):
+        ds = make_ds()
+        with pytest.raises(TrajectoryError):
+            ds.add(Trajectory(1, [(0, 0, 0), (1, 1, 1)]))
+
+    def test_counts(self):
+        ds = make_ds()
+        assert ds.total_samples() == 5
+        assert ds.total_segments() == 3
+
+    def test_max_speed_and_cache_invalidation(self):
+        ds = make_ds()
+        assert ds.max_speed() == pytest.approx(5.0)
+        ds.add(Trajectory(3, [(0, 0, 0), (20, 0, 1)]))
+        assert ds.max_speed() == pytest.approx(20.0)
+
+    def test_empty_dataset_metadata_rejected(self):
+        ds = TrajectoryDataset()
+        with pytest.raises(TrajectoryError):
+            ds.max_speed()
+        with pytest.raises(TrajectoryError):
+            ds.mbr()
+        with pytest.raises(TrajectoryError):
+            ds.time_span()
+        with pytest.raises(TrajectoryError):
+            ds.spatial_moments()
+
+    def test_mbr_and_time_span(self):
+        ds = make_ds()
+        assert ds.mbr().as_tuple() == (0, 0, 0, 6, 5, 2)
+        assert ds.time_span() == (0, 2)
+
+    def test_covering(self):
+        ds = make_ds()
+        assert {tr.object_id for tr in ds.covering(0, 2)} == {1, 2}
+        ds.add(Trajectory(3, [(0, 0, 1), (1, 1, 2)]))
+        assert {tr.object_id for tr in ds.covering(0, 2)} == {1, 2}
+
+    def test_remove(self):
+        ds = make_ds()
+        removed = ds.remove(1)
+        assert removed.object_id == 1
+        assert 1 not in ds and len(ds) == 1
+        with pytest.raises(KeyError):
+            ds.remove(1)
+
+    def test_remove_invalidates_max_speed_cache(self):
+        ds = make_ds()
+        assert ds.max_speed() == pytest.approx(5.0)  # trajectory 1 is fastest
+        ds.remove(1)
+        assert ds.max_speed() == pytest.approx(0.5)
+
+    def test_normalised_has_zero_mean(self):
+        ds = make_ds().normalised()
+        mx, my, sx, sy = ds.spatial_moments()
+        assert abs(mx) < 1e-12 and abs(my) < 1e-12
+        assert sx == pytest.approx(1.0)
+        assert sy == pytest.approx(1.0)
+
+    def test_max_spatial_std(self):
+        ds = make_ds()
+        _, _, sx, sy = ds.spatial_moments()
+        assert ds.max_spatial_std() == max(sx, sy)
+
+
+class TestIO:
+    def test_csv_round_trip(self, tmp_path):
+        ds = make_ds()
+        path = tmp_path / "ds.csv"
+        write_csv(ds, path)
+        back = read_csv(path)
+        assert len(back) == 2
+        # ids become strings through CSV; geometry must survive exactly
+        for tr, orig_id in zip(back, (1, 2)):
+            orig = ds[orig_id]
+            assert [p.as_tuple() for p in tr] == [p.as_tuple() for p in orig]
+
+    def test_csv_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("7,0.0,0.0,0.0\n7,1.0,2.0,3.0\n")
+        ds = read_csv(path)
+        assert len(ds) == 1
+        assert ds["7"].t_end == 3.0
+
+    def test_csv_bad_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(TrajectoryError):
+            read_csv(path)
+
+    def test_csv_bad_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,zero,0,0\n1,1,1,1\n")
+        with pytest.raises(TrajectoryError):
+            read_csv(path)
+
+    def test_json_round_trip(self, tmp_path):
+        ds = make_ds()
+        path = tmp_path / "ds.json"
+        write_json(ds, path)
+        back = read_json(path)
+        assert len(back) == 2
+        assert back[1] == ds[1]
+        assert back[2] == ds[2]
+
+    def test_json_invalid_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TrajectoryError):
+            read_json(path)
+
+    def test_json_missing_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"stuff": []}')
+        with pytest.raises(TrajectoryError):
+            read_json(path)

@@ -1,0 +1,188 @@
+"""Tests for the DISSIM metric (Definition 1 + Lemma 1).
+
+The load-bearing properties:
+
+* exact DISSIM agrees with brute-force numeric integration,
+* the trapezoid approximation brackets the exact value one-sidedly,
+* DISSIM is *sampling-rate invariant*: resampling a trajectory (adding
+  interpolated points) does not change the metric — this is precisely
+  the property that separates DISSIM from LCSS/EDR in the paper's
+  motivating Figure 1.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Trajectory, dissim, dissim_exact, distance_at
+from repro.distance import merged_timestamps, resolve_period, segment_dissim
+from repro.exceptions import QueryError, TemporalCoverageError
+from repro.geometry import STPoint, STSegment
+
+from conftest import cotemporal_trajectory_pairs, straight_line
+
+
+def numeric_dissim(q, t, t_lo, t_hi, n=4000):
+    """Brute-force Riemann sum of the inter-object distance."""
+    step = (t_hi - t_lo) / n
+    total = 0.0
+    for i in range(n):
+        mid = t_lo + (i + 0.5) * step
+        total += distance_at(q, t, mid) * step
+    return total
+
+
+class TestExactDissim:
+    def test_identical_trajectories_zero(self):
+        tr = Trajectory(1, [(0, 0, 0), (5, 5, 5), (2, 1, 9)])
+        assert dissim_exact(tr, tr.with_id(2)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_offset(self):
+        a = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0, 10])
+        b = straight_line(2, 0.0, 3.0, 1.0, 0.0, [0, 10])
+        assert dissim_exact(a, b) == pytest.approx(30.0)
+
+    def test_symmetry(self):
+        a = Trajectory(1, [(0, 0, 0), (5, 2, 4), (1, 1, 10)])
+        b = Trajectory(2, [(1, 1, 0), (2, 2, 3), (0, 5, 10)])
+        assert dissim_exact(a, b) == pytest.approx(dissim_exact(b, a))
+
+    def test_known_linear_divergence(self):
+        # b runs away along x at speed 1 from the same start.
+        a = straight_line(1, 0.0, 0.0, 0.0, 0.0, [0, 10])
+        b = straight_line(2, 0.0, 0.0, 1.0, 0.0, [0, 10])
+        # integral of t over [0, 10] = 50.
+        assert dissim_exact(a, b) == pytest.approx(50.0)
+
+    @given(cotemporal_trajectory_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numeric_integration(self, pair):
+        q, t = pair
+        exact = dissim_exact(q, t)
+        approx = numeric_dissim(q, t, q.t_start, q.t_end)
+        scale = max(1.0, exact)
+        assert exact == pytest.approx(approx, abs=0.01 * scale)
+
+    @given(cotemporal_trajectory_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_sampling_rate_invariance(self, pair):
+        """Adding interpolated samples (keeping the original vertices,
+        so the traced path is unchanged) must not change the metric."""
+        q, t = pair
+        times = [p.t for p in q.samples]
+        enriched = sorted(
+            set(times)
+            | {(a + b) / 2.0 for a, b in zip(times, times[1:])}
+            | {(3 * a + b) / 4.0 for a, b in zip(times, times[1:])}
+        )
+        dense_q = q.resampled(enriched)
+        base = dissim_exact(q, t)
+        dense = dissim_exact(dense_q, t)
+        assert dense == pytest.approx(base, rel=1e-6, abs=1e-7)
+
+    def test_figure1_motivating_example(self):
+        """Paper Figure 1: same route sampled 4 vs 32 times is
+        (near-)identical under DISSIM."""
+        route = straight_line(0, 0.0, 0.0, 1.0, 0.5, [i for i in range(32)])
+        sparse = route.uniformly_resampled(4).with_id(1)
+        assert dissim_exact(sparse, route) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestApproximateDissim:
+    @given(cotemporal_trajectory_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_one_sided_bracket(self, pair):
+        q, t = pair
+        exact = dissim_exact(q, t)
+        result = dissim(q, t)
+        slack = 1e-7 * max(1.0, result.approx)
+        assert exact <= result.upper + slack
+        assert exact >= result.lower - slack
+
+    def test_error_zero_for_lockstep_parallel(self):
+        a = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0, 5, 10])
+        b = straight_line(2, 0.0, 2.0, 1.0, 0.0, [0, 5, 10])
+        r = dissim(a, b)
+        assert r.approx == pytest.approx(20.0)
+        assert r.error_bound == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPeriods:
+    def test_default_period_is_overlap(self):
+        a = Trajectory(1, [(0, 0, 0), (0, 0, 10)])
+        b = Trajectory(2, [(1, 0, 5), (1, 0, 15)])
+        # overlap [5, 10], constant distance 1.
+        assert dissim_exact(a, b) == pytest.approx(5.0)
+
+    def test_disjoint_lifetimes_rejected(self):
+        a = Trajectory(1, [(0, 0, 0), (0, 0, 1)])
+        b = Trajectory(2, [(0, 0, 2), (0, 0, 3)])
+        with pytest.raises(TemporalCoverageError):
+            dissim_exact(a, b)
+
+    def test_full_coverage_enforced(self):
+        a = Trajectory(1, [(0, 0, 0), (0, 0, 10)])
+        b = Trajectory(2, [(1, 0, 2), (1, 0, 8)])
+        with pytest.raises(TemporalCoverageError):
+            dissim_exact(a, b, (0, 10))
+
+    def test_clip_policy_scales(self):
+        a = Trajectory(1, [(0, 0, 0), (0, 0, 10)])
+        b = Trajectory(2, [(1, 0, 0), (1, 0, 5)])
+        # overlap [0,5] has dissim 5; scaled by 10/5 = 2.
+        assert dissim_exact(a, b, (0, 10), coverage="clip") == pytest.approx(10.0)
+
+    def test_unknown_policy_rejected(self):
+        a = Trajectory(1, [(0, 0, 0), (0, 0, 10)])
+        with pytest.raises(QueryError):
+            resolve_period(a, a, (0, 10), coverage="weird")
+
+    def test_inverted_period_rejected(self):
+        a = Trajectory(1, [(0, 0, 0), (0, 0, 10)])
+        with pytest.raises(QueryError):
+            dissim_exact(a, a.with_id(2), (8, 3))
+
+    def test_merged_timestamps(self):
+        a = Trajectory(1, [(0, 0, 0), (0, 0, 4), (0, 0, 10)])
+        b = Trajectory(2, [(0, 0, 0), (0, 0, 7), (0, 0, 10)])
+        assert merged_timestamps(a, b, 1.0, 9.0) == [1.0, 4.0, 7.0, 9.0]
+
+
+class TestSegmentDissim:
+    def test_matches_full_dissim_on_one_segment(self):
+        q = Trajectory(1, [(0, 0, 0), (2, 2, 4), (0, 4, 10)])
+        t = Trajectory(2, [(1, 1, 0), (3, 0, 10)])
+        seg = STSegment(STPoint(1, 1, 0), STPoint(3, 0, 10))
+        total, d_lo, d_hi = segment_dissim(q, seg, 0.0, 10.0)
+        ref = dissim(q, t, (0.0, 10.0))
+        assert total.approx == pytest.approx(ref.approx)
+        assert d_lo == pytest.approx(distance_at(q, t, 0.0))
+        assert d_hi == pytest.approx(distance_at(q, t, 10.0))
+
+    def test_window_outside_segment_rejected(self):
+        q = Trajectory(1, [(0, 0, 0), (1, 1, 10)])
+        seg = STSegment(STPoint(0, 0, 0), STPoint(1, 1, 5))
+        with pytest.raises(QueryError):
+            segment_dissim(q, seg, 4.0, 6.0)
+
+    def test_query_not_covering_rejected(self):
+        q = Trajectory(1, [(0, 0, 2), (1, 1, 4)])
+        seg = STSegment(STPoint(0, 0, 0), STPoint(1, 1, 10))
+        with pytest.raises(TemporalCoverageError):
+            segment_dissim(q, seg, 0.0, 10.0)
+
+    def test_exact_mode_has_zero_error(self):
+        q = Trajectory(1, [(0, 0, 0), (5, 1, 10)])
+        seg = STSegment(STPoint(2, 2, 0), STPoint(0, 1, 10))
+        total, _lo, _hi = segment_dissim(q, seg, 0.0, 10.0, exact=True)
+        assert total.error_bound == 0.0
+        ref = dissim_exact(q, Trajectory(2, [(2, 2, 0), (0, 1, 10)]), (0, 10))
+        assert total.approx == pytest.approx(ref)
+
+
+def test_distance_at_matches_hand_computation():
+    a = Trajectory(1, [(0, 0, 0), (10, 0, 10)])
+    b = Trajectory(2, [(0, 3, 0), (10, 3, 10)])
+    assert distance_at(a, b, 4.2) == pytest.approx(3.0)
+    assert math.isclose(distance_at(a, b, 0.0), 3.0)

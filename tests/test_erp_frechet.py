@@ -1,0 +1,98 @@
+"""Tests for the ERP and discrete Fréchet extension measures."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Trajectory, discrete_frechet_distance, erp_distance
+from repro.geometry import Point
+
+from conftest import trajectories
+
+
+def tr(points, id_=0):
+    return Trajectory(id_, points)
+
+
+class TestERP:
+    def test_identical_is_zero(self):
+        a = tr([(0, 0, 0), (1, 1, 1), (2, 0, 2)])
+        assert erp_distance(a, a.with_id(1)) == pytest.approx(0.0)
+
+    def test_single_point_offset(self):
+        a = tr([(0, 0, 0), (1, 0, 1)])
+        b = tr([(0, 0, 0), (1, 3, 1)], id_=1)
+        assert erp_distance(a, b) == pytest.approx(3.0)
+
+    def test_gap_penalty_uses_reference_point(self):
+        a = tr([(5, 0, 0), (5, 0, 1)])
+        b = tr([(5, 0, 0), (5, 0, 1), (5, 0, 2)], id_=1)
+        # one extra sample in b at distance 5 from the origin gap
+        assert erp_distance(a, b) == pytest.approx(5.0)
+        # a custom reference point right on the extra sample: free gap
+        assert erp_distance(a, b, gap=Point(5, 0)) == pytest.approx(0.0)
+
+    @given(trajectories(id_=0), trajectories(id_=1))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert erp_distance(a, b) == pytest.approx(erp_distance(b, a))
+
+    @given(trajectories(id_=0), trajectories(id_=1), trajectories(id_=2))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        """ERP's selling point over DTW/EDR: it is a true metric."""
+        ab = erp_distance(a, b)
+        bc = erp_distance(b, c)
+        ac = erp_distance(a, c)
+        assert ac <= ab + bc + 1e-7
+
+    @given(trajectories(id_=0))
+    @settings(max_examples=40, deadline=None)
+    def test_self_distance_zero(self, a):
+        assert erp_distance(a, a.with_id(1)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDiscreteFrechet:
+    def test_identical_is_zero(self):
+        a = tr([(0, 0, 0), (1, 1, 1), (2, 0, 2)])
+        assert discrete_frechet_distance(a, a.with_id(1)) == 0.0
+
+    def test_parallel_lines(self):
+        a = tr([(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        b = tr([(0, 1, 0), (1, 1, 1), (2, 1, 2)], id_=1)
+        assert discrete_frechet_distance(a, b) == pytest.approx(1.0)
+
+    def test_leash_binds_at_worst_point(self):
+        a = tr([(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        b = tr([(0, 0, 0), (1, 5, 1), (2, 0, 2)], id_=1)
+        # The walker on b must visit (1, 5); the best simultaneous
+        # position on a is distance sqrt(1+25)... actually (1, 0): 5.
+        assert discrete_frechet_distance(a, b) == pytest.approx(5.0)
+
+    def test_time_is_ignored(self):
+        a = tr([(0, 0, 0), (1, 0, 1)])
+        b = tr([(0, 0, 100), (1, 0, 200)], id_=1)
+        assert discrete_frechet_distance(a, b) == 0.0
+
+    @given(trajectories(id_=0), trajectories(id_=1))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert discrete_frechet_distance(a, b) == pytest.approx(
+            discrete_frechet_distance(b, a)
+        )
+
+    @given(trajectories(id_=0), trajectories(id_=1))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_max_pairwise_and_at_least_endpoints(self, a, b):
+        f = discrete_frechet_distance(a, b)
+        max_pair = max(
+            math.hypot(pa.x - pb.x, pa.y - pb.y)
+            for pa in a.samples
+            for pb in b.samples
+        )
+        ends = max(
+            math.hypot(a[0].x - b[0].x, a[0].y - b[0].y),
+            math.hypot(a[-1].x - b[-1].x, a[-1].y - b[-1].y),
+        )
+        assert ends - 1e-9 <= f <= max_pair + 1e-9

@@ -1,0 +1,59 @@
+"""The bundled examples must run cleanly and print their headline
+conclusions (they are executable documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "DISSIM(Q, T) = 0.000000" in out
+        assert "top-5 most similar trajectories" in out
+        assert "pruning power" in out
+
+    def test_transit_planning(self):
+        out = run_example("transit_planning.py")
+        assert "5/5 of the top matches" in out
+
+    def test_fleet_monitoring(self):
+        out = run_example("fleet_monitoring.py")
+        assert "range query" in out
+        assert "nearest neighbour" in out
+        assert "k-MST" in out
+        assert "Same index, three query types" in out
+
+    def test_time_relaxed_search(self):
+        out = run_example("time_relaxed_search.py")
+        assert "time-relaxed k-MST" in out
+        assert "vehicle 1 wins with a recovered shift of 2400 s" in out
+
+    def test_compression_quality(self):
+        out = run_example("compression_quality.py")
+        assert "Figure 8" in out
+        assert "Figure 9" in out
+        # DISSIM's table row must be all-zero failures in this scenario
+        for line in out.splitlines():
+            cells = line.split()
+            if cells and cells[0] == "DISSIM":
+                assert all(c == "0%" for c in cells[1:])
+                break
+        else:
+            pytest.fail("DISSIM row not found")

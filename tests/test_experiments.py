@@ -1,0 +1,172 @@
+"""Smoke + semantics tests for the experiment harness (tiny scale).
+
+These don't reproduce the paper's numbers (the benchmarks do, at a
+larger scale); they verify that the harness machinery measures what it
+claims to measure.
+"""
+
+import pytest
+
+from repro.datagen import make_workload
+from repro.experiments import (
+    DatasetSpec,
+    build_dataset,
+    build_index,
+    compression_profile,
+    format_table,
+    q1_cardinality,
+    q3_k,
+    quality_experiment,
+    run_workload,
+    scaled_specs,
+    table2,
+)
+from repro.datagen import generate_trucks
+
+
+TINY = DatasetSpec("tiny", "gstd", 8, 25, "Lognormal", 0.6)
+
+
+class TestDatasets:
+    def test_build_dataset_kinds(self):
+        gstd = build_dataset(TINY)
+        assert len(gstd) == 8
+        trucks = build_dataset(
+            DatasetSpec("t", "trucks", 4, 20, "Lognormal", 1.0)
+        )
+        assert len(trucks) == 4
+        with pytest.raises(ValueError):
+            build_dataset(DatasetSpec("x", "nope", 1, 10, "L", 1.0))
+
+    def test_build_index_kinds(self):
+        ds = build_dataset(TINY)
+        rtree = build_index(ds, "rtree")
+        tbtree = build_index(ds, "tbtree")
+        assert rtree.num_entries == tbtree.num_entries == ds.total_segments()
+        with pytest.raises(ValueError):
+            build_index(ds, "btree")
+
+    def test_table2_rows(self):
+        rows = table2(specs=[TINY])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "tiny"
+        assert row["objects"] == 8
+        assert row["entries"] == 8 * 24
+        assert row["rtree_mb"] > 0 and row["tbtree_mb"] > 0
+
+    def test_scaled_specs_shrink_samples_only(self):
+        specs = scaled_specs(0.05)
+        names = [s.name for s in specs]
+        assert names == ["Trucks", "S0100", "S0250", "S0500", "S1000"]
+        assert specs[1].num_objects == 100
+        assert specs[1].samples_per_object == 100
+
+
+class TestQuality:
+    def test_dissim_beats_edr_on_compressed_queries(self):
+        """The Figure 9 headline at toy scale: DISSIM never fails,
+        EDR degrades as p grows."""
+        ds = generate_trucks(10, samples_per_truck=60, seed=4)
+        points = quality_experiment(
+            ds,
+            p_values=(0.01, 0.05),
+            measures=("DISSIM", "EDR"),
+            max_queries=6,
+            seed=1,
+        )
+        by = {(pt.measure, pt.p): pt for pt in points}
+        assert by[("DISSIM", 0.01)].failures == 0
+        assert by[("DISSIM", 0.05)].failures == 0
+        assert (
+            by[("EDR", 0.05)].failures >= by[("DISSIM", 0.05)].failures
+        )
+        for pt in points:
+            assert 0.0 <= pt.failure_rate <= 1.0
+            assert pt.queries == 6
+
+    def test_all_measures_run(self):
+        ds = generate_trucks(6, samples_per_truck=30, seed=4)
+        points = quality_experiment(
+            ds,
+            p_values=(0.02,),
+            measures=("DISSIM", "LCSS", "LCSS-I", "EDR", "EDR-I", "DTW"),
+            max_queries=3,
+        )
+        assert {pt.measure for pt in points} == {
+            "DISSIM",
+            "LCSS",
+            "LCSS-I",
+            "EDR",
+            "EDR-I",
+            "DTW",
+        }
+
+    def test_unknown_measure_rejected(self):
+        ds = generate_trucks(4, samples_per_truck=20, seed=4)
+        with pytest.raises(ValueError):
+            quality_experiment(ds, p_values=(0.02,), measures=("WAT",))
+
+    def test_compression_profile_monotone(self):
+        ds = generate_trucks(3, samples_per_truck=80, seed=4)
+        profile = compression_profile(ds[0])
+        counts = [c for _p, c in profile]
+        assert counts == sorted(counts, reverse=True)
+        assert profile[0][1] == 80  # p = 0 keeps everything
+
+
+class TestPerformance:
+    def test_run_workload_verifies_against_scan(self):
+        ds = build_dataset(TINY)
+        index = build_index(ds, "rtree")
+        workload = make_workload(ds, 3, 0.2, seed=2)
+        point = run_workload(
+            index, ds, workload, k=2, tree_name="rtree",
+            variable="objects", value=8.0, verify=True,
+        )
+        assert point.mismatches == 0
+        assert point.queries == 3
+        assert point.mean_time_ms > 0.0
+        assert 0.0 <= point.mean_pruning_power <= 1.0
+
+    def test_q1_shape(self):
+        points = q1_cardinality(
+            cardinalities=(6, 12),
+            samples_per_object=20,
+            num_queries=2,
+            trees=("rtree",),
+            verify=True,
+        )
+        assert len(points) == 2
+        assert [p.value for p in points] == [6.0, 12.0]
+        assert all(p.mismatches == 0 for p in points)
+        assert all(p.variable == "objects" for p in points)
+
+    def test_q3_shape(self):
+        points = q3_k(
+            ks=(1, 3),
+            num_objects=8,
+            samples_per_object=20,
+            num_queries=2,
+            trees=("tbtree",),
+            verify=True,
+        )
+        assert [p.value for p in points] == [1.0, 3.0]
+        assert all(p.tree == "tbtree" for p in points)
+        assert all(p.mismatches == 0 for p in points)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.23456], ["bb", 7]],
+            title="T",
+        )
+        assert "T" in text
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_empty_rows(self):
+        text = format_table(["h"], [])
+        assert "h" in text

@@ -1,0 +1,130 @@
+"""Unit + property tests for 2D/3D bounding boxes."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import MBR2D, MBR3D, Point, STPoint, point_rect_distance
+
+from conftest import small_coord
+
+
+@st.composite
+def mbr2ds(draw):
+    x1, x2 = sorted([draw(small_coord), draw(small_coord)])
+    y1, y2 = sorted([draw(small_coord), draw(small_coord)])
+    return MBR2D(x1, y1, x2, y2)
+
+
+@st.composite
+def mbr3ds(draw):
+    x1, x2 = sorted([draw(small_coord), draw(small_coord)])
+    y1, y2 = sorted([draw(small_coord), draw(small_coord)])
+    t1, t2 = sorted([draw(small_coord), draw(small_coord)])
+    return MBR3D(x1, y1, t1, x2, y2, t2)
+
+
+class TestMBR2D:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            MBR2D(1.0, 0.0, 0.0, 1.0)
+
+    def test_from_points(self):
+        box = MBR2D.from_points([Point(0, 0), Point(2, 1), Point(-1, 3)])
+        assert box == MBR2D(-1, 0, 2, 3)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MBR2D.from_points([])
+
+    def test_area_and_margin(self):
+        box = MBR2D(0, 0, 2, 3)
+        assert box.area() == 6.0
+        assert box.margin() == 5.0
+
+    def test_contains_point_boundary(self):
+        box = MBR2D(0, 0, 1, 1)
+        assert box.contains_point(Point(0, 0))
+        assert box.contains_point(Point(1, 1))
+        assert not box.contains_point(Point(1.0001, 0.5))
+
+    def test_intersection_area(self):
+        a = MBR2D(0, 0, 2, 2)
+        b = MBR2D(1, 1, 3, 3)
+        assert a.intersection_area(b) == 1.0
+        assert a.intersection_area(MBR2D(5, 5, 6, 6)) == 0.0
+
+    def test_mindist_inside_is_zero(self):
+        assert MBR2D(0, 0, 2, 2).mindist_to_point(Point(1, 1)) == 0.0
+
+    def test_mindist_corner(self):
+        assert MBR2D(0, 0, 1, 1).mindist_to_point(Point(4, 5)) == 5.0
+
+    @given(mbr2ds(), mbr2ds())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(mbr2ds(), mbr2ds())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(mbr2ds(), small_coord, small_coord)
+    def test_mindist_lower_bounds_contained_points(self, box, fx, fy):
+        # Any point inside the box is at least mindist away from an
+        # outside probe.
+        probe = Point(fx * 3, fy * 3)
+        inside = Point(
+            box.xmin + (box.xmax - box.xmin) * (abs(fx) % 1.0),
+            box.ymin + (box.ymax - box.ymin) * (abs(fy) % 1.0),
+        )
+        assert box.mindist_to_point(probe) <= probe.distance_to(inside) + 1e-9
+
+
+class TestMBR3D:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            MBR3D(0, 0, 1, 1, 1, 0)
+
+    def test_from_st_points(self):
+        box = MBR3D.from_st_points([STPoint(0, 1, 2), STPoint(3, -1, 5)])
+        assert box == MBR3D(0, -1, 2, 3, 1, 5)
+
+    def test_spatial_projection(self):
+        box = MBR3D(0, 1, 2, 3, 4, 5)
+        assert box.spatial == MBR2D(0, 1, 3, 4)
+        assert box.duration == 3.0
+
+    def test_volume(self):
+        assert MBR3D(0, 0, 0, 2, 3, 4).volume() == 24.0
+
+    def test_overlaps_period(self):
+        box = MBR3D(0, 0, 10, 1, 1, 20)
+        assert box.overlaps_period(15, 25)
+        assert box.overlaps_period(20, 30)  # touching counts
+        assert not box.overlaps_period(20.001, 30)
+
+    @given(mbr3ds(), mbr3ds())
+    def test_union_commutes(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(mbr3ds(), mbr3ds())
+    def test_enlargement_matches_union_volume(self, a, b):
+        expected = a.union(b).volume() - a.volume()
+        assert math.isclose(a.enlargement(b), expected, rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(mbr3ds(), mbr3ds())
+    def test_enlargement_nonnegative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+    @given(mbr3ds(), mbr3ds())
+    def test_contains_implies_intersects(self, a, b):
+        if a.contains(b):
+            assert a.intersects(b)
+
+
+def test_point_rect_distance_free_function():
+    assert point_rect_distance(5.0, 0.5, 0, 0, 1, 1) == 4.0
+    assert point_rect_distance(0.5, 0.5, 0, 0, 1, 1) == 0.0

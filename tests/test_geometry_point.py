@@ -1,0 +1,62 @@
+"""Unit tests for planar / spatiotemporal points."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, STPoint
+
+from conftest import small_coord
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_translation(self):
+        assert Point(1.0, 2.0).translated(0.5, -1.0) == Point(1.5, 1.0)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    @given(small_coord, small_coord, small_coord, small_coord)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+
+class TestSTPoint:
+    def test_spatial_projection(self):
+        p = STPoint(1.0, 2.0, 3.0)
+        assert p.spatial == Point(1.0, 2.0)
+
+    def test_distance_ignores_time(self):
+        a = STPoint(0.0, 0.0, 0.0)
+        b = STPoint(3.0, 4.0, 99.0)
+        assert a.distance_to(b) == 5.0
+
+    def test_translated_with_time(self):
+        p = STPoint(1.0, 2.0, 3.0).translated(1.0, 1.0, 2.0)
+        assert p == STPoint(2.0, 3.0, 5.0)
+
+    def test_translated_default_keeps_time(self):
+        assert STPoint(1.0, 2.0, 3.0).translated(1.0, 0.0).t == 3.0
+
+    def test_is_finite_rejects_nan_and_inf(self):
+        assert STPoint(1.0, 2.0, 3.0).is_finite()
+        assert not STPoint(math.nan, 2.0, 3.0).is_finite()
+        assert not STPoint(1.0, math.inf, 3.0).is_finite()
+        assert not STPoint(1.0, 2.0, -math.inf).is_finite()
+
+    def test_as_tuple(self):
+        assert STPoint(1.0, 2.0, 3.0).as_tuple() == (1.0, 2.0, 3.0)

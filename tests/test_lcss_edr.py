@@ -1,0 +1,149 @@
+"""Tests for the LCSS and EDR competitor measures (and their -I
+variants), including the paper's Section 5.2 failure analysis of EDR
+under compression."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Trajectory, edr_distance, edr_i_distance, lcss_distance, lcss_i_distance
+from repro.compression import td_tr_fraction
+from repro.distance import edr_normalised_distance, lcss_length, lcss_similarity
+
+from conftest import trajectories
+
+
+def tr(points, id_=0):
+    return Trajectory(id_, points)
+
+
+class TestLCSS:
+    def test_identical_sequences(self):
+        a = tr([(0, 0, 0), (1, 1, 1), (2, 2, 2)])
+        assert lcss_length(a, a.with_id(1), eps=0.1) == 3
+        assert lcss_distance(a, a.with_id(1), eps=0.1) == 0.0
+
+    def test_no_matches(self):
+        a = tr([(0, 0, 0), (1, 1, 1)])
+        b = tr([(10, 10, 0), (20, 20, 1)], id_=1)
+        assert lcss_length(a, b, eps=0.5) == 0
+        assert lcss_distance(a, b, eps=0.5) == 1.0
+
+    def test_partial_match_with_outlier(self):
+        # LCSS's selling point: one outlier doesn't break the match.
+        a = tr([(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)])
+        b = tr([(0, 0, 0), (99, 99, 1), (2, 0, 2), (3, 0, 3)], id_=1)
+        assert lcss_length(a, b, eps=0.1) == 3
+
+    def test_eps_negative_rejected(self):
+        a = tr([(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(ValueError):
+            lcss_length(a, a.with_id(1), eps=-1.0)
+
+    def test_delta_window_restricts_matching(self):
+        # The matching pair sits 3 indexes apart; delta=1 forbids it.
+        a = tr([(0, 0, 0), (9, 9, 1), (9, 9, 2), (9, 9, 3), (5, 5, 4)])
+        b = tr([(5, 5, 0), (7, 7, 1), (7, 7, 2), (7, 7, 3), (0, 0, 4)], id_=1)
+        assert lcss_length(a, b, eps=0.1, delta=10) == 1
+        assert lcss_length(a, b, eps=0.1, delta=1) == 0
+
+    def test_similarity_normalisation(self):
+        a = tr([(0, 0, 0), (1, 0, 1)])
+        b = tr([(0, 0, 0), (1, 0, 1), (9, 9, 2), (9, 9, 3)], id_=1)
+        assert lcss_similarity(a, b, eps=0.1) == 1.0  # min length = 2
+
+    @given(trajectories(id_=0), trajectories(id_=1))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert lcss_length(a, b, 0.5) == lcss_length(b, a, 0.5)
+
+    @given(trajectories(id_=0), trajectories(id_=1))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_min_length(self, a, b):
+        assert 0 <= lcss_length(a, b, 0.5) <= min(len(a), len(b))
+
+    @given(trajectories(id_=0))
+    @settings(max_examples=40, deadline=None)
+    def test_self_distance_zero(self, a):
+        assert lcss_distance(a, a.with_id(1), eps=1e-9) == 0.0
+
+
+class TestEDR:
+    def test_identical_sequences(self):
+        a = tr([(0, 0, 0), (1, 1, 1), (2, 2, 2)])
+        assert edr_distance(a, a.with_id(1), eps=0.1) == 0
+
+    def test_single_substitution(self):
+        a = tr([(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        b = tr([(0, 0, 0), (9, 9, 1), (2, 0, 2)], id_=1)
+        assert edr_distance(a, b, eps=0.1) == 1
+
+    def test_length_difference_costs_insertions(self):
+        a = tr([(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)])
+        b = tr([(0, 0, 0), (3, 0, 3)], id_=1)
+        assert edr_distance(a, b, eps=0.1) == 2
+
+    def test_eps_negative_rejected(self):
+        a = tr([(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(ValueError):
+            edr_distance(a, a.with_id(1), eps=-0.1)
+
+    def test_normalised_variant(self):
+        a = tr([(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)])
+        b = tr([(0, 0, 0), (3, 0, 3)], id_=1)
+        assert edr_normalised_distance(a, b, eps=0.1) == pytest.approx(0.5)
+
+    @given(trajectories(id_=0), trajectories(id_=1))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edr_distance(a, b, 0.5) == edr_distance(b, a, 0.5)
+
+    @given(trajectories(id_=0), trajectories(id_=1))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, a, b):
+        d = edr_distance(a, b, 0.5)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(trajectories(id_=0), trajectories(id_=1), trajectories(id_=2))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        """EDR (with match/mismatch cost in {0,1}) satisfies the
+        triangle inequality only approximately; the classic guarantee
+        is EDR(a,c) <= EDR(a,b) + EDR(b,c) + min lengths slack.  We
+        check the standard weak form used in pruning: the raw edit
+        counts never violate it by more than the intermediate
+        trajectory's length."""
+        ab = edr_distance(a, b, 0.5)
+        bc = edr_distance(b, c, 0.5)
+        ac = edr_distance(a, c, 0.5)
+        assert ac <= ab + bc + len(b)
+
+
+class TestImprovedVariants:
+    def test_interpolation_recovers_undersampled_match(self):
+        """The paper's motivation for LCSS-I/EDR-I: an under-sampled
+        copy of a trajectory (whose samples fall *between* the
+        original's samples) matches poorly raw, much better after
+        interpolation at the original's timestamps."""
+        dense = tr([(float(i), 0.0, float(i)) for i in range(9)])
+        sparse = tr(
+            [(0.5, 0.0, 0.5), (4.5, 0.0, 4.5), (7.5, 0.0, 7.5)], id_=1
+        )
+        # Raw: no sparse sample is within eps of any dense sample.
+        assert lcss_distance(sparse, dense, eps=0.01) == 1.0
+        assert edr_distance(sparse, dense, eps=0.01) >= len(dense) - len(sparse)
+        # Interpolated: the enriched query hits every dense timestamp
+        # inside its lifetime exactly.
+        assert lcss_i_distance(sparse, dense, eps=0.01) < 1.0
+        assert edr_i_distance(sparse, dense, eps=0.01) < edr_distance(
+            sparse, dense, eps=0.01
+        )
+
+    def test_edr_compression_failure_mode(self):
+        """Section 5.2's analysis: EDR(A, A_compressed) >= n - m, so a
+        short arbitrary trajectory can beat the true original."""
+        dense = tr([(float(i), float((-1) ** i), float(i)) for i in range(24)])
+        compressed = td_tr_fraction(dense, 0.10).with_id(1)
+        n, m = len(dense), len(compressed)
+        if m < n:
+            assert edr_distance(dense, compressed, eps=0.25) >= n - m

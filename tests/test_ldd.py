@@ -1,0 +1,66 @@
+"""Tests for the Linearly Depended Dissimilarity (Definition 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import ldd
+
+nonneg = st.floats(min_value=0.0, max_value=100.0)
+speeds = st.floats(min_value=-50.0, max_value=50.0)
+durations = st.floats(min_value=0.0, max_value=50.0)
+
+
+class TestLDD:
+    def test_zero_duration(self):
+        assert ldd(5.0, -1.0, 0.0) == 0.0
+
+    def test_constant_distance(self):
+        assert ldd(3.0, 0.0, 4.0) == pytest.approx(12.0)
+
+    def test_diverging_trapezoid(self):
+        # 2 -> 2 + 1*4 = 6 over 4 time units: area (2+6)/2*4 = 16.
+        assert ldd(2.0, 1.0, 4.0) == pytest.approx(16.0)
+
+    def test_approaching_without_contact(self):
+        # 10 -> 10 - 1*4 = 6: area (10+6)/2*4 = 32.
+        assert ldd(10.0, -1.0, 4.0) == pytest.approx(32.0)
+
+    def test_contact_triangle(self):
+        # 4 -> 0 at t=2 then clamp: triangle 4*2/2 = 8 regardless of dt.
+        assert ldd(4.0, -2.0, 10.0) == pytest.approx(4.0)
+        assert ldd(4.0, -2.0, 2.0) == pytest.approx(4.0)
+
+    def test_exact_contact_at_end(self):
+        # D + V*dt == 0 exactly: trapezoid branch, triangle value.
+        assert ldd(4.0, -2.0, 2.0) == pytest.approx(4.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ldd(-1.0, 0.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ldd(1.0, 0.0, -1.0)
+
+    @given(nonneg, speeds, durations)
+    def test_nonnegative(self, d, v, dt):
+        assert ldd(d, v, dt) >= 0.0
+
+    @given(nonneg, speeds, durations)
+    def test_matches_numeric_area(self, d, v, dt):
+        """LDD is the integral of max(0, D + V*t)."""
+        n = 2000
+        step = dt / n if n else 0.0
+        area = sum(
+            max(0.0, d + v * ((i + 0.5) * step)) * step for i in range(n)
+        )
+        assert ldd(d, v, dt) == pytest.approx(area, rel=0.02, abs=0.02)
+
+    @given(nonneg, st.floats(min_value=0.0, max_value=50.0), durations)
+    def test_monotone_in_speed_when_diverging(self, d, v, dt):
+        assert ldd(d, v, dt) >= ldd(d, 0.0, dt) - 1e-12
+
+    @given(nonneg, st.floats(min_value=0.0, max_value=50.0), durations)
+    def test_approaching_never_exceeds_constant(self, d, v, dt):
+        assert ldd(d, -v, dt) <= ldd(d, 0.0, dt) + 1e-12

@@ -1,0 +1,106 @@
+"""Tests for MINDIST(Q, N) and the best-first traversal.
+
+MINDIST's contract (what Lemma 4 needs): for any segment stored under
+a node and any instant in the common time window, the distance between
+the query position and that segment's position is at least the node's
+MINDIST.
+"""
+
+import random
+
+import pytest
+
+from repro import RTree3D, Trajectory, generate_gstd, mindist
+from repro.datagen import make_query
+from repro.geometry import MBR3D
+from repro.index import best_first_nodes
+
+
+class TestMindist:
+    def test_none_without_temporal_overlap(self):
+        q = Trajectory(0, [(0, 0, 0), (1, 1, 10)])
+        box = MBR3D(0, 0, 20, 1, 1, 30)
+        assert mindist(q, box, 0, 10) is None
+
+    def test_zero_when_query_enters_box(self):
+        q = Trajectory(0, [(0, 0, 0), (10, 0, 10)])
+        box = MBR3D(4, -1, 0, 6, 1, 10)
+        assert mindist(q, box, 0, 10) == 0.0
+
+    def test_positive_clearance(self):
+        q = Trajectory(0, [(0, 5, 0), (10, 5, 10)])
+        box = MBR3D(0, 0, 0, 10, 1, 10)
+        assert mindist(q, box, 0, 10) == pytest.approx(4.0)
+
+    def test_period_clipping_changes_answer(self):
+        # Query approaches the box only late; restricting the period
+        # to the early part must give a larger MINDIST.
+        q = Trajectory(0, [(0, 10, 0), (0, 2, 10)])
+        box = MBR3D(-1, 0, 0, 1, 1, 10)
+        full = mindist(q, box, 0, 10)
+        early = mindist(q, box, 0, 2)
+        assert full == pytest.approx(1.0)
+        assert early > full
+
+    def test_instantaneous_overlap(self):
+        q = Trajectory(0, [(0, 0, 0), (10, 0, 10)])
+        box = MBR3D(20, 0, 10, 30, 1, 15)  # touches q's lifetime at t=10
+        d = mindist(q, box, 0, 10)
+        assert d == pytest.approx(10.0)
+
+    def test_lower_bounds_contained_segments(self, small_dataset, small_rtree):
+        """For every leaf node: MINDIST(Q, N) <= distance from Q to any
+        sampled position of any segment in N (over the time window)."""
+        rng = random.Random(5)
+        query, (t0, t1) = make_query(small_dataset, 0.2, rng)
+        for node in small_rtree.nodes():
+            if not node.is_leaf:
+                continue
+            d = mindist(query, node.mbr(), t0, t1)
+            if d is None:
+                continue
+            for e in node.entries[:10]:
+                lo = max(e.segment.ts, t0, query.t_start)
+                hi = min(e.segment.te, t1, query.t_end)
+                if lo > hi:
+                    continue
+                for i in range(5):
+                    t = lo + (hi - lo) * i / 4.0
+                    actual = query.position_at(t).distance_to(
+                        e.segment.position_at(t)
+                    )
+                    assert d <= actual + 1e-7
+
+
+class TestBestFirstTraversal:
+    def test_nondecreasing_mindist_order(self, small_dataset, small_rtree):
+        rng = random.Random(8)
+        query, (t0, t1) = make_query(small_dataset, 0.3, rng)
+        dists = [d for d, _n in best_first_nodes(small_rtree, query, t0, t1)]
+        assert dists, "traversal yielded nothing"
+        assert dists == sorted(dists)
+
+    def test_visits_every_temporally_overlapping_leaf(
+        self, small_dataset, small_rtree
+    ):
+        rng = random.Random(9)
+        query, (t0, t1) = make_query(small_dataset, 0.2, rng)
+        visited = {
+            n.page_id for _d, n in best_first_nodes(small_rtree, query, t0, t1)
+        }
+        for node in small_rtree.nodes():
+            if node.is_leaf and node.mbr().overlaps_period(t0, t1):
+                assert node.page_id in visited
+
+    def test_empty_index_yields_nothing(self):
+        q = Trajectory(0, [(0, 0, 0), (1, 1, 1)])
+        assert list(best_first_nodes(RTree3D(), q, 0, 1)) == []
+
+    def test_consuming_lazily_reads_fewer_nodes(self, small_dataset, small_rtree):
+        rng = random.Random(10)
+        query, (t0, t1) = make_query(small_dataset, 0.2, rng)
+        before = small_rtree.node_accesses
+        gen = best_first_nodes(small_rtree, query, t0, t1)
+        next(gen)
+        first_cost = small_rtree.node_accesses - before
+        assert first_cost == 1  # only the root was read

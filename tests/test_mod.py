@@ -1,0 +1,189 @@
+"""Tests for the MovingObjectDatabase facade."""
+
+import random
+
+import pytest
+
+from repro import MovingObjectDatabase, Trajectory, generate_gstd, linear_scan_kmst
+from repro.datagen import make_query
+from repro.exceptions import QueryError
+from repro.geometry import MBR2D, Point
+from repro.search import nearest_neighbours_brute_force, range_query_brute_force
+
+
+@pytest.fixture(scope="module")
+def mod():
+    db = MovingObjectDatabase(tree="rtree")
+    db.add_all(generate_gstd(25, samples_per_object=40, seed=33))
+    return db.freeze()
+
+
+class TestLifecycle:
+    def test_unknown_tree_rejected(self):
+        with pytest.raises(QueryError):
+            MovingObjectDatabase(tree="btree")
+
+    def test_query_before_freeze_rejected(self):
+        db = MovingObjectDatabase()
+        db.add(Trajectory(1, [(0, 0, 0), (1, 1, 1)]))
+        with pytest.raises(QueryError):
+            db.range(MBR2D(0, 0, 1, 1), 0, 1)
+
+    def test_freeze_empty_rejected(self):
+        with pytest.raises(QueryError):
+            MovingObjectDatabase().freeze()
+
+    def test_double_freeze_rejected(self, mod):
+        with pytest.raises(QueryError):
+            mod.freeze()
+
+    def test_add_after_freeze_rejected(self, mod):
+        with pytest.raises(QueryError):
+            mod.add(Trajectory(999, [(0, 0, 0), (1, 1, 1)]))
+
+    def test_len_and_describe(self, mod):
+        assert len(mod) == 25
+        info = mod.describe()
+        assert info["objects"] == 25
+        assert info["frozen"] is True
+        assert info["tree"] == "rtree"
+        assert info["index_nodes"] > 0
+        assert info["index_mb"] > 0
+
+    def test_save(self, mod, tmp_path):
+        mod.save(tmp_path / "mod.pages")
+        assert (tmp_path / "mod.pages").exists()
+        assert (tmp_path / "mod.pages.meta.json").exists()
+
+
+class TestQueries:
+    def test_range_matches_brute_force(self, mod):
+        t0, t1 = mod.dataset.time_span()
+        window = MBR2D(0.3, 0.3, 0.7, 0.7)
+        got = mod.range(window, t0, t0 + (t1 - t0) / 4)
+        want = range_query_brute_force(
+            mod.dataset, window, t0, t0 + (t1 - t0) / 4
+        )
+        assert got == want
+
+    def test_nearest_matches_brute_force(self, mod):
+        t0, t1 = mod.dataset.time_span()
+        got = mod.nearest(Point(0.5, 0.5), t0, t1, k=3)
+        want = nearest_neighbours_brute_force(
+            mod.dataset, Point(0.5, 0.5), t0, t1, k=3
+        )
+        assert [g[0] for g in got] == [w[0] for w in want]
+
+    def test_most_similar_matches_scan(self, mod):
+        rng = random.Random(2)
+        query, period = make_query(mod.dataset, 0.2, rng)
+        got, stats = mod.most_similar(query, k=3, period=period)
+        want = linear_scan_kmst(mod.dataset, query, period, k=3, exact=True)
+        assert [m.trajectory_id for m in got] == [
+            m.trajectory_id for m in want
+        ]
+        assert stats is not None and stats.node_accesses > 0
+
+    def test_most_similar_without_index(self, mod):
+        rng = random.Random(3)
+        query, period = make_query(mod.dataset, 0.2, rng)
+        got, stats = mod.most_similar(query, k=2, period=period, use_index=False)
+        assert stats is None
+        assert len(got) == 2
+
+    def test_similar_to_excludes_self(self, mod):
+        matches, _stats = mod.similar_to(5, k=3)
+        ids = [m.trajectory_id for m in matches]
+        assert 5 not in ids
+        assert len(ids) == 3
+
+    def test_similar_to_with_window(self, mod):
+        source = mod.dataset[7]
+        lo = source.t_start + source.duration * 0.25
+        hi = source.t_start + source.duration * 0.5
+        matches, _stats = mod.similar_to(7, lo, hi, k=2)
+        assert len(matches) == 2
+
+
+class TestMutableStore:
+    @pytest.fixture()
+    def store(self):
+        db = MovingObjectDatabase(tree="rtree", page_size=512)
+        db.add_all(generate_gstd(12, samples_per_object=25, seed=51))
+        return db.freeze(mutable=True)
+
+    def test_describe_reports_mutability(self, store, mod):
+        assert store.describe()["mutable"] is True
+        assert mod.describe()["mutable"] is False
+
+    def test_insert_then_query_finds_newcomer(self, store):
+        source = store.dataset[3]
+        twin = source.translated(1e-4, 0.0).with_id(500)
+        store.insert(twin)
+        matches, _ = store.similar_to(3, k=1)
+        assert matches[0].trajectory_id == 500
+
+    def test_remove_then_query_skips_victim(self, store):
+        source = store.dataset[3]
+        query = source.sliced(
+            source.t_start + source.duration * 0.2,
+            source.t_start + source.duration * 0.5,
+        ).with_id(-1)
+        store.remove(3)
+        assert 3 not in store.dataset
+        matches, _ = store.most_similar(
+            query, k=3, period=(query.t_start, query.t_end)
+        )
+        assert all(m.trajectory_id != 3 for m in matches)
+
+    def test_immutable_store_rejects_mutation(self, mod):
+        from repro import Trajectory
+
+        with pytest.raises(QueryError):
+            mod.insert(Trajectory(900, [(0, 0, 0), (1, 1, 1)]))
+        with pytest.raises(QueryError):
+            mod.remove(1)
+
+    def test_failed_insert_rolls_back_dataset(self, store):
+        from repro import Trajectory
+
+        with pytest.raises(Exception):
+            store.insert(Trajectory("bad-id", [(0, 0, 0), (1, 1, 1)]))
+        assert "bad-id" not in store.dataset
+
+    def test_histogram_invalidated_on_mutation(self, store):
+        h1 = store.histogram()
+        store.remove(0)
+        assert store.histogram() is not h1
+
+    def test_browse_prefix_matches_most_similar(self, store):
+        import itertools
+
+        source = store.dataset[5]
+        query = source.sliced(
+            source.t_start + source.duration * 0.1,
+            source.t_start + source.duration * 0.4,
+        ).with_id(-1)
+        period = (query.t_start, query.t_end)
+        browsed = list(itertools.islice(store.browse(query, period), 3))
+        matches, _ = store.most_similar(query, k=3, period=period)
+        assert [m.trajectory_id for m in browsed] == [
+            m.trajectory_id for m in matches
+        ]
+
+
+class TestOptimiserSupport:
+    def test_histogram_cached(self, mod):
+        assert mod.histogram() is mod.histogram()
+
+    def test_estimate_cost(self, mod):
+        source = mod.dataset[3]
+        est = mod.estimate_cost(
+            source, source.t_start, source.t_start + source.duration * 0.1
+        )
+        assert est.alive_segments > 0
+
+    def test_estimate_range_selectivity(self, mod):
+        t0, t1 = mod.dataset.time_span()
+        sel = mod.estimate_range_selectivity(MBR2D(0, 0, 1, 1), t0, t1)
+        assert 0.9 <= sel <= 1.0

@@ -1,0 +1,133 @@
+"""Tests for the point-NN query and the time-relaxed MST extension."""
+
+import random
+
+import pytest
+
+from repro import (
+    RTree3D,
+    Trajectory,
+    TrajectoryDataset,
+    nearest_neighbours,
+    time_relaxed_dissim,
+    time_relaxed_kmst,
+)
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.search import nearest_neighbours_brute_force
+
+from conftest import straight_line
+
+
+class TestNearestNeighbours:
+    def test_matches_brute_force(self, small_dataset, small_rtree):
+        rng = random.Random(77)
+        t0, t1 = small_dataset.time_span()
+        for _ in range(8):
+            p = Point(rng.random(), rng.random())
+            ta = rng.uniform(t0, t1 - 10.0)
+            tb = ta + rng.uniform(1.0, 50.0)
+            for k in (1, 3):
+                got = nearest_neighbours(small_rtree, p, ta, tb, k=k)
+                want = nearest_neighbours_brute_force(
+                    small_dataset, p, ta, tb, k=k
+                )
+                assert [g[0] for g in got] == [w[0] for w in want]
+                for (gi, gd), (wi, wd) in zip(got, want):
+                    assert gd == pytest.approx(wd, abs=1e-7)
+
+    def test_distances_sorted(self, small_dataset, small_rtree):
+        t0, t1 = small_dataset.time_span()
+        got = nearest_neighbours(small_rtree, Point(0.5, 0.5), t0, t1, k=5)
+        dists = [d for _i, d in got]
+        assert dists == sorted(dists)
+        assert len(got) == 5
+
+    def test_object_on_point_wins(self):
+        ds = TrajectoryDataset(
+            [
+                straight_line(1, 0.3, 0.3, 0.0, 0.0, [0, 10]),
+                straight_line(2, 0.9, 0.9, 0.0, 0.0, [0, 10]),
+            ]
+        )
+        index = RTree3D()
+        index.bulk_insert(ds)
+        index.finalize()
+        got = nearest_neighbours(index, Point(0.3, 0.3), 0, 10, k=1)
+        assert got[0][0] == 1
+        assert got[0][1] == pytest.approx(0.0)
+
+    def test_bad_k_rejected(self, small_rtree):
+        with pytest.raises(QueryError):
+            nearest_neighbours(small_rtree, Point(0, 0), 0, 1, k=0)
+
+    def test_inverted_interval_rejected(self, small_rtree):
+        with pytest.raises(QueryError):
+            nearest_neighbours(small_rtree, Point(0, 0), 5, 1, k=1)
+
+    def test_empty_index(self):
+        assert nearest_neighbours(RTree3D(), Point(0, 0), 0, 1, k=1) == []
+
+
+class TestTimeRelaxed:
+    def test_recovers_shift_of_translated_copy(self):
+        base = straight_line(0, 0.0, 0.0, 1.0, 0.2, [float(i) for i in range(21)])
+        target = base.time_shifted(0.0).with_id(1)
+        query = base.sliced(5.0, 10.0).time_shifted(-5.0).with_id(2)
+        # query equals target's [5, 10] stretch moved to start at 0:
+        # the best shift is +5 with dissimilarity ~0.
+        value, shift = time_relaxed_dissim(query, target)
+        assert value == pytest.approx(0.0, abs=1e-3)
+        assert shift == pytest.approx(5.0, abs=0.05)
+
+    def test_shorter_target_rejected(self):
+        q = Trajectory(0, [(0, 0, 0), (1, 1, 10)])
+        t = Trajectory(1, [(0, 0, 0), (1, 1, 5)])
+        with pytest.raises(QueryError):
+            time_relaxed_dissim(q, t)
+
+    def test_equal_durations_single_shift(self):
+        q = straight_line(0, 0.0, 0.0, 1.0, 0.0, [0.0, 5.0])
+        # t is q delayed by 3 and offset by 1 in y (note straight_line
+        # parameterises by absolute time, hence x0 = -3).
+        t = straight_line(1, -3.0, 1.0, 1.0, 0.0, [3.0, 8.0])
+        value, shift = time_relaxed_dissim(q, t)
+        assert shift == pytest.approx(3.0)
+        assert value == pytest.approx(5.0)  # constant distance 1 over 5
+
+    def test_kmst_ranks_by_relaxed_value(self):
+        base = straight_line(1, 0.0, 0.0, 1.0, 0.0, [float(i) for i in range(11)])
+        near = base.translated(0.0, 0.1).with_id(2)
+        far = base.translated(0.0, 5.0).with_id(3)
+        short = Trajectory(4, [(0, 0, 0), (1, 1, 1)])  # too short: skipped
+        ds = TrajectoryDataset([base, near, far, short])
+        query = base.sliced(3.0, 7.0).with_id(0)
+        results = time_relaxed_kmst(ds, query, k=3)
+        ranked = [m.trajectory_id for m, _shift in results]
+        assert ranked == [1, 2, 3]
+        assert results[0][0].dissim == pytest.approx(0.0, abs=1e-6)
+
+    def test_kmst_excludes_ids(self):
+        base = straight_line(1, 0.0, 0.0, 1.0, 0.0, [float(i) for i in range(11)])
+        other = base.translated(0.0, 1.0).with_id(2)
+        ds = TrajectoryDataset([base, other])
+        query = base.sliced(2.0, 6.0).with_id(0)
+        results = time_relaxed_kmst(ds, query, k=1, exclude_ids={1})
+        assert results[0][0].trajectory_id == 2
+
+    def test_bad_k_rejected(self):
+        ds = TrajectoryDataset([Trajectory(1, [(0, 0, 0), (1, 1, 1)])])
+        q = Trajectory(0, [(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(QueryError):
+            time_relaxed_kmst(ds, q, k=0)
+
+    def test_relaxed_never_exceeds_aligned(self):
+        """The relaxed minimum is at most the dissimilarity at any
+        particular shift, in particular the natural alignment."""
+        from repro import dissim_exact
+
+        q = straight_line(0, 0.0, 0.0, 0.7, -0.1, [0.0, 2.0, 4.0, 6.0])
+        t = straight_line(1, 0.5, 0.5, 0.6, 0.0, [0.0, 3.0, 6.0, 9.0])
+        aligned = dissim_exact(q, t, (q.t_start, q.t_end))
+        relaxed, _shift = time_relaxed_dissim(q, t)
+        assert relaxed <= aligned + 1e-9

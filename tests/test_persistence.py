@@ -1,0 +1,135 @@
+"""Round-trip tests for index persistence (save/load on disk)."""
+
+import json
+import random
+
+import pytest
+
+from repro import (
+    RStarTree,
+    RTree3D,
+    STRTree,
+    TBTree,
+    Trajectory,
+    bfmst_search,
+    generate_gstd,
+    load_index,
+    save_index,
+)
+from repro.datagen import make_query
+from repro.exceptions import IndexError_, StorageError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_gstd(15, samples_per_object=40, seed=21)
+
+
+@pytest.mark.parametrize("cls", [RTree3D, RStarTree, TBTree, STRTree])
+class TestRoundTrip:
+    def test_search_results_survive_reload(self, cls, dataset, tmp_path):
+        index = cls()
+        index.bulk_insert(dataset)
+        index.finalize()
+        path = tmp_path / "index.pages"
+        save_index(index, path)
+
+        loaded = load_index(path)
+        rng = random.Random(4)
+        for _ in range(3):
+            query, period = make_query(dataset, 0.2, rng)
+            got, _ = bfmst_search(loaded, query, period, k=3)
+            want, _ = bfmst_search(index, query, period, k=3)
+            assert [m.trajectory_id for m in got] == [
+                m.trajectory_id for m in want
+            ]
+            for g, w in zip(got, want):
+                assert g.dissim == pytest.approx(w.dissim)
+        loaded.pagefile.close()
+
+    def test_metadata_restored(self, cls, dataset, tmp_path):
+        index = cls()
+        index.bulk_insert(dataset)
+        index.finalize()
+        path = tmp_path / "index.pages"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_entries == index.num_entries
+        assert loaded.num_nodes == index.num_nodes
+        assert loaded.root_page == index.root_page
+        assert loaded.max_speed == pytest.approx(index.max_speed)
+        assert loaded.trajectory_ids == index.trajectory_ids
+        assert type(loaded) is cls
+        loaded.pagefile.close()
+
+    def test_loaded_index_is_read_only(self, cls, dataset, tmp_path):
+        index = cls()
+        index.bulk_insert(dataset)
+        path = tmp_path / "index.pages"
+        save_index(index, path)
+        loaded = load_index(path)
+        with pytest.raises(IndexError_):
+            loaded.insert(Trajectory(9999, [(0, 0, 0), (1, 1, 1)]))
+        loaded.pagefile.close()
+
+
+class TestTBTreeChainSurvives:
+    def test_trajectory_segments_on_loaded_tree(self, dataset, tmp_path):
+        index = TBTree(page_size=512)  # force multi-leaf chains
+        index.bulk_insert(dataset)
+        path = tmp_path / "tb.pages"
+        save_index(index, path)
+        loaded = load_index(path)
+        some_id = next(iter(dataset)).object_id
+        got = [e.segment for e in loaded.trajectory_segments(some_id)]
+        assert got == list(dataset[some_id].segments())
+        loaded.pagefile.close()
+
+
+class TestErrorHandling:
+    def test_refuses_overwrite(self, dataset, tmp_path):
+        index = RTree3D()
+        index.bulk_insert(dataset)
+        path = tmp_path / "index.pages"
+        save_index(index, path)
+        with pytest.raises(StorageError):
+            save_index(index, path)
+
+    def test_missing_sidecar(self, tmp_path):
+        path = tmp_path / "index.pages"
+        path.write_bytes(b"\x00" * 4096)
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_corrupt_sidecar(self, dataset, tmp_path):
+        index = RTree3D()
+        index.bulk_insert(dataset)
+        path = tmp_path / "index.pages"
+        save_index(index, path)
+        (tmp_path / "index.pages.meta.json").write_text("{oops")
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_unknown_kind(self, dataset, tmp_path):
+        index = RTree3D()
+        index.bulk_insert(dataset)
+        path = tmp_path / "index.pages"
+        save_index(index, path)
+        meta_path = tmp_path / "index.pages.meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["kind"] = "btree"
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_wrong_version(self, dataset, tmp_path):
+        index = RTree3D()
+        index.bulk_insert(dataset)
+        path = tmp_path / "index.pages"
+        save_index(index, path)
+        meta_path = tmp_path / "index.pages.meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StorageError):
+            load_index(path)

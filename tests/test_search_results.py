@@ -1,0 +1,44 @@
+"""Tests for the result/statistics value types."""
+
+import pytest
+
+from repro import MSTMatch, SearchStats
+
+
+class TestMSTMatch:
+    def test_certified_interval(self):
+        m = MSTMatch(7, 10.0, 0.5)
+        assert m.lower == 9.5
+        assert m.upper == 10.0
+        assert m.exact
+
+    def test_upper_bound_result(self):
+        m = MSTMatch(7, 10.0, 0.0, exact=False)
+        assert not m.exact
+        assert m.lower == m.upper == 10.0
+
+    def test_immutability(self):
+        m = MSTMatch(7, 10.0)
+        with pytest.raises(AttributeError):
+            m.dissim = 5.0
+
+
+class TestSearchStats:
+    def test_pruning_power_zero_for_empty_index(self):
+        assert SearchStats(total_nodes=0).pruning_power == 0.0
+
+    def test_pruning_power_basic(self):
+        stats = SearchStats(node_accesses=10, total_nodes=100)
+        assert stats.pruning_power == pytest.approx(0.9)
+
+    def test_pruning_power_clamped(self):
+        # re-reads can push accesses past the node count; pruning power
+        # must not go negative
+        stats = SearchStats(node_accesses=150, total_nodes=100)
+        assert stats.pruning_power == 0.0
+
+    def test_defaults(self):
+        stats = SearchStats()
+        assert stats.candidates_created == 0
+        assert not stats.terminated_early
+        assert stats.extra == {}

@@ -1,0 +1,145 @@
+"""Tests for the spatiotemporal histogram selectivity estimator."""
+
+import random
+
+import pytest
+
+from repro import (
+    SpatioTemporalHistogram,
+    Trajectory,
+    TrajectoryDataset,
+    generate_gstd,
+)
+from repro.exceptions import QueryError, TrajectoryError
+from repro.geometry import MBR2D, MBR3D
+from repro.search import range_query_brute_force
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_gstd(40, samples_per_object=60, seed=17, heading="random")
+
+
+@pytest.fixture(scope="module")
+def histogram(dataset):
+    return SpatioTemporalHistogram(dataset, nx=12, ny=12, nt=12)
+
+
+class TestConstruction:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(TrajectoryError):
+            SpatioTemporalHistogram(TrajectoryDataset())
+
+    def test_bad_resolution_rejected(self, dataset):
+        with pytest.raises(QueryError):
+            SpatioTemporalHistogram(dataset, nx=0)
+
+    def test_total_mass_equals_segment_count(self, histogram, dataset):
+        assert sum(histogram._cells) == pytest.approx(
+            dataset.total_segments(), rel=1e-9
+        )
+
+    def test_single_trajectory_dataset(self):
+        ds = TrajectoryDataset([Trajectory(1, [(0, 0, 0), (1, 1, 1)])])
+        h = SpatioTemporalHistogram(ds, nx=4, ny=4, nt=4)
+        assert sum(h._cells) == pytest.approx(1.0)
+
+
+class TestBoxEstimates:
+    def test_full_domain_counts_everything(self, histogram, dataset):
+        est = histogram.estimate_box_count(dataset.mbr())
+        assert est == pytest.approx(dataset.total_segments(), rel=1e-6)
+
+    def test_disjoint_box_counts_nothing(self, histogram, dataset):
+        b = dataset.mbr()
+        far = MBR3D(
+            b.xmax + 10, b.ymax + 10, b.tmax + 10,
+            b.xmax + 11, b.ymax + 11, b.tmax + 11,
+        )
+        # estimator clamps to the nearest cells but coverage is zero
+        assert histogram.estimate_box_count(far) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_box_growth(self, histogram, dataset):
+        b = dataset.mbr()
+        cx, cy = (b.xmin + b.xmax) / 2, (b.ymin + b.ymax) / 2
+        ct = (b.tmin + b.tmax) / 2
+        prev = 0.0
+        for f in (0.1, 0.3, 0.6, 1.0):
+            hw = f * (b.xmax - b.xmin) / 2
+            hh = f * (b.ymax - b.ymin) / 2
+            ht = f * (b.tmax - b.tmin) / 2
+            box = MBR3D(cx - hw, cy - hh, ct - ht, cx + hw, cy + hh, ct + ht)
+            est = histogram.estimate_box_count(box)
+            assert est >= prev - 1e-9
+            prev = est
+
+
+class TestRangeSelectivityCalibration:
+    def test_tracks_true_selectivity(self, histogram, dataset):
+        """Estimates must correlate with ground truth on benign data:
+        within a factor-of-few absolute band, and ordered correctly
+        between a small and a large window."""
+        rng = random.Random(3)
+        t0, t1 = dataset.time_span()
+        errors = []
+        for _ in range(10):
+            cx, cy = rng.random(), rng.random()
+            w = rng.uniform(0.1, 0.3)
+            ta = rng.uniform(t0, t0 + (t1 - t0) * 0.5)
+            tb = ta + rng.uniform(0.1, 0.4) * (t1 - t0)
+            window = MBR2D(cx - w, cy - w, cx + w, cy + w)
+            est = histogram.estimate_range_selectivity(window, ta, tb)
+            truth_objects = range_query_brute_force(dataset, window, ta, tb)
+            # convert to a segment-level truth: count segments whose
+            # MBB intersects the query box
+            box = MBR3D(window.xmin, window.ymin, ta, window.xmax, window.ymax, tb)
+            truth = sum(
+                1
+                for tr in dataset
+                for seg in tr.segments()
+                if seg.mbr().intersects(box)
+            ) / dataset.total_segments()
+            errors.append(abs(est - truth))
+            del truth_objects
+        assert sum(errors) / len(errors) < 0.15
+
+    def test_inverted_interval_rejected(self, histogram):
+        with pytest.raises(QueryError):
+            histogram.estimate_range_selectivity(MBR2D(0, 0, 1, 1), 5, 1)
+
+    def test_selectivity_capped_at_one(self, histogram, dataset):
+        b = dataset.mbr()
+        sel = histogram.estimate_range_selectivity(
+            MBR2D(b.xmin - 1, b.ymin - 1, b.xmax + 1, b.ymax + 1),
+            b.tmin - 1,
+            b.tmax + 1,
+        )
+        assert sel == pytest.approx(1.0, rel=1e-9)
+
+
+class TestMSTCost:
+    def test_cost_estimate_fields(self, histogram, dataset):
+        tr = next(iter(dataset))
+        t0 = tr.t_start + tr.duration * 0.2
+        t1 = tr.t_start + tr.duration * 0.3
+        est = histogram.estimate_mst_cost(tr, t0, t1)
+        assert est.alive_segments > 0
+        assert 0 <= est.corridor_segments <= est.alive_segments + 1e-9
+        assert 0.0 <= est.corridor_fraction <= 1.0
+
+    def test_longer_window_is_costlier(self, histogram, dataset):
+        tr = next(iter(dataset))
+        short = histogram.estimate_mst_cost(
+            tr, tr.t_start, tr.t_start + tr.duration * 0.1
+        )
+        long = histogram.estimate_mst_cost(tr, tr.t_start, tr.t_end)
+        assert long.alive_segments > short.alive_segments
+
+    def test_corridor_fraction_predicts_prunability(self, histogram, dataset):
+        """A short query window leaves most alive data outside the
+        corridor — the situation where BFMST prunes well."""
+        tr = next(iter(dataset))
+        est = histogram.estimate_mst_cost(
+            tr, tr.t_start, tr.t_start + tr.duration * 0.05
+        )
+        assert est.corridor_fraction < 0.9

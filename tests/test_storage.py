@@ -1,0 +1,204 @@
+"""Tests for the paged-storage layer: page files (memory and disk),
+the LRU buffer manager, and I/O accounting."""
+
+import pytest
+
+from repro.exceptions import PageOverflowError, StorageError
+from repro.storage import (
+    PAGE_SIZE_DEFAULT,
+    DiskPageFile,
+    InMemoryPageFile,
+    IOStats,
+    LRUBufferManager,
+)
+
+
+class TestIOStats:
+    def test_snapshot_and_diff(self):
+        s = IOStats()
+        s.physical_reads = 5
+        s.buffer_hits = 2
+        snap = s.snapshot()
+        s.physical_reads = 9
+        s.buffer_hits = 3
+        d = s.diff(snap)
+        assert d.physical_reads == 4
+        assert d.buffer_hits == 1
+
+    def test_hit_ratio(self):
+        s = IOStats(buffer_hits=3, buffer_misses=1)
+        assert s.hit_ratio == 0.75
+        assert IOStats().hit_ratio == 0.0
+
+    def test_reset(self):
+        s = IOStats(physical_reads=3)
+        s.reset()
+        assert s.physical_reads == 0
+
+
+class TestInMemoryPageFile:
+    def test_allocate_read_write(self):
+        pf = InMemoryPageFile(page_size=256)
+        pid = pf.allocate()
+        pf.write(pid, b"hello")
+        data = pf.read(pid)
+        assert data.startswith(b"hello")
+        assert len(data) == 256
+
+    def test_out_of_range_rejected(self):
+        pf = InMemoryPageFile(page_size=256)
+        with pytest.raises(StorageError):
+            pf.read(0)
+        pf.allocate()
+        with pytest.raises(StorageError):
+            pf.write(5, b"x")
+
+    def test_oversized_payload_rejected(self):
+        pf = InMemoryPageFile(page_size=128)
+        pid = pf.allocate()
+        with pytest.raises(PageOverflowError):
+            pf.write(pid, b"x" * 129)
+
+    def test_stats_count_physical_io(self):
+        pf = InMemoryPageFile(page_size=128)
+        pid = pf.allocate()
+        pf.write(pid, b"a")
+        pf.read(pid)
+        pf.read(pid)
+        assert pf.stats.physical_writes == 1
+        assert pf.stats.physical_reads == 2
+
+    def test_size_accounting(self):
+        pf = InMemoryPageFile(page_size=1024)
+        for _ in range(1024):
+            pf.allocate()
+        assert pf.size_bytes() == 1024 * 1024
+        assert pf.size_mb() == pytest.approx(1.0)
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            InMemoryPageFile(page_size=16)
+
+    def test_default_page_size_is_paper_setup(self):
+        assert InMemoryPageFile().page_size == PAGE_SIZE_DEFAULT == 4096
+
+
+class TestDiskPageFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        with DiskPageFile(path, page_size=256) as pf:
+            pid = pf.allocate()
+            pf.write(pid, b"persisted")
+        with DiskPageFile(path, page_size=256) as pf:
+            assert pf.num_pages == 1
+            assert pf.read(0).startswith(b"persisted")
+
+    def test_wrong_page_size_on_reopen_rejected(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        with DiskPageFile(path, page_size=256) as pf:
+            pf.allocate()
+        with pytest.raises(StorageError):
+            DiskPageFile(path, page_size=100)
+
+    def test_out_of_range(self, tmp_path):
+        with DiskPageFile(tmp_path / "p.bin", page_size=256) as pf:
+            with pytest.raises(StorageError):
+                pf.read(0)
+
+
+class TestLRUBufferManager:
+    @staticmethod
+    def make(capacity=2, page_size=256):
+        pf = InMemoryPageFile(page_size=page_size)
+        return pf, LRUBufferManager(pf, capacity=capacity)
+
+    def test_capacity_validation(self):
+        pf = InMemoryPageFile(page_size=256)
+        with pytest.raises(StorageError):
+            LRUBufferManager(pf, capacity=0)
+
+    def test_hit_and_miss_accounting(self):
+        pf, buf = self.make()
+        pid = pf.allocate()
+        pf.write(pid, b"\x07" * 10)
+        loader = lambda data: data[0]
+        assert buf.get(pid, loader) == 7
+        assert buf.get(pid, loader) == 7
+        assert pf.stats.buffer_misses == 1
+        assert pf.stats.buffer_hits == 1
+        assert pf.stats.logical_reads == 2
+
+    def test_lru_eviction_order(self):
+        pf, buf = self.make(capacity=2)
+        pids = [pf.allocate() for _ in range(3)]
+        for pid in pids:
+            pf.write(pid, bytes([pid + 1]))
+        loader = lambda data: data[0]
+        ser = lambda obj: bytes([obj])
+        buf.get(pids[0], loader, ser)
+        buf.get(pids[1], loader, ser)
+        buf.get(pids[0], loader, ser)  # refresh 0
+        buf.get(pids[2], loader, ser)  # evicts 1 (LRU)
+        assert buf.resident(pids[0])
+        assert not buf.resident(pids[1])
+        assert buf.resident(pids[2])
+        assert pf.stats.evictions == 1
+
+    def test_dirty_writeback_on_eviction(self):
+        pf, buf = self.make(capacity=1)
+        a = pf.allocate()
+        b = pf.allocate()
+        ser = lambda obj: bytes(obj)
+        buf.put(a, bytearray(b"\x01\x02"), ser, dirty=True)
+        buf.put(b, bytearray(b"\x03"), ser, dirty=True)  # evicts a
+        assert pf.read(a).startswith(b"\x01\x02")
+
+    def test_flush_writes_dirty_pages(self):
+        pf, buf = self.make(capacity=4)
+        a = pf.allocate()
+        ser = lambda obj: bytes(obj)
+        buf.put(a, bytearray(b"\x09"), ser, dirty=True)
+        written = buf.flush()
+        assert written == 1
+        assert pf.read(a)[0] == 9
+        # second flush is a no-op
+        assert buf.flush() == 0
+
+    def test_mark_dirty_requires_residency(self):
+        pf, buf = self.make()
+        with pytest.raises(StorageError):
+            buf.mark_dirty(0)
+
+    def test_drop_clears_without_writeback(self):
+        pf, buf = self.make(capacity=4)
+        a = pf.allocate()
+        ser = lambda obj: bytes(obj)
+        buf.put(a, bytearray(b"\x09"), ser, dirty=True)
+        buf.drop()
+        assert len(buf) == 0
+        assert pf.read(a)[0] == 0  # never written
+
+    def test_resize_to_fraction_policy(self):
+        pf, buf = self.make(capacity=5000)
+        for _ in range(200):
+            pf.allocate()
+        cap = buf.resize_to_fraction(0.10, max_pages=1000)
+        assert cap == 20
+        # cap at 1000 pages for huge files
+        for _ in range(20_000):
+            pf.allocate()
+        assert buf.resize_to_fraction(0.10, max_pages=1000) == 1000
+        # floor for tiny files
+        pf2 = InMemoryPageFile(page_size=256)
+        buf2 = LRUBufferManager(pf2, capacity=10)
+        pf2.allocate()
+        assert buf2.resize_to_fraction(0.10, min_pages=8) == 8
+
+    def test_eviction_without_serializer_for_dirty_page_fails(self):
+        pf, buf = self.make(capacity=1)
+        a = pf.allocate()
+        b = pf.allocate()
+        buf._cache[a] = object()
+        buf._dirty.add(a)
+        with pytest.raises(StorageError):
+            buf.get(b, lambda data: data)

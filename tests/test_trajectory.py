@@ -1,0 +1,187 @@
+"""Unit + property tests for the Trajectory data model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Trajectory
+from repro.exceptions import TemporalCoverageError, TrajectoryError
+from repro.geometry import Point, STPoint
+
+from conftest import straight_line, trajectories
+
+
+class TestConstruction:
+    def test_from_tuples(self):
+        tr = Trajectory("a", [(0, 0, 0), (1, 1, 1)])
+        assert len(tr) == 2
+        assert tr[0] == STPoint(0.0, 0.0, 0.0)
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory("a", [(0, 0, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory("a", [])
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory("a", [(0, 0, 0), (1, 1, 0)])
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory("a", [(0, 0, 1), (1, 1, 0)])
+
+    def test_nan_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory("a", [(math.nan, 0, 0), (1, 1, 1)])
+
+    def test_infinity_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory("a", [(0, 0, 0), (math.inf, 1, 1)])
+
+
+class TestAccessors:
+    def test_span(self):
+        tr = Trajectory(1, [(0, 0, 2), (1, 0, 5), (2, 0, 9)])
+        assert tr.t_start == 2 and tr.t_end == 9 and tr.duration == 7
+
+    def test_covers_and_overlaps(self):
+        tr = Trajectory(1, [(0, 0, 2), (1, 0, 9)])
+        assert tr.covers(3, 8)
+        assert tr.covers(2, 9)
+        assert not tr.covers(1, 8)
+        assert tr.overlaps(8, 12)
+        assert not tr.overlaps(9.01, 12)
+
+    def test_segments_count_and_order(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        segs = list(tr.segments())
+        assert len(segs) == tr.num_segments == 2
+        assert segs[0].ts == 0 and segs[1].te == 2
+
+    def test_position_at_interpolates(self):
+        tr = straight_line(1, 0.0, 0.0, 2.0, 0.0, [0, 1, 2, 3])
+        assert tr.position_at(1.5) == Point(3.0, 0.0)
+
+    def test_position_at_sample_exact(self):
+        tr = Trajectory(1, [(0, 0, 0), (5, 7, 2)])
+        assert tr.position_at(2) == Point(5.0, 7.0)
+
+    def test_position_outside_lifetime_rejected(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(TemporalCoverageError):
+            tr.position_at(1.5)
+
+    def test_length_and_speeds(self):
+        tr = Trajectory(1, [(0, 0, 0), (3, 4, 1), (3, 4, 2)])
+        assert tr.length() == pytest.approx(5.0)
+        assert tr.max_speed() == pytest.approx(5.0)
+        assert tr.mean_speed() == pytest.approx(2.5)
+
+    def test_mbr(self):
+        tr = Trajectory(1, [(0, 5, 0), (-2, 1, 3)])
+        box = tr.mbr()
+        assert box.as_tuple() == (-2, 1, 0, 0, 5, 3)
+
+
+class TestSlicing:
+    def test_sliced_interpolates_endpoints(self):
+        tr = straight_line(1, 0.0, 0.0, 1.0, 1.0, [0, 10])
+        sl = tr.sliced(2.0, 6.0)
+        assert sl.t_start == 2.0 and sl.t_end == 6.0
+        assert sl[0] == STPoint(2.0, 2.0, 2.0)
+        assert sl[-1] == STPoint(6.0, 6.0, 6.0)
+
+    def test_sliced_keeps_interior_samples(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)])
+        sl = tr.sliced(0.5, 2.5)
+        assert [p.t for p in sl] == [0.5, 1.0, 2.0, 2.5]
+
+    def test_sliced_outside_lifetime_rejected(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(TemporalCoverageError):
+            tr.sliced(0.5, 2.0)
+
+    def test_sliced_empty_window_rejected(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(TrajectoryError):
+            tr.sliced(0.5, 0.5)
+
+    @given(trajectories(min_samples=3, max_samples=10))
+    @settings(max_examples=100)
+    def test_sliced_positions_match_original(self, tr):
+        lo = tr.t_start + tr.duration * 0.25
+        hi = tr.t_start + tr.duration * 0.75
+        if lo >= hi:
+            return
+        sl = tr.sliced(lo, hi)
+        for frac in (0.0, 0.3, 0.7, 1.0):
+            t = lo + (hi - lo) * frac
+            assert sl.position_at(t).distance_to(tr.position_at(t)) < 1e-7
+
+
+class TestDerivation:
+    def test_time_shifted(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)]).time_shifted(5.0)
+        assert tr.t_start == 5.0 and tr.t_end == 6.0
+
+    def test_translated(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)]).translated(2.0, -1.0)
+        assert tr[0] == STPoint(2.0, -1.0, 0.0)
+
+    def test_with_id(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)]).with_id("q")
+        assert tr.object_id == "q"
+
+    def test_uniform_resample_counts(self):
+        tr = straight_line(1, 0.0, 0.0, 1.0, 0.0, [0, 1, 2, 3, 4])
+        rs = tr.uniformly_resampled(9)
+        assert len(rs) == 9
+        assert rs.t_start == tr.t_start and rs.t_end == tr.t_end
+
+    def test_uniform_resample_too_few_rejected(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(TrajectoryError):
+            tr.uniformly_resampled(1)
+
+    @given(trajectories(min_samples=2, max_samples=8))
+    def test_resampled_positions_lie_on_original(self, tr):
+        rs = tr.uniformly_resampled(7)
+        for p in rs:
+            q = tr.position_at(p.t)
+            assert math.hypot(p.x - q.x, p.y - q.y) < 1e-7
+
+    def test_segments_overlapping(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)])
+        spans = [(s.ts, s.te) for s in tr.segments_overlapping(0.5, 1.5)]
+        assert spans == [(0, 1), (1, 2)]
+        assert [
+            (s.ts, s.te) for s in tr.segments_overlapping(1.0, 1.0)
+        ] == [(0, 1), (1, 2)]
+
+    def test_sampling_timestamps_in(self):
+        tr = Trajectory(1, [(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        assert tr.sampling_timestamps_in(0.5, 2.0) == [1.0, 2.0]
+
+
+class TestNormalisation:
+    def test_normalised_moments(self):
+        tr = Trajectory(1, [(0, 0, 0), (2, 4, 1)])
+        norm = tr.normalised(1.0, 2.0, 1.0, 2.0)
+        assert norm[0] == STPoint(-1.0, -1.0, 0.0)
+        assert norm[1] == STPoint(1.0, 1.0, 1.0)
+
+    def test_zero_std_treated_as_one(self):
+        tr = Trajectory(1, [(1, 1, 0), (1, 1, 1)])
+        norm = tr.normalised(1.0, 1.0, 0.0, 0.0)
+        assert norm[0] == STPoint(0.0, 0.0, 0.0)
+
+    def test_spatial_std(self):
+        tr = Trajectory(1, [(0, 0, 0), (2, 0, 1)])
+        sx, sy = tr.spatial_std()
+        assert sx == pytest.approx(1.0)
+        assert sy == 0.0
