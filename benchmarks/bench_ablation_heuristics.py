@@ -11,7 +11,7 @@ from repro.datagen import generate_gstd, make_workload
 from repro.experiments import build_index, format_table
 from repro.search import bfmst_search
 
-from conftest import emit, scaled
+from conftest import emit, scaled, traced_query_record
 
 CONFIGS = [
     ("none", False, False),
@@ -65,7 +65,20 @@ def test_heuristic_contributions(benchmark):
         ],
         title="Ablation: pruning heuristics (S0250-like, 5% queries, k=2)",
     )
-    emit("ablation_heuristics", text)
+    records = [
+        {
+            "bench": "ablation_heuristics",
+            "configuration": name,
+            "heuristic1": h1,
+            "heuristic2": h2,
+            "mean_node_accesses": results[name]["accesses"],
+            "mean_h1_rejections": results[name]["rejected"],
+            "total_time_s": results[name]["time_s"],
+        }
+        for name, h1, h2 in CONFIGS
+    ]
+    records.append(traced_query_record("ablation_heuristics", k=2))
+    emit("ablation_heuristics", text, records=records)
 
     # identical answers under every configuration
     reference = results["H1+H2 (paper)"]["answers"]

@@ -11,7 +11,7 @@ moving objects; pruning power stays above 90 % and roughly flat; the
 
 from repro.experiments import ascii_multi_chart, format_table, q1_cardinality
 
-from conftest import emit, scaled
+from conftest import emit, perf_point_records, scaled, traced_query_record
 
 
 def test_fig10_q1_cardinality(benchmark):
@@ -49,7 +49,9 @@ def test_fig10_q1_cardinality(benchmark):
     }
     text += "\n\nexecution time (ms) vs objects:\n"
     text += ascii_multi_chart(xs, series, height=10, width=50)
-    emit("fig10_q1_cardinality", text)
+    records = perf_point_records("fig10_q1_cardinality", points)
+    records.append(traced_query_record("fig10_q1_cardinality", k=1))
+    emit("fig10_q1_cardinality", text, records=records)
 
     by = {(p.tree, p.value): p for p in points}
     for tree in ("rtree", "tbtree"):

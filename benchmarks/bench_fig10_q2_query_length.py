@@ -19,7 +19,7 @@ TB-over-R advantage must grow with query length (see EXPERIMENTS.md).
 
 from repro.experiments import ascii_multi_chart, format_table, q2_query_length
 
-from conftest import emit, scaled
+from conftest import emit, perf_point_records, scaled, traced_query_record
 
 LENGTHS = (0.01, 0.05, 0.25, 0.50, 1.00)
 
@@ -60,7 +60,18 @@ def test_fig10_q2_query_length(benchmark):
     }
     text += "\n\nexecution time (ms) vs query length:\n"
     text += ascii_multi_chart(xs, series, height=10, width=50)
-    emit("fig10_q2_query_length", text)
+    records = perf_point_records("fig10_q2_query_length", points)
+    for p in points:
+        records.append(
+            {
+                "bench": "fig10_q2_query_length",
+                "tree": p.tree,
+                "query_length": p.value,
+                "retrieval_density": p.retrieval_density,
+            }
+        )
+    records.append(traced_query_record("fig10_q2_query_length", k=1))
+    emit("fig10_q2_query_length", text, records=records)
 
     by = {(p.tree, p.value): p for p in points}
     for tree in ("rtree", "tbtree"):

@@ -10,7 +10,7 @@ frontier) and pruning power stays high.
 
 from repro.experiments import ascii_multi_chart, format_table, q3_k
 
-from conftest import emit, scaled
+from conftest import emit, perf_point_records, scaled, traced_query_record
 
 KS = (1, 2, 5, 10)
 
@@ -51,7 +51,9 @@ def test_fig10_q3_k(benchmark):
     }
     text += "\n\nexecution time (ms) vs k:\n"
     text += ascii_multi_chart(xs, series, height=10, width=50)
-    emit("fig10_q3_k", text)
+    records = perf_point_records("fig10_q3_k", points)
+    records.append(traced_query_record("fig10_q3_k", k=max(KS)))
+    emit("fig10_q3_k", text, records=records)
 
     by = {(p.tree, p.value): p for p in points}
     for tree in ("rtree", "tbtree"):

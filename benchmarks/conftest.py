@@ -5,6 +5,12 @@ the rows are written both to the real stdout (bypassing pytest's
 capture, so ``pytest benchmarks/ --benchmark-only | tee ...`` records
 them) and to ``benchmarks/results/<name>.txt``.
 
+Machine-readable counterpart: benches pass their data rows (and,
+optionally, a live :mod:`repro.obs` trace) to :func:`emit` as
+``records``; they land as JSON lines in
+``benchmarks/results/<name>.counters.jsonl``, giving perf PRs a
+regression baseline to diff against.
+
 Scale: the paper's full datasets reach 2M entries — out of reach for a
 pure-Python interactive run, so the benches default to a reduced scale
 that preserves the scaling *shapes* (see EXPERIMENTS.md).  Set
@@ -14,6 +20,7 @@ paper run) to grow every dataset proportionally.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -30,14 +37,81 @@ def scaled(n: int, minimum: int = 2) -> int:
     return max(minimum, int(round(n * SCALE)))
 
 
-def emit(name: str, text: str) -> None:
+def emit(name: str, text: str, records: list[dict] | None = None) -> None:
     """Print a result table to the *real* stdout (visible under pytest
-    capture) and persist it under benchmarks/results/."""
+    capture) and persist it under benchmarks/results/; when ``records``
+    is given, mirror them as machine-readable JSON counter lines."""
     banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}\n"
     sys.__stdout__.write(banner)
     sys.__stdout__.flush()
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if records is not None:
+        emit_counters(name, records)
+
+
+def emit_counters(name: str, records: list[dict]) -> None:
+    """Write one JSON object per line to
+    ``benchmarks/results/<name>.counters.jsonl`` and echo each line to
+    the real stdout prefixed ``COUNTERS <name>`` so piped bench output
+    stays greppable."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.counters.jsonl"
+    with path.open("w") as fh:
+        for record in records:
+            line = json.dumps(record, sort_keys=True)
+            fh.write(line + "\n")
+            sys.__stdout__.write(f"COUNTERS {name} {line}\n")
+    sys.__stdout__.flush()
+
+
+def perf_point_records(bench: str, points) -> list[dict]:
+    """Rows for :func:`emit_counters` from a list of
+    :class:`repro.experiments.PerfPoint`."""
+    return [
+        {
+            "bench": bench,
+            "tree": p.tree,
+            p.variable: p.value,
+            "queries": p.queries,
+            "mean_time_ms": p.mean_time_ms,
+            "mean_pruning_power": p.mean_pruning_power,
+            "mean_node_accesses": p.mean_node_accesses,
+            "mean_leaf_accesses": p.mean_leaf_accesses,
+            "mean_entries_processed": p.mean_entries_processed,
+            "mismatches": p.mismatches,
+        }
+        for p in points
+    ]
+
+
+def traced_query_record(
+    bench: str,
+    k: int = 5,
+    num_objects: int = 50,
+    samples: int = 40,
+    seed: int = 3,
+) -> dict:
+    """One representative BFMST query run under a live
+    :func:`repro.obs.query_trace`: the full counter/IO document the
+    observability layer exports, tagged with the bench name.  Cheap
+    (small fresh dataset) and deterministic, so successive runs of the
+    same bench diff cleanly."""
+    from repro import RTree3D, bfmst_search, generate_gstd, make_workload
+    from repro.obs import query_trace
+
+    dataset = generate_gstd(num_objects, samples_per_object=samples, seed=seed)
+    index = RTree3D(page_size=512)
+    index.bulk_insert(dataset)
+    index.finalize()
+    (query, period), = make_workload(dataset, 1, 0.05, seed=seed)
+    with query_trace(index, name=f"{bench}-traced") as trace:
+        _matches, stats = bfmst_search(index, query, period, k=k)
+    return {
+        "bench": bench,
+        "traced_query": trace.as_dict(),
+        "search_stats": stats.as_dict(),
+    }
 
 
 @pytest.fixture(scope="session")

@@ -70,6 +70,13 @@ from .exceptions import (
 from .geometry import MBR2D, MBR3D, Point, STPoint, STSegment
 from .index import RStarTree, RTree3D, STRTree, TBTree, load_index, mindist, save_index
 from .mod import MovingObjectDatabase
+from .obs import (
+    MetricsRegistry,
+    NoopRegistry,
+    NOOP_REGISTRY,
+    QueryTrace,
+    query_trace,
+)
 from .selectivity import MSTCostEstimate, SpatioTemporalHistogram
 from .search import (
     MSTMatch,
@@ -155,6 +162,12 @@ __all__ = [
     "time_relaxed_kmst",
     "MSTMatch",
     "SearchStats",
+    # observability
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NOOP_REGISTRY",
+    "QueryTrace",
+    "query_trace",
     # selectivity estimation (future-work extension)
     "SpatioTemporalHistogram",
     "MSTCostEstimate",

@@ -7,6 +7,7 @@ Python::
     python -m repro build out.csv index.pages --tree rtree
     python -m repro info index.pages
     python -m repro query index.pages out.csv --object 3 --window 0.1 --k 5
+    python -m repro stats index.pages out.csv --k 5
     python -m repro experiment table2
     python -m repro experiment quality --trucks 20 --queries 10
 
@@ -17,6 +18,7 @@ lifting (and the testing surface) lives in the library.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 import time
@@ -81,6 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--k", type=int, default=5)
     query.add_argument("--seed", type=int, default=1)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a k-MST query under a live trace and print JSON counters",
+    )
+    stats.add_argument("index", help="index file")
+    stats.add_argument("dataset", help="dataset the query is drawn from")
+    stats.add_argument(
+        "--object", type=int, default=None,
+        help="source object id for the query slice (default: random)",
+    )
+    stats.add_argument(
+        "--window", type=float, default=0.1,
+        help="query length as a fraction of the source lifetime",
+    )
+    stats.add_argument("--k", type=int, default=5)
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument(
+        "--output", default=None,
+        help="write the JSON document here instead of stdout",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     exp.add_argument(
@@ -159,23 +182,32 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _pick_query(args, dataset):
+    """Slice a query out of the dataset per the query/stats options;
+    returns ``(source_id, query)`` or ``(source_id, None)`` when the
+    requested object does not exist."""
+    rng = random.Random(args.seed)
+    ids = dataset.ids()
+    source_id = args.object if args.object is not None else ids[
+        rng.randrange(len(ids))
+    ]
+    source = dataset.get(source_id) or dataset.get(str(source_id))
+    if source is None:
+        return source_id, None
+    window = source.duration * args.window
+    t_lo = source.t_start + rng.uniform(0.0, source.duration - window)
+    return source_id, source.sliced(t_lo, t_lo + window).with_id(-1)
+
+
 def _cmd_query(args) -> int:
     index = load_index(args.index)
     try:
         dataset = _read_dataset(args.dataset)
-        rng = random.Random(args.seed)
-        ids = dataset.ids()
-        source_id = args.object if args.object is not None else ids[
-            rng.randrange(len(ids))
-        ]
-        source = dataset.get(source_id) or dataset.get(str(source_id))
-        if source is None:
+        source_id, query = _pick_query(args, dataset)
+        if query is None:
             print(f"error: no trajectory {source_id!r} in {args.dataset}",
                   file=sys.stderr)
             return 2
-        window = source.duration * args.window
-        t_lo = source.t_start + rng.uniform(0.0, source.duration - window)
-        query = source.sliced(t_lo, t_lo + window).with_id(-1)
         start = time.perf_counter()
         matches, stats = bfmst_search(
             index, query, (query.t_start, query.t_end), k=args.k
@@ -192,6 +224,49 @@ def _cmd_query(args) -> int:
             f"{stats.pruning_power:.1%} "
             f"({stats.node_accesses}/{stats.total_nodes} nodes)"
         )
+    finally:
+        index.pagefile.close()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .obs import query_trace
+
+    index = load_index(args.index)
+    try:
+        dataset = _read_dataset(args.dataset)
+        source_id, query = _pick_query(args, dataset)
+        if query is None:
+            print(f"error: no trajectory {source_id!r} in {args.dataset}",
+                  file=sys.stderr)
+            return 2
+        with query_trace(index, name=f"object-{source_id}") as trace:
+            matches, stats = bfmst_search(
+                index, query, (query.t_start, query.t_end), k=args.k
+            )
+        doc = {
+            "query": {
+                "source_object": source_id,
+                "window_fraction": args.window,
+                "period": [query.t_start, query.t_end],
+                "k": args.k,
+                "seed": args.seed,
+            },
+            "matches": [
+                {"trajectory_id": m.trajectory_id, "dissim": m.dissim,
+                 "error_bound": m.error_bound, "exact": m.exact}
+                for m in matches
+            ],
+            "search_stats": stats.as_dict(),
+            "trace": trace.as_dict(),
+        }
+        text = json.dumps(doc, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote trace to {args.output}")
+        else:
+            print(text)
     finally:
         index.pagefile.close()
     return 0
@@ -254,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
         "build": _cmd_build,
         "info": _cmd_info,
         "query": _cmd_query,
+        "stats": _cmd_stats,
         "experiment": _cmd_experiment,
     }[args.command]
     try:

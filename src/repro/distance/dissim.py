@@ -22,6 +22,7 @@ from typing import Literal
 
 from ..exceptions import QueryError, TemporalCoverageError
 from ..geometry import STSegment, distance_trinomial_coefficients
+from ..obs import state as _obs
 from ..trajectory import Trajectory
 from .trinomial import DistanceTrinomial, IntegralResult
 
@@ -134,6 +135,8 @@ def dissim_exact(
     coverage: CoveragePolicy = "full",
 ) -> float:
     """The exact DISSIM value (closed-form arcsinh integration)."""
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.registry.inc("distance.dissim_exact_calls")
     t_lo, t_hi, scale = resolve_period(q, t, period, coverage)
     stamps = merged_timestamps(q, t, t_lo, t_hi)
     total = 0.0
@@ -156,6 +159,8 @@ def dissim(
     The exact metric satisfies ``result.lower <= exact <= result.upper``.
     This is the evaluation the paper's search algorithm performs.
     """
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.registry.inc("distance.dissim_calls")
     t_lo, t_hi, scale = resolve_period(q, t, period, coverage)
     stamps = merged_timestamps(q, t, t_lo, t_hi)
     total = IntegralResult(0.0, 0.0)
@@ -186,6 +191,11 @@ def segment_dissim(
     This is the per-leaf-entry computation of the BFMST algorithm
     (Figure 7, line 18).
     """
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.registry.inc(
+            "distance.segment_windows_exact" if exact
+            else "distance.segment_windows"
+        )
     if not (seg.ts <= t_lo < t_hi <= seg.te):
         raise QueryError(
             f"window [{t_lo}, {t_hi}] outside segment span "

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..obs import state as _obs
+
 __all__ = ["DistanceTrinomial", "IntegralResult"]
 
 # Below this, the quadratic coefficient is treated as zero (pure
@@ -122,6 +124,8 @@ class DistanceTrinomial:
         """
         if tau1 < tau0:
             raise ValueError(f"inverted interval [{tau0}, {tau1}]")
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("distance.exact_integrals")
         if tau1 == tau0:
             return 0.0
         scale = max(abs(tau0), abs(tau1))
@@ -170,6 +174,8 @@ class DistanceTrinomial:
         """
         if tau1 < tau0:
             raise ValueError(f"inverted interval [{tau0}, {tau1}]")
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("distance.trapezoid_integrals")
         dt = tau1 - tau0
         if dt == 0.0:
             return _ZERO_RESULT

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 
 from ..geometry import MBR3D, min_moving_point_rect_distance
+from ..obs import state as _obs
 from ..trajectory import Trajectory
 
 __all__ = ["mindist"]
@@ -35,6 +36,8 @@ def mindist(
     segment relevant to the query and are skipped by the search
     (Figure 7, line 33).
     """
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.registry.inc("index.mindist_evaluations")
     lo = max(box.tmin, t_start, query.t_start)
     hi = min(box.tmax, t_end, query.t_end)
     if lo > hi:

@@ -4,6 +4,12 @@ Yields index nodes in non-decreasing order of their MINDIST from the
 query trajectory, expanding internal nodes as they are dequeued — the
 traversal order Definitions 5-6 and Heuristic 2 are built on.  Nodes
 whose temporal extent misses the query period are never enqueued.
+
+When a :func:`~repro.obs.query_trace` is active the traversal feeds
+the trace: nodes dequeued/enqueued, MINDIST evaluations per child
+level, and the priority queue's high-water mark (recorded even when
+the consumer abandons the generator early, e.g. on Heuristic 2
+termination).
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator
 
+from ..obs import state as _obs
 from ..trajectory import Trajectory
 from .base import TrajectoryIndex
 from .mindist import mindist
@@ -34,17 +41,40 @@ def best_first_nodes(
     """
     if index.root_page == NO_PAGE:
         return
+    trace = _obs.ACTIVE
+    reg = trace.registry if trace is not None else None
+    high_water = 1
     counter = 0  # heap tie-breaker: FIFO among equal distances
     heap: list[tuple[float, int, int]] = [(0.0, counter, index.root_page)]
-    while heap:
-        dist, _tie, page_id = heapq.heappop(heap)
-        node = index.read_node(page_id)
-        yield (dist, node)
-        if node.is_leaf:
-            continue
-        for e in node.entries:
-            d = mindist(query, e.mbr, t_start, t_end)
-            if d is None:
+    try:
+        while heap:
+            dist, _tie, page_id = heapq.heappop(heap)
+            node = index.read_node(page_id)
+            if reg is not None:
+                reg.inc("index.nodes_dequeued")
+                reg.inc(
+                    "index.leaves_dequeued"
+                    if node.is_leaf
+                    else "index.internals_dequeued"
+                )
+            yield (dist, node)
+            if node.is_leaf:
                 continue
-            counter += 1
-            heapq.heappush(heap, (d, counter, e.child_page))
+            child_level = node.level - 1
+            for e in node.entries:
+                d = mindist(query, e.mbr, t_start, t_end)
+                if reg is not None:
+                    reg.inc(f"index.mindist_evaluations.level_{child_level}")
+                if d is None:
+                    continue
+                counter += 1
+                heapq.heappush(heap, (d, counter, e.child_page))
+                if reg is not None:
+                    reg.inc("index.nodes_enqueued")
+            if reg is not None and len(heap) > high_water:
+                high_water = len(heap)
+    finally:
+        # Runs on exhaustion *and* on early abandonment (GeneratorExit
+        # from a consumer break), so the high-water mark is never lost.
+        if reg is not None:
+            reg.record_max("index.heap_high_water", high_water)

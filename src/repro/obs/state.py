@@ -1,0 +1,25 @@
+"""Process-global active-trace slot.
+
+Instrumentation sites across the storage, index, search and distance
+layers guard every recording with ``state.ACTIVE is not None`` — a
+single module-attribute load and identity test, the cheapest check
+Python offers — so a process that never opens a
+:func:`~repro.obs.trace.query_trace` pays (almost) nothing for the
+observability layer.
+
+This module deliberately imports nothing: it sits below every other
+``repro`` module so any layer can read the slot without import cycles.
+Only :func:`repro.obs.trace.query_trace` writes it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ACTIVE", "get_active"]
+
+# The currently active QueryTrace, or None when tracing is off.
+ACTIVE = None  # type: ignore[var-annotated]
+
+
+def get_active():
+    """The active :class:`~repro.obs.trace.QueryTrace`, or ``None``."""
+    return ACTIVE

@@ -29,11 +29,13 @@ upper bounds with ``exact=False``.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 
 from ..distance import PartialDissim, segment_dissim
 from ..exceptions import QueryError, TemporalCoverageError
 from ..geometry import STSegment
 from ..index import TrajectoryIndex, best_first_nodes
+from ..obs import state as _obs
 from ..trajectory import Trajectory
 from .results import MSTMatch, SearchStats
 
@@ -150,12 +152,27 @@ def bfmst_search(
     io_before = index.pagefile.stats.snapshot()
     period_len = t_end - t_start
 
+    # Counter baseline so the SearchStats enrichment reports *this*
+    # query's work even when one trace spans several queries.
+    trace = _obs.ACTIVE
+    if trace is not None and trace.registry.enabled:
+        reg = trace.registry
+        counters_before = (
+            reg.value("index.mindist_evaluations"),
+            reg.value("distance.exact_integrals"),
+            reg.value("distance.trapezoid_integrals"),
+        )
+    else:
+        trace = None
+
     valid: dict[int, _Candidate] = {}
     completed: dict[int, _Candidate] = {}
     rejected: set[int] = set(exclude_ids)
     top = _TopK(k)
+    dequeued = 0
 
     for node_dist, node in best_first_nodes(index, query, t_start, t_end):
+        dequeued += 1
         # ---- Heuristic 2: MINDISSIMINC early termination -------------
         threshold = top.threshold
         if use_heuristic2 and math.isfinite(threshold):
@@ -170,6 +187,7 @@ def bfmst_search(
                     for c in valid.values()
                 ):
                     stats.terminated_early = True
+                    stats.h2_termination_depth = dequeued
                     break
 
         if not node.is_leaf:
@@ -221,6 +239,30 @@ def bfmst_search(
     io_after = index.pagefile.stats.diff(io_before)
     stats.buffer_hits = io_after.buffer_hits
     stats.buffer_misses = io_after.buffer_misses
+    if trace is not None:
+        reg = trace.registry
+        stats.mindist_evaluations = (
+            reg.value("index.mindist_evaluations") - counters_before[0]
+        )
+        stats.exact_integral_evals = (
+            reg.value("distance.exact_integrals") - counters_before[1]
+        )
+        stats.trapezoid_evals = (
+            reg.value("distance.trapezoid_integrals") - counters_before[2]
+        )
+        stats.heap_high_water = int(reg.gauge("index.heap_high_water").value)
+        reg.inc("search.bfmst.queries")
+        reg.inc("search.bfmst.node_accesses", stats.node_accesses)
+        reg.inc("search.bfmst.entries_processed", stats.entries_processed)
+        reg.inc("search.bfmst.candidates_created", stats.candidates_created)
+        reg.inc("search.bfmst.h1_rejections", stats.candidates_rejected)
+        reg.inc("search.bfmst.refinements", stats.refinement_candidates)
+        if stats.terminated_early:
+            reg.inc("search.bfmst.h2_terminations")
+            reg.gauge("search.bfmst.h2_termination_depth").set(
+                stats.h2_termination_depth
+            )
+        reg.observe("search.bfmst.leaf_accesses", stats.leaf_accesses)
     return matches, stats
 
 
@@ -253,18 +295,27 @@ def _assemble(
         return []
 
     if refine and _needs_refinement(scored, k):
+        trace = _obs.ACTIVE
+        timed = (
+            trace.time("search.bfmst.refinement")
+            if trace is not None
+            else nullcontext()
+        )
         kth_upper = scored[min(k, len(scored)) - 1].upper
         refined: dict[int, float] = {}
-        for m in scored:
-            if not (m.exact and m.error_bound > 0.0 and m.lower <= kth_upper):
-                continue
-            cand = completed[m.trajectory_id]
-            exact_total = 0.0
-            for seg, lo, hi in cand.windows:
-                integral, _dl, _dh = segment_dissim(query, seg, lo, hi, exact=True)
-                exact_total += integral.approx
-            refined[m.trajectory_id] = exact_total
-            stats.refinement_candidates += 1
+        with timed:
+            for m in scored:
+                if not (m.exact and m.error_bound > 0.0 and m.lower <= kth_upper):
+                    continue
+                cand = completed[m.trajectory_id]
+                exact_total = 0.0
+                for seg, lo, hi in cand.windows:
+                    integral, _dl, _dh = segment_dissim(
+                        query, seg, lo, hi, exact=True
+                    )
+                    exact_total += integral.approx
+                refined[m.trajectory_id] = exact_total
+                stats.refinement_candidates += 1
         scored = [
             MSTMatch(m.trajectory_id, refined[m.trajectory_id], 0.0, True)
             if m.trajectory_id in refined

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..distance import dissim, dissim_exact
 from ..exceptions import QueryError, TemporalCoverageError
+from ..obs import state as _obs
 from ..trajectory import Trajectory, TrajectoryDataset
 from .results import MSTMatch
 
@@ -39,12 +40,19 @@ def linear_scan_kmst(
             f"query {query.object_id!r} does not cover the period "
             f"[{t_start}, {t_end}]"
         )
+    trace = _obs.ACTIVE
+    if trace is not None:
+        trace.registry.inc("search.linear_scan.queries")
     matches: list[MSTMatch] = []
     for tr in dataset:
         if tr.object_id in exclude_ids:
             continue
         if not tr.covers(t_start, t_end):
+            if trace is not None:
+                trace.registry.inc("search.linear_scan.skipped_coverage")
             continue
+        if trace is not None:
+            trace.registry.inc("search.linear_scan.evaluations")
         if exact:
             value = dissim_exact(query, tr, (t_start, t_end))
             matches.append(MSTMatch(tr.object_id, value, 0.0, True))

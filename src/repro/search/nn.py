@@ -16,6 +16,7 @@ import math
 from ..exceptions import QueryError
 from ..geometry import MBR2D, Point, min_moving_point_rect_distance
 from ..index import NO_PAGE, TrajectoryIndex
+from ..obs import state as _obs
 from ..trajectory import TrajectoryDataset
 
 __all__ = ["nearest_neighbours", "nearest_neighbours_brute_force"]
@@ -54,6 +55,10 @@ def nearest_neighbours(
     seen: set[int] = set()
     if index.root_page == NO_PAGE:
         return out
+    trace = _obs.ACTIVE
+    reg = trace.registry if trace is not None else None
+    if reg is not None:
+        reg.inc("search.nn.queries")
     counter = 0
     # Heap items: (distance, tie, kind, payload); kind 0 = node page,
     # kind 1 = resolved leaf entry distance.
@@ -67,11 +72,15 @@ def nearest_neighbours(
                 out.append((tid, dist))
             continue
         node = index.read_node(payload)
+        if reg is not None:
+            reg.inc("search.nn.nodes_visited")
         if node.is_leaf:
             for e in node.entries:
                 if e.trajectory_id in seen:
                     continue
                 d = _segment_point_distance(e.segment, point, t_start, t_end)
+                if reg is not None:
+                    reg.inc("search.nn.entries_evaluated")
                 if d is None:
                     continue
                 counter += 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..geometry import MBR2D, MBR3D
 from ..index import TrajectoryIndex
+from ..obs import state as _obs
 from ..trajectory import TrajectoryDataset
 
 __all__ = ["range_query", "range_query_brute_force"]
@@ -32,12 +33,20 @@ def range_query(
     box = MBR3D(
         window.xmin, window.ymin, t_start, window.xmax, window.ymax, t_end
     )
+    trace = _obs.ACTIVE
+    reg = trace.registry if trace is not None else None
+    if reg is not None:
+        reg.inc("search.range.queries")
     hits: set[int] = set()
     for entry in index.range_search(box):
+        if reg is not None:
+            reg.inc("search.range.candidate_entries")
         if entry.trajectory_id in hits:
             continue
         if _segment_enters(entry.segment, window, t_start, t_end):
             hits.add(entry.trajectory_id)
+            if reg is not None:
+                reg.inc("search.range.verified_hits")
     return hits
 
 

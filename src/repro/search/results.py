@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 __all__ = ["MSTMatch", "SearchStats"]
 
@@ -39,6 +40,14 @@ class SearchStats:
 
     ``pruning_power`` is the paper's "pruned space": the fraction of
     index nodes the search never touched.
+
+    The fields after ``refinement_candidates`` are filled only when the
+    query runs under a live :func:`repro.obs.query_trace` (they are
+    harvested from the trace's registry); without one they stay at
+    their zero defaults.  ``candidates_rejected`` *is* the Heuristic 1
+    rejection count; ``terminated_early`` flags Heuristic 2, and
+    ``h2_termination_depth`` records how many nodes had been dequeued
+    when it fired (0 = ran to exhaustion).
     """
 
     node_accesses: int = 0
@@ -54,6 +63,12 @@ class SearchStats:
     buffer_misses: int = 0
     terminated_early: bool = False
     refinement_candidates: int = 0
+    # --- trace-harvested enrichment (zero without a live QueryTrace) ---
+    mindist_evaluations: int = 0
+    heap_high_water: int = 0
+    exact_integral_evals: int = 0
+    trapezoid_evals: int = 0
+    h2_termination_depth: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -63,3 +78,19 @@ class SearchStats:
             return 0.0
         touched = min(self.node_accesses, self.total_nodes)
         return 1.0 - touched / self.total_nodes
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        """Buffer hit ratio of this query's page traffic in [0, 1]."""
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """All fields plus the derived ratios, JSON-ready."""
+        out = asdict(self)
+        out["pruning_power"] = self.pruning_power
+        out["buffer_hit_ratio"] = self.buffer_hit_ratio
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)

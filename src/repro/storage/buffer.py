@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Callable
 
 from ..exceptions import StorageError
+from ..obs import state as _obs
 from .pagefile import PageFile
 
 __all__ = ["LRUBufferManager"]
@@ -66,11 +67,20 @@ class LRUBufferManager:
         practice (the index layer does).
         """
         self.stats.logical_reads += 1
+        trace = _obs.ACTIVE
         if page_id in self._cache:
             self.stats.buffer_hits += 1
+            if trace is not None:
+                reg = trace.registry
+                reg.inc("storage.logical_reads")
+                reg.inc("storage.buffer_hits")
             self._cache.move_to_end(page_id)
             return self._cache[page_id]
         self.stats.buffer_misses += 1
+        if trace is not None:
+            reg = trace.registry
+            reg.inc("storage.logical_reads")
+            reg.inc("storage.buffer_misses")
         obj = loader(self.pagefile.read(page_id))
         self._cache[page_id] = obj
         self._serializer = serializer or getattr(self, "_serializer", None)
@@ -136,6 +146,8 @@ class LRUBufferManager:
         while len(self._cache) > self.capacity:
             victim_id, victim = self._cache.popitem(last=False)
             self.stats.evictions += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.registry.inc("storage.evictions")
             if victim_id in self._dirty:
                 if serializer is None:
                     raise StorageError(

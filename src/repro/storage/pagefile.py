@@ -18,6 +18,7 @@ import os
 from pathlib import Path
 
 from ..exceptions import PageOverflowError, StorageError
+from ..obs import state as _obs
 from .stats import IOStats
 
 __all__ = ["PAGE_SIZE_DEFAULT", "PageFile", "InMemoryPageFile", "DiskPageFile"]
@@ -83,11 +84,15 @@ class InMemoryPageFile(PageFile):
     def read(self, page_id: int) -> bytes:
         self._check(page_id)
         self.stats.physical_reads += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("storage.physical_reads")
         return self._pages[page_id]
 
     def write(self, page_id: int, data: bytes) -> None:
         self._check(page_id)
         self.stats.physical_writes += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("storage.physical_writes")
         self._pages[page_id] = self._pad(data)
 
     @property
@@ -143,6 +148,8 @@ class DiskPageFile(PageFile):
     def read(self, page_id: int) -> bytes:
         self._check(page_id)
         self.stats.physical_reads += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("storage.physical_reads")
         self._fh.seek(page_id * self.page_size)
         data = self._fh.read(self.page_size)
         if len(data) != self.page_size:
@@ -152,6 +159,8 @@ class DiskPageFile(PageFile):
     def write(self, page_id: int, data: bytes) -> None:
         self._check(page_id)
         self.stats.physical_writes += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("storage.physical_writes")
         self._fh.seek(page_id * self.page_size)
         self._fh.write(self._pad(data))
 

@@ -3,7 +3,9 @@ well-formed worlds equals the exhaustive exact scan.
 
 This complements the seeded random worlds in ``test_bfmst.py`` with
 adversarially shrunken inputs — hypothesis loves to find degenerate
-geometry (coincident points, zero speeds, needle-thin boxes).
+geometry (coincident points, zero speeds, needle-thin boxes) — plus a
+GSTD randomized oracle sweep (realistic correlated motion) over both
+index backends and k in {1, 5, 10}.
 """
 
 import pytest
@@ -16,10 +18,33 @@ from repro import (
     Trajectory,
     TrajectoryDataset,
     bfmst_search,
+    generate_gstd,
     linear_scan_kmst,
+    make_workload,
 )
 
 coord = st.floats(min_value=-50.0, max_value=50.0)
+
+
+def assert_matches_oracle(got, want):
+    """BFMST answers equal the exact-scan oracle: same ids in the same
+    order, with each certified interval covering the oracle's DISSIM —
+    except that *exact ties* may legitimately reorder."""
+    got_ids = [m.trajectory_id for m in got]
+    want_ids = [m.trajectory_id for m in want]
+    if got_ids != want_ids:
+        # Only acceptable difference: exact ties reordered.
+        by_id = {m.trajectory_id: m for m in want}
+        assert set(got_ids) == set(want_ids)
+        for g in got:
+            w = by_id[g.trajectory_id]
+            assert g.lower - 1e-7 <= w.dissim <= g.upper + 1e-7
+        values = [by_id[i].dissim for i in got_ids]
+        assert values == pytest.approx(sorted(values), abs=1e-7)
+    else:
+        for g, w in zip(got, want):
+            slack = 1e-7 * max(1.0, w.dissim)
+            assert g.lower - slack <= w.dissim <= g.upper + slack
 
 
 @st.composite
@@ -72,18 +97,22 @@ def test_bfmst_equals_exact_scan_on_arbitrary_worlds(world):
         index.bulk_insert(dataset)
         index.finalize()
         got, _stats = bfmst_search(index, query, period, k=k)
-        got_ids = [m.trajectory_id for m in got]
-        want_ids = [m.trajectory_id for m in want]
-        if got_ids != want_ids:
-            # Only acceptable difference: exact ties reordered.
-            by_id = {m.trajectory_id: m for m in want}
-            assert set(got_ids) == set(want_ids)
-            for g in got:
-                w = by_id[g.trajectory_id]
-                assert g.lower - 1e-7 <= w.dissim <= g.upper + 1e-7
-            values = [by_id[i].dissim for i in got_ids]
-            assert values == pytest.approx(sorted(values), abs=1e-7)
-        else:
-            for g, w in zip(got, want):
-                slack = 1e-7 * max(1.0, w.dissim)
-                assert g.lower - slack <= w.dissim <= g.upper + slack
+        assert_matches_oracle(got, want)
+
+
+@pytest.mark.parametrize("tree_cls", (RTree3D, TBTree), ids=lambda c: c.__name__)
+@pytest.mark.parametrize("seed", (11, 23, 47))
+def test_bfmst_matches_exact_scan_on_gstd(seed, tree_cls):
+    """Randomized GSTD oracle: correlated motion at a scale the shrunken
+    hypothesis worlds never reach, across seeds, both backends and the
+    paper's k range.  The oracle is the exhaustive exact linear scan."""
+    dataset = generate_gstd(30, samples_per_object=25, seed=seed)
+    (query, period), = make_workload(dataset, 1, 0.15, seed=seed)
+    index = tree_cls(page_size=512)
+    index.bulk_insert(dataset)
+    index.finalize()
+    for k in (1, 5, 10):
+        want = linear_scan_kmst(dataset, query, period, k=k, exact=True)
+        got, _stats = bfmst_search(index, query, period, k=k)
+        assert len(got) == min(k, len(want))
+        assert_matches_oracle(got, want)

@@ -25,6 +25,24 @@ def trinomials(draw):
     return DistanceTrinomial(a, b, c)
 
 
+@st.composite
+def raw_trinomials(draw):
+    """Random valid trinomials from *direct* coefficient draws: a and c
+    non-negative over several orders of magnitude, b a signed fraction
+    of the discriminant limit 2*sqrt(ac).  Covers corners the
+    relative-motion construction reaches only by shrinking (a = 0
+    exactly, |b| = 2*sqrt(ac) exactly, wildly unbalanced a vs c)."""
+    magnitude = st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-8, max_value=1e4),
+    )
+    a = draw(magnitude)
+    c = draw(magnitude)
+    frac = draw(st.floats(min_value=-1.0, max_value=1.0))
+    b = frac * 2.0 * math.sqrt(a * c)
+    return DistanceTrinomial(a, b, c)
+
+
 intervals = st.tuples(
     st.floats(min_value=-5.0, max_value=5.0),
     st.floats(min_value=0.01, max_value=10.0),
@@ -137,6 +155,33 @@ class TestTrapezoidLemma1:
     def test_subdivided_rejects_bad_panel_count(self):
         with pytest.raises(ValueError):
             DistanceTrinomial(1, 0, 1).subdivided_integral(0, 1, 0)
+
+
+class TestLemma1RawCoefficients:
+    """Lemma 1 one-sidedness over direct coefficient draws (not the
+    relative-motion construction): D(tau) = sqrt(a tau^2 + b tau + c)
+    is convex, so the one-panel trapezoid never under-estimates and
+    over-estimates by at most the certified bound."""
+
+    @given(raw_trinomials(), intervals)
+    @settings(max_examples=300, deadline=None)
+    def test_trapezoid_never_underestimates(self, tri, interval):
+        lo, hi = interval
+        exact = tri.exact_integral(lo, hi)
+        result = tri.trapezoid_integral(lo, hi)
+        assert result.error_bound >= 0.0
+        slack = 1e-7 * max(1.0, abs(result.approx))
+        assert exact <= result.approx + slack
+        assert exact >= result.approx - result.error_bound - slack
+
+    @given(raw_trinomials())
+    @settings(max_examples=100, deadline=None)
+    def test_discriminant_extremes_are_valid(self, tri):
+        # by construction b^2 <= 4ac, including the |b| = 2*sqrt(ac)
+        # boundary where D touches (but never crosses) zero.
+        assert tri.b * tri.b <= 4.0 * tri.a * tri.c * (1.0 + 1e-12) + 1e-300
+        r = tri.trapezoid_integral(0.0, 1.0)
+        assert math.isfinite(r.approx) and math.isfinite(r.error_bound)
 
 
 class TestIntegralResult:
