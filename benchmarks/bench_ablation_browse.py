@@ -42,7 +42,7 @@ def test_browse_vs_batch(benchmark):
             accesses0 = index.node_accesses
             for query, period in workload:
                 for k in range(1, take + 1):
-                    bfmst_search(index, query, period, k=k)
+                    bfmst_search(index, None, query, period=period, k=k)
             naive_ms = 1000.0 * (time.perf_counter() - t0) / len(workload)
             naive_nodes = (index.node_accesses - accesses0) / len(workload)
             rows.append(

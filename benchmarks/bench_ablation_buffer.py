@@ -36,7 +36,7 @@ def test_buffer_fraction_sweep(benchmark):
             stats0 = index.pagefile.stats.snapshot()
             for _pass in range(2):  # re-execution: the second pass can hit
                 for query, period in workload:
-                    bfmst_search(index, query, period, k=1)
+                    bfmst_search(index, None, query, period=period, k=1)
             delta = index.pagefile.stats.diff(stats0)
             rows.append(
                 [

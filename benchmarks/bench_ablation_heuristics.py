@@ -38,10 +38,11 @@ def test_heuristic_contributions(benchmark):
 
             t0 = time.perf_counter()
             for query, period in workload:
-                matches, stats = bfmst_search(
-                    index, query, period, k=2,
+                result = bfmst_search(
+                    index, None, query, period=period, k=2,
                     use_heuristic1=h1, use_heuristic2=h2,
                 )
+                matches, stats = result.matches, result.stats
                 accesses += stats.node_accesses
                 rejected += stats.candidates_rejected
                 answers.append(tuple(m.trajectory_id for m in matches))

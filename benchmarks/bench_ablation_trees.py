@@ -48,7 +48,8 @@ def test_three_tree_comparison(benchmark):
             prune = 0.0
             answers = []
             for query, period in workload:
-                matches, stats = bfmst_search(index, query, period, k=1)
+                result = bfmst_search(index, None, query, period=period, k=1)
+                matches, stats = result.matches, result.stats
                 prune += stats.pruning_power
                 answers.append(tuple(m.trajectory_id for m in matches))
             query_ms = 1000.0 * (time.perf_counter() - t0) / len(workload)

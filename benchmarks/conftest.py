@@ -106,11 +106,11 @@ def traced_query_record(
     index.finalize()
     (query, period), = make_workload(dataset, 1, 0.05, seed=seed)
     with query_trace(index, name=f"{bench}-traced") as trace:
-        _matches, stats = bfmst_search(index, query, period, k=k)
+        result = bfmst_search(index, None, query, period=period, k=k)
     return {
         "bench": bench,
         "traced_query": trace.as_dict(),
-        "search_stats": stats.as_dict(),
+        "search_stats": result.stats.as_dict(),
     }
 
 

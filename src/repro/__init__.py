@@ -19,9 +19,19 @@ Quickstart::
     index.finalize()
 
     (query, period), = make_workload(dataset, 1, query_length=0.05)
-    matches, stats = bfmst_search(index, query, period, k=3)
-    for m in matches:
+    result = bfmst_search(index, None, query, period=period, k=3)
+    for m in result:
         print(m.trajectory_id, m.dissim)
+
+For batches, open a :class:`repro.engine.QueryEngine` — it caches
+MINDIST/refinement work and pins the hot index levels across queries::
+
+    from repro.engine import QueryEngine, QueryRequest
+
+    with QueryEngine(index, dataset) as engine:
+        batch = engine.run_batch(
+            [QueryRequest("mst", query, period, k=3)]
+        )
 """
 
 from .compression import (
@@ -58,6 +68,12 @@ from .distance import (
     ldd,
     mindissim_inc,
 )
+from .engine import (
+    BatchResult,
+    EngineConfig,
+    QueryEngine,
+    QueryRequest,
+)
 from .exceptions import (
     IndexError_,
     PageOverflowError,
@@ -81,6 +97,7 @@ from .selectivity import MSTCostEstimate, SpatioTemporalHistogram
 from .search import (
     MSTMatch,
     NNInterval,
+    SearchResult,
     SearchStats,
     bfmst_browse,
     bfmst_search,
@@ -162,6 +179,12 @@ __all__ = [
     "time_relaxed_kmst",
     "MSTMatch",
     "SearchStats",
+    "SearchResult",
+    # batched query engine
+    "QueryEngine",
+    "EngineConfig",
+    "QueryRequest",
+    "BatchResult",
     # observability
     "MetricsRegistry",
     "NoopRegistry",

@@ -8,6 +8,7 @@ Python::
     python -m repro info index.pages
     python -m repro query index.pages out.csv --object 3 --window 0.1 --k 5
     python -m repro stats index.pages out.csv --k 5
+    python -m repro batch index.pages out.csv --queries 8 --k 5 --repeat 2
     python -m repro experiment table2
     python -m repro experiment quality --trucks 20 --queries 10
 
@@ -103,6 +104,32 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--output", default=None,
         help="write the JSON document here instead of stdout",
+    )
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a k-MST workload through the batched query engine",
+    )
+    batch.add_argument("index", help="index file")
+    batch.add_argument("dataset", help="dataset the queries are drawn from")
+    batch.add_argument("--queries", type=int, default=8)
+    batch.add_argument(
+        "--window", type=float, default=0.1,
+        help="query length as a fraction of the source lifetime",
+    )
+    batch.add_argument("--k", type=int, default=5)
+    batch.add_argument("--seed", type=int, default=1)
+    batch.add_argument(
+        "--repeat", type=int, default=2,
+        help="how many times each query appears in the batch",
+    )
+    batch.add_argument(
+        "--executor", choices=("serial", "thread"), default="serial"
+    )
+    batch.add_argument("--workers", type=int, default=None)
+    batch.add_argument(
+        "--output", default=None,
+        help="write per-query + batch JSONL rows here",
     )
 
     exp = sub.add_parser("experiment", help="regenerate a paper experiment")
@@ -209,9 +236,10 @@ def _cmd_query(args) -> int:
                   file=sys.stderr)
             return 2
         start = time.perf_counter()
-        matches, stats = bfmst_search(
-            index, query, (query.t_start, query.t_end), k=args.k
+        result = bfmst_search(
+            index, None, query, period=(query.t_start, query.t_end), k=args.k
         )
+        matches, stats = result.matches, result.stats
         elapsed = time.perf_counter() - start
         print(
             f"query: {args.window:.0%} slice of object {source_id} "
@@ -241,9 +269,11 @@ def _cmd_stats(args) -> int:
                   file=sys.stderr)
             return 2
         with query_trace(index, name=f"object-{source_id}") as trace:
-            matches, stats = bfmst_search(
-                index, query, (query.t_start, query.t_end), k=args.k
+            result = bfmst_search(
+                index, None, query,
+                period=(query.t_start, query.t_end), k=args.k,
             )
+        matches, stats = result.matches, result.stats
         doc = {
             "query": {
                 "source_object": source_id,
@@ -269,6 +299,54 @@ def _cmd_stats(args) -> int:
             print(text)
     finally:
         index.pagefile.close()
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from .datagen import make_workload
+    from .engine import EngineConfig, QueryEngine, QueryRequest
+
+    config = EngineConfig(executor=args.executor, max_workers=args.workers)
+    engine = QueryEngine.open(args.index, args.dataset, config=config)
+    try:
+        workload = list(
+            make_workload(
+                engine.dataset, args.queries,
+                query_length=args.window, seed=args.seed,
+            )
+        )
+        requests = [
+            QueryRequest("mst", q, p, k=args.k) for q, p in workload
+        ] * max(1, args.repeat)
+        batch = engine.run_batch(requests)
+        print(
+            f"{len(batch)} queries in {batch.wall_time_s * 1000:.1f} ms "
+            f"({batch.queries_per_sec:.1f} q/s, {batch.executor} executor)"
+        )
+        cache = batch.cache_counters
+        for level in ("dissim", "mindist", "segdissim"):
+            hits = cache.get(f"engine.cache.{level}.hits", 0)
+            misses = cache.get(f"engine.cache.{level}.misses", 0)
+            total = hits + misses
+            ratio = hits / total if total else 0.0
+            print(f"  {level} cache: {hits}/{total} hits ({ratio:.0%})")
+        print(
+            f"  buffer: {cache.get('engine.buffer.hits', 0)} hits, "
+            f"{cache.get('engine.buffer.pinned', 0)} pages pinned"
+        )
+        if args.output:
+            with open(args.output, "w") as fh:
+                for i, result in enumerate(batch):
+                    row = {"type": "query", "rank": i}
+                    row.update(result.as_dict())
+                    fh.write(json.dumps(row, sort_keys=True) + "\n")
+                summary = {"type": "batch"}
+                summary.update(batch.as_dict())
+                fh.write(json.dumps(summary, sort_keys=True) + "\n")
+            print(f"wrote {len(batch) + 1} JSONL rows to {args.output}")
+    finally:
+        engine.close()
+        engine.index.pagefile.close()
     return 0
 
 
@@ -330,6 +408,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "query": _cmd_query,
         "stats": _cmd_stats,
+        "batch": _cmd_batch,
         "experiment": _cmd_experiment,
     }[args.command]
     try:

@@ -1,0 +1,32 @@
+"""repro.engine — batched query execution with multi-level caching.
+
+See :mod:`repro.engine.engine` for the session model,
+:mod:`repro.engine.cache` for the cache levels and
+``docs/ENGINE.md`` for the narrative documentation.
+"""
+
+from .cache import DissimRefinementCache, LRUCache, MindistCache
+from .engine import (
+    SESSION_BUFFER_FRACTION,
+    BatchResult,
+    EngineConfig,
+    QueryEngine,
+    QueryRequest,
+    query_key,
+)
+from .executor import SerialExecutor, ThreadedExecutor, make_executor
+
+__all__ = [
+    "QueryEngine",
+    "EngineConfig",
+    "QueryRequest",
+    "BatchResult",
+    "query_key",
+    "SESSION_BUFFER_FRACTION",
+    "LRUCache",
+    "DissimRefinementCache",
+    "MindistCache",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "make_executor",
+]

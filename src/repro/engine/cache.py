@@ -1,0 +1,247 @@
+"""The engine's multi-level cache layer.
+
+Four levels, cheapest to invalidate first:
+
+1. :class:`MindistCache` — per-query memo of node-MBB MINDIST
+   evaluations.  MINDIST depends only on (query, MBB, period), so
+   within one logical query every repeat evaluation (re-executed
+   queries in a batch, browse resumption) is a pure lookup.  Scopes
+   are LRU-bounded so a long batch cannot hoard memory.
+2. :class:`SegmentDissimCache` — per-query memo of the per-leaf-entry
+   DISSIM window integrals (BFMST Figure 7, line 18).  The trapezoid
+   integral of one data segment over one window is a pure function of
+   (query, segment, window), and it dominates leaf processing — on a
+   re-executed query every leaf entry hits this memo instead of
+   re-integrating.
+3. :class:`DissimRefinementCache` — cross-query LRU of the exact
+   refinement integrals BFMST computes for ambiguous candidates,
+   keyed ``(query key, period, trajectory id)``.  A *completed*
+   candidate's retrieved windows tile the full query period
+   deterministically, so the exact total depends only on that key —
+   it is safe to reuse across different ``k`` and across repeats of
+   the same query.
+4. Buffer-pool pinning (implemented by
+   :class:`~repro.storage.buffer.LRUBufferManager`) — the engine pins
+   the upper index levels so batch-long hot pages never thrash.
+
+All counters are plain ints guarded by a lock; the engine mirrors
+them into its :class:`~repro.obs.registry.MetricsRegistry` (and any
+active :func:`~repro.obs.query_trace`) after every query.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = [
+    "LRUCache",
+    "DissimRefinementCache",
+    "MindistCache",
+    "SegmentDissimCache",
+]
+
+
+class LRUCache:
+    """A thread-safe LRU mapping with hit/miss accounting.
+
+    ``get`` returns ``default`` on a miss; ``put`` inserts/refreshes
+    and evicts the least recently used entry beyond ``capacity``.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data", "_lock")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, default=None):
+        with self._lock:
+            if key in self._data:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self.misses += 1
+            return default
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def counters(self, prefix: str) -> dict[str, int]:
+        return {
+            f"{prefix}.hits": self.hits,
+            f"{prefix}.misses": self.misses,
+            f"{prefix}.evictions": self.evictions,
+            f"{prefix}.size": len(self._data),
+        }
+
+
+class _RefinementView:
+    """The ``get``/``put`` pair BFMST expects, bound to one query scope."""
+
+    __slots__ = ("_cache", "_scope")
+
+    def __init__(self, cache: LRUCache, scope):
+        self._cache = cache
+        self._scope = scope
+
+    def get(self, trajectory_id: int):
+        return self._cache.get((self._scope, trajectory_id))
+
+    def put(self, trajectory_id: int, value: float) -> None:
+        self._cache.put((self._scope, trajectory_id), value)
+
+
+class DissimRefinementCache:
+    """Cross-query LRU of exact refinement integrals.
+
+    Keyed ``(query_key, period, trajectory_id)``; :meth:`view` binds
+    the first two components so BFMST sees the plain per-trajectory
+    ``get``/``put`` protocol.
+    """
+
+    __slots__ = ("lru",)
+
+    def __init__(self, capacity: int = 4096):
+        self.lru = LRUCache(capacity)
+
+    def view(self, query_key, period) -> _RefinementView:
+        return _RefinementView(self.lru, (query_key, period))
+
+    def clear(self) -> None:
+        self.lru.clear()
+
+    def counters(self) -> dict[str, int]:
+        return self.lru.counters("engine.cache.dissim")
+
+
+class MindistCache:
+    """Per-query-scope memo of node-MBB MINDIST evaluations.
+
+    One *scope* is a ``(query_key, period)`` pair; each scope holds a
+    plain dict keyed by the node MBB's 6-tuple (``None`` results — no
+    temporal overlap — are cached too).  Scopes themselves live in an
+    LRU so only the most recent ``scope_capacity`` queries keep their
+    memos warm.
+    """
+
+    __slots__ = ("scopes", "hits", "misses", "_lock")
+
+    def __init__(self, scope_capacity: int = 64):
+        self.scopes = LRUCache(scope_capacity)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def wrap(self, base_fn, query, query_key, t_start: float, t_end: float):
+        """A drop-in for :func:`repro.index.mindist.mindist`, memoised
+        for this scope (signature ``fn(query, mbr, t_start, t_end)``)."""
+        scope_key = (query_key, (t_start, t_end))
+        memo = self.scopes.get(scope_key)
+        if memo is None:
+            memo = {}
+            self.scopes.put(scope_key, memo)
+        _MISS = object()
+
+        def cached_mindist(q, mbr, lo, hi):
+            key = (mbr.xmin, mbr.ymin, mbr.tmin, mbr.xmax, mbr.ymax, mbr.tmax)
+            value = memo.get(key, _MISS)
+            if value is not _MISS:
+                with self._lock:
+                    self.hits += 1
+                return value
+            with self._lock:
+                self.misses += 1
+            value = base_fn(q, mbr, lo, hi)
+            memo[key] = value
+            return value
+
+        return cached_mindist
+
+    def clear(self) -> None:
+        self.scopes.clear()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "engine.cache.mindist.hits": self.hits,
+            "engine.cache.mindist.misses": self.misses,
+            "engine.cache.mindist.scopes": len(self.scopes),
+        }
+
+
+class SegmentDissimCache:
+    """Per-query-scope memo of per-leaf-entry DISSIM window integrals.
+
+    Same scoping scheme as :class:`MindistCache`: one scope per
+    ``(query_key, period)`` pair, scopes held in an LRU.  Keys are the
+    (frozen, hashable) :class:`~repro.geometry.segment.STSegment` plus
+    the clipped window; values are the ``(integral, d_start, d_end)``
+    triple ``segment_dissim`` returns, which is immutable and safe to
+    share.  Exact (refinement) evaluations bypass the memo — they are
+    covered by :class:`DissimRefinementCache` at candidate granularity.
+    """
+
+    __slots__ = ("scopes", "hits", "misses", "_lock")
+
+    def __init__(self, scope_capacity: int = 64):
+        self.scopes = LRUCache(scope_capacity)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def wrap(self, base_fn, query_key, t_start: float, t_end: float):
+        """A drop-in for :func:`repro.distance.segment_dissim`, memoised
+        for this scope (signature ``fn(query, seg, lo, hi, exact=False)``)."""
+        scope_key = (query_key, (t_start, t_end))
+        memo = self.scopes.get(scope_key)
+        if memo is None:
+            memo = {}
+            self.scopes.put(scope_key, memo)
+
+        def cached_segment_dissim(q, seg, lo, hi, exact=False):
+            if exact:
+                return base_fn(q, seg, lo, hi, exact=True)
+            key = (seg, lo, hi)
+            value = memo.get(key)
+            if value is not None:
+                with self._lock:
+                    self.hits += 1
+                return value
+            with self._lock:
+                self.misses += 1
+            value = base_fn(q, seg, lo, hi)
+            memo[key] = value
+            return value
+
+        return cached_segment_dissim
+
+    def clear(self) -> None:
+        self.scopes.clear()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "engine.cache.segdissim.hits": self.hits,
+            "engine.cache.segdissim.misses": self.misses,
+            "engine.cache.segdissim.scopes": len(self.scopes),
+        }

@@ -1,0 +1,437 @@
+"""The batched query engine.
+
+A :class:`QueryEngine` owns an index, its dataset and the index's
+buffer manager for a session and executes *batches* of heterogeneous
+queries (k-MST, linear scan, point NN, range, continuous NN,
+time-relaxed) through one shared execution context, so work that a
+one-off call throws away is amortised:
+
+* node MINDIST evaluations are memoised per query scope
+  (:class:`~repro.engine.cache.MindistCache`),
+* per-leaf-entry DISSIM window integrals are memoised per query scope
+  (:class:`~repro.engine.cache.SegmentDissimCache`),
+* exact refinement integrals are memoised across queries
+  (:class:`~repro.engine.cache.DissimRefinementCache`),
+* the upper index levels are pinned in the buffer pool for the
+  session (:meth:`QueryEngine.pin_upper_levels`),
+* the best-first priority queue's backing list is reused per worker.
+
+The engine is an execution *context* in the sense of the unified
+search API: it exposes ``.index``, ``.dataset`` and
+``search_hooks(query, period)``, so any :mod:`repro.search.api`
+function accepts it in the first argument slot —
+``bfmst_search(engine, None, query, k=5)`` uses the engine's caches
+transparently.
+
+Caches are invalidated automatically when the index's structural
+signature ``(num_nodes, num_entries, root_page)`` changes (e.g. after
+a rebuild or insertion); hit/miss counters live in the engine's
+always-on :class:`~repro.obs.registry.MetricsRegistry` and are
+mirrored into any active :func:`~repro.obs.query_trace`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import local as _thread_local
+
+from ..exceptions import QueryError
+from ..geometry import MBR2D, Point
+from ..index import NO_PAGE, TrajectoryIndex, load_index
+from ..index.mindist import mindist as _base_mindist
+from ..obs import MetricsRegistry
+from ..obs import state as _obs
+from ..search import api as _api
+from ..search.results import SearchResult
+from ..trajectory import Trajectory, TrajectoryDataset, read_csv, read_json
+from ..distance import segment_dissim as _base_segment_dissim
+from .cache import DissimRefinementCache, MindistCache, SegmentDissimCache
+from .executor import make_executor
+
+__all__ = [
+    "EngineConfig",
+    "QueryRequest",
+    "BatchResult",
+    "QueryEngine",
+    "query_key",
+    "SESSION_BUFFER_FRACTION",
+]
+
+#: Default buffer fraction for an engine *session*.  A one-off CLI
+#: query opens the index at the paper's 10 % operating point; a session
+#: that executes whole batches against the same index amortises a
+#: warmer buffer across every query, so :meth:`QueryEngine.open` sizes
+#: it at 25 % (still capped at ``buffer_max_pages``).
+SESSION_BUFFER_FRACTION = 0.25
+
+_KIND_ALIASES = {
+    "mst": "mst",
+    "bfmst": "mst",
+    "kmst": "mst",
+    "linear_scan": "linear_scan",
+    "scan": "linear_scan",
+    "nn": "nn",
+    "range": "range",
+    "continuous_nn": "continuous_nn",
+    "cnn": "continuous_nn",
+    "time_relaxed": "time_relaxed",
+}
+
+
+def query_key(query):
+    """A hashable identity for a query object (cache scope key)."""
+    if isinstance(query, Trajectory):
+        return (
+            "traj",
+            query.object_id,
+            tuple((p.x, p.y, p.t) for p in query.samples),
+        )
+    if isinstance(query, Point):
+        return ("point", query.x, query.y)
+    if isinstance(query, MBR2D):
+        return ("window", query.xmin, query.ymin, query.xmax, query.ymax)
+    raise QueryError(f"unsupported query object {type(query).__name__}")
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for a :class:`QueryEngine` session.
+
+    ``pin_upper_levels`` counts index levels from the root downwards
+    (2 = root + its children; 0 disables pinning).  Cache sizes of 0
+    disable the corresponding level.  ``executor`` is ``"serial"`` or
+    ``"thread"``; the threaded executor treats the index as read-only
+    and enables the buffer manager's lock.
+    """
+
+    dissim_cache_size: int = 4096
+    mindist_cache_scopes: int = 64
+    segdissim_cache_scopes: int = 64
+    pin_upper_levels: int = 2
+    executor: str = "serial"
+    max_workers: int | None = None
+
+
+@dataclass
+class QueryRequest:
+    """One query of a batch.
+
+    ``kind`` selects the algorithm (``"mst"``, ``"linear_scan"``,
+    ``"nn"``, ``"range"``, ``"continuous_nn"``, ``"time_relaxed"``);
+    ``query`` is the matching query object (trajectory, point or
+    window); ``options`` passes algorithm-specific keywords through to
+    the unified API (``vmax``, ``exact``, ``grid``, ``exclude_ids``,
+    ...).
+    """
+
+    kind: str
+    query: object
+    period: tuple[float, float] | None = None
+    k: int = 1
+    options: dict = field(default_factory=dict)
+
+    def canonical_kind(self) -> str:
+        try:
+            return _KIND_ALIASES[self.kind]
+        except KeyError:
+            raise QueryError(
+                f"unknown query kind {self.kind!r}; expected one of "
+                f"{sorted(set(_KIND_ALIASES.values()))}"
+            ) from None
+
+
+@dataclass
+class BatchResult:
+    """A batch's answers plus its throughput and cache telemetry."""
+
+    results: list[SearchResult]
+    wall_time_s: float
+    queries_per_sec: float
+    executor: str
+    cache_counters: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def as_dict(self) -> dict:
+        return {
+            "num_queries": len(self.results),
+            "wall_time_s": self.wall_time_s,
+            "queries_per_sec": self.queries_per_sec,
+            "executor": self.executor,
+            "cache": dict(self.cache_counters),
+            "metrics": dict(self.metrics),
+        }
+
+
+class QueryEngine:
+    """Session owner for an index + dataset, executing query batches.
+
+    Use as a context manager, or call :meth:`close` to release pins::
+
+        with QueryEngine(index, dataset) as engine:
+            batch = engine.run_batch([
+                QueryRequest("mst", query, period, k=5),
+                QueryRequest("range", window, period),
+            ])
+    """
+
+    def __init__(
+        self,
+        index: TrajectoryIndex,
+        dataset: TrajectoryDataset | None = None,
+        *,
+        config: EngineConfig | None = None,
+    ):
+        self.index = index
+        self.dataset = dataset
+        self.config = config or EngineConfig()
+        self.metrics = MetricsRegistry()
+        self.dissim_cache = DissimRefinementCache(
+            max(1, self.config.dissim_cache_size)
+        )
+        self.mindist_cache = MindistCache(
+            max(1, self.config.mindist_cache_scopes)
+        )
+        self.segdissim_cache = SegmentDissimCache(
+            max(1, self.config.segdissim_cache_scopes)
+        )
+        self._local = _thread_local()
+        self._signature = None
+        self._closed = False
+        self._refresh_session()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        index_path: str | Path,
+        dataset_path: str | Path | None = None,
+        *,
+        config: EngineConfig | None = None,
+        buffer_fraction: float = SESSION_BUFFER_FRACTION,
+        buffer_max_pages: int = 1000,
+    ) -> "QueryEngine":
+        """Open a saved index (and optionally its dataset) for querying."""
+        index = load_index(index_path, buffer_fraction, buffer_max_pages)
+        dataset = None
+        if dataset_path is not None:
+            dataset_path = Path(dataset_path)
+            reader = read_json if dataset_path.suffix == ".json" else read_csv
+            dataset = reader(dataset_path)
+        return cls(index, dataset, config=config)
+
+    def close(self) -> None:
+        """Release buffer pins (caches are just dropped with the object)."""
+        if not self._closed:
+            self.index.buffer.unpin_all()
+            self._closed = True
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # cache/session management
+    # ------------------------------------------------------------------
+    def _index_signature(self) -> tuple:
+        return (
+            self.index.num_nodes,
+            self.index.num_entries,
+            self.index.root_page,
+        )
+
+    def _refresh_session(self) -> None:
+        self._signature = self._index_signature()
+        self.dissim_cache.clear()
+        self.mindist_cache.clear()
+        self.segdissim_cache.clear()
+        pinned = self.pin_upper_levels()
+        self.metrics.inc("engine.sessions")
+        self.metrics.inc("engine.pinned_pages", pinned)
+
+    def check_signature(self) -> bool:
+        """Invalidate every cache level if the index changed shape
+        since the last query; returns ``True`` when invalidation ran."""
+        if self._index_signature() != self._signature:
+            self.metrics.inc("engine.cache.invalidations")
+            self._refresh_session()
+            return True
+        return False
+
+    def pin_upper_levels(self) -> int:
+        """Pin the top ``config.pin_upper_levels`` index levels in the
+        buffer pool; returns how many pages were pinned."""
+        buf = self.index.buffer
+        buf.unpin_all()
+        levels = self.config.pin_upper_levels
+        if levels <= 0 or self.index.root_page == NO_PAGE:
+            return 0
+        floor = self.index.height - levels  # pin node.level >= floor
+        pinned = 0
+        stack = [self.index.root_page]
+        while stack:
+            page_id = stack.pop()
+            node = self.index.read_node(page_id)
+            if node.level < floor:
+                continue
+            buf.pin(page_id)
+            pinned += 1
+            if not node.is_leaf and node.level > floor:
+                stack.extend(e.child_page for e in node.entries)
+        return pinned
+
+    # ------------------------------------------------------------------
+    # unified-API execution context protocol
+    # ------------------------------------------------------------------
+    def search_hooks(self, query, period) -> dict:
+        """Per-query hook bundle for :mod:`repro.search.api` — memoised
+        MINDIST, the cross-query refinement cache view and the
+        worker-local heap scratch."""
+        self.check_signature()
+        hooks: dict = {"heap_scratch": self._heap_scratch()}
+        if not isinstance(query, Trajectory):
+            return hooks
+        key = query_key(query)
+        span = tuple(period) if period is not None else (
+            query.t_start,
+            query.t_end,
+        )
+        if self.config.mindist_cache_scopes > 0:
+            hooks["mindist_fn"] = self.mindist_cache.wrap(
+                _base_mindist, query, key, span[0], span[1]
+            )
+        if self.config.segdissim_cache_scopes > 0:
+            hooks["segment_dissim_fn"] = self.segdissim_cache.wrap(
+                _base_segment_dissim, key, span[0], span[1]
+            )
+        if self.config.dissim_cache_size > 0:
+            hooks["refinement_cache"] = self.dissim_cache.view(key, span)
+        return hooks
+
+    def _heap_scratch(self) -> list:
+        heap = getattr(self._local, "heap", None)
+        if heap is None:
+            heap = []
+            self._local.heap = heap
+        return heap
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, request: QueryRequest) -> SearchResult:
+        """Run one request through the shared context."""
+        if self._closed:
+            raise QueryError("engine is closed")
+        kind = request.canonical_kind()
+        self.check_signature()
+        self.metrics.inc("engine.queries")
+        self.metrics.inc(f"engine.queries.{kind}")
+        opts = request.options
+        if kind == "mst":
+            return _api.bfmst_search(
+                self, None, request.query,
+                period=request.period, k=request.k, **opts,
+            )
+        if kind == "linear_scan":
+            return _api.linear_scan_kmst(
+                None, self._require_dataset(kind), request.query,
+                period=request.period, k=request.k, **opts,
+            )
+        if kind == "nn":
+            return _api.nearest_neighbours(
+                self, None, request.query,
+                period=request.period, k=request.k, **opts,
+            )
+        if kind == "range":
+            return _api.range_query(
+                self, None, request.query, period=request.period, **opts,
+            )
+        if kind == "continuous_nn":
+            return _api.continuous_nearest_neighbour(
+                self, self._require_dataset(kind), request.query,
+                period=request.period, **opts,
+            )
+        # time_relaxed
+        return _api.time_relaxed_kmst(
+            None, self._require_dataset(kind), request.query,
+            k=request.k, **opts,
+        )
+
+    def run_batch(
+        self, requests: list[QueryRequest], *, executor=None
+    ) -> BatchResult:
+        """Execute the batch and return answers in request order with
+        throughput and cache hit/miss telemetry."""
+        if self._closed:
+            raise QueryError("engine is closed")
+        self.check_signature()
+        if executor is None:
+            ex = make_executor(self.config.executor, self.config.max_workers)
+        elif isinstance(executor, str):
+            ex = make_executor(executor, self.config.max_workers)
+        else:
+            ex = executor
+        if getattr(ex, "kind", "serial") == "thread":
+            self.index.buffer.enable_thread_safety()
+        before = self.cache_counters()
+        t0 = time.perf_counter()
+        results = ex.map(lambda _i, request: self.execute(request), requests)
+        wall = time.perf_counter() - t0
+        after = self.cache_counters()
+        self._publish_cache_deltas(before, after)
+        self.metrics.inc("engine.batches")
+        qps = len(requests) / wall if wall > 0 else float("inf")
+        return BatchResult(
+            results=results,
+            wall_time_s=wall,
+            queries_per_sec=qps,
+            executor=getattr(ex, "kind", "serial"),
+            cache_counters=after,
+            metrics=dict(self.metrics.counters),
+        )
+
+    def _require_dataset(self, kind: str) -> TrajectoryDataset:
+        if self.dataset is None:
+            raise QueryError(
+                f"{kind} queries need the engine to own a dataset "
+                f"(pass one to QueryEngine(...) or .open(dataset_path=...))"
+            )
+        return self.dataset
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def cache_counters(self) -> dict[str, int]:
+        """Current absolute hit/miss/eviction counters of every cache
+        level, plus the buffer pool's session totals."""
+        out = dict(self.dissim_cache.counters())
+        out.update(self.mindist_cache.counters())
+        out.update(self.segdissim_cache.counters())
+        io = self.index.buffer.stats
+        out["engine.buffer.hits"] = io.buffer_hits
+        out["engine.buffer.misses"] = io.buffer_misses
+        out["engine.buffer.pinned"] = len(self.index.buffer.pinned_pages)
+        return out
+
+    def _publish_cache_deltas(self, before: dict, after: dict) -> None:
+        """Push this batch's counter deltas into the engine registry
+        and mirror them into any active query trace."""
+        trace = _obs.ACTIVE
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta <= 0 or name.endswith((".size", ".scopes", ".pinned")):
+                continue
+            self.metrics.inc(name, delta)
+            if trace is not None:
+                trace.registry.inc(name, delta)

@@ -1,0 +1,57 @@
+"""Batch executors: serial loop and thread pool over a read-only index.
+
+The threaded executor exists because a k-MST batch is dominated by
+pure-Python geometry (MINDIST, trapezoid integrals) interleaved with
+buffer lookups; threads overlap the latter and, on free-threaded
+builds, the former.  The index must be treated as read-only for the
+duration — the engine enables the buffer manager's lock before
+spawning workers.  Request order is always preserved in the results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+__all__ = ["SerialExecutor", "ThreadedExecutor", "make_executor"]
+
+
+class SerialExecutor:
+    """Run the batch in submission order on the calling thread."""
+
+    kind = "serial"
+
+    def map(self, fn: Callable, requests: Sequence) -> list:
+        return [fn(i, request) for i, request in enumerate(requests)]
+
+
+class ThreadedExecutor:
+    """Run the batch on a thread pool (results stay in request order).
+
+    ``max_workers=None`` picks ``min(8, cpu_count)``.  A pool is
+    created per batch, so the executor object itself holds no OS
+    resources between calls.
+    """
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        self.max_workers = max(1, max_workers)
+
+    def map(self, fn: Callable, requests: Sequence) -> list:
+        if len(requests) <= 1 or self.max_workers == 1:
+            return SerialExecutor().map(fn, requests)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, range(len(requests)), requests))
+
+
+def make_executor(kind: str, max_workers: int | None = None):
+    """``"serial"`` or ``"thread"`` → executor instance."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadedExecutor(max_workers)
+    raise ValueError(f"unknown executor kind {kind!r} (serial|thread)")

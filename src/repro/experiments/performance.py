@@ -79,16 +79,19 @@ def run_workload(
     mismatches = 0
     for query, period in workload:
         start = time.perf_counter()
-        matches, stats = bfmst_search(index, query, period, k=k)
+        result = bfmst_search(index, None, query, period=period, k=k)
+        matches, stats = result.matches, result.stats
         total_time += time.perf_counter() - start
         total_pruning += stats.pruning_power
         total_accesses += stats.node_accesses
         total_leaves += stats.leaf_accesses
         total_entries += stats.entries_processed
         if verify:
-            truth = linear_scan_kmst(dataset, query, period, k=k, exact=True)
+            truth = linear_scan_kmst(
+                None, dataset, query, period=period, k=k, exact=True
+            )
             got = {m.trajectory_id for m in matches}
-            want = {m.trajectory_id for m in truth}
+            want = {m.trajectory_id for m in truth.matches}
             if got != want:
                 mismatches += 1
     n = len(workload)

@@ -134,10 +134,11 @@ def quality_experiment(
             for oid in ids:
                 if measure == "DISSIM":
                     query = compressed[oid]
-                    matches = linear_scan_kmst(
-                        dataset, query, (query.t_start, query.t_end), k=1
+                    result = linear_scan_kmst(
+                        None, dataset, query,
+                        period=(query.t_start, query.t_end), k=1,
                     )
-                    winner = matches[0].trajectory_id if matches else None
+                    winner = result.ids[0] if result.matches else None
                 else:
                     winner = _most_similar_dp(
                         measure, norm_compressed[oid], normalised, eps

@@ -31,6 +31,9 @@ def best_first_nodes(
     query: Trajectory,
     t_start: float,
     t_end: float,
+    *,
+    mindist_fn=None,
+    heap: list | None = None,
 ) -> Iterator[tuple[float, Node]]:
     """Yield ``(mindist, node)`` pairs in increasing MINDIST order.
 
@@ -38,14 +41,26 @@ def best_first_nodes(
     enqueues its temporally overlapping children keyed by MINDIST of
     their *entry* MBB (the child page itself is only read when
     dequeued, so node accesses reflect true I/O).
+
+    ``mindist_fn`` substitutes the MINDIST evaluation (same signature
+    and semantics as :func:`repro.index.mindist.mindist`); the query
+    engine passes a per-query memoising wrapper here.  ``heap`` lets a
+    caller donate a reusable list as the priority-queue scratch buffer
+    (it is cleared first); pass ``None`` for a private one.
     """
     if index.root_page == NO_PAGE:
         return
+    if mindist_fn is None:
+        mindist_fn = mindist
     trace = _obs.ACTIVE
     reg = trace.registry if trace is not None else None
     high_water = 1
     counter = 0  # heap tie-breaker: FIFO among equal distances
-    heap: list[tuple[float, int, int]] = [(0.0, counter, index.root_page)]
+    if heap is None:
+        heap = []
+    else:
+        heap.clear()
+    heap.append((0.0, counter, index.root_page))
     try:
         while heap:
             dist, _tie, page_id = heapq.heappop(heap)
@@ -62,7 +77,7 @@ def best_first_nodes(
                 continue
             child_level = node.level - 1
             for e in node.entries:
-                d = mindist(query, e.mbr, t_start, t_end)
+                d = mindist_fn(query, e.mbr, t_start, t_end)
                 if reg is not None:
                     reg.inc(f"index.mindist_evaluations.level_{child_level}")
                 if d is None:

@@ -148,15 +148,19 @@ class MovingObjectDatabase:
     # ------------------------------------------------------------------
     def range(self, window: MBR2D, t_start: float, t_end: float) -> set[int]:
         """Objects whose path enters ``window`` during the interval."""
-        return range_query(self._require_frozen(), window, t_start, t_end)
+        result = range_query(
+            self._require_frozen(), None, window, period=(t_start, t_end)
+        )
+        return set(result.ids)
 
     def nearest(
         self, point: Point, t_start: float, t_end: float, k: int = 1
     ) -> list[tuple[int, float]]:
         """The k objects passing closest to ``point`` in the interval."""
-        return nearest_neighbours(
-            self._require_frozen(), point, t_start, t_end, k=k
+        result = nearest_neighbours(
+            self._require_frozen(), None, point, period=(t_start, t_end), k=k
         )
+        return [(m.trajectory_id, m.dissim) for m in result.matches]
 
     def most_similar(
         self,
@@ -169,14 +173,16 @@ class MovingObjectDatabase:
         """k-MST search; ``use_index=False`` falls back to the linear
         scan (useful when the optimiser predicts poor pruning)."""
         if use_index:
-            return bfmst_search(
-                self._require_frozen(), query, period, k=k,
+            result = bfmst_search(
+                self._require_frozen(), None, query, period=period, k=k,
                 exclude_ids=exclude_ids,
             )
-        matches = linear_scan_kmst(
-            self.dataset, query, period, k=k, exclude_ids=exclude_ids
+            return (result.matches, result.stats)
+        result = linear_scan_kmst(
+            None, self.dataset, query, period=period, k=k,
+            exclude_ids=exclude_ids,
         )
-        return (matches, None)
+        return (result.matches, None)
 
     def browse(
         self,

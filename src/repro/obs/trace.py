@@ -14,7 +14,7 @@ Usage::
     from repro.obs import query_trace
 
     with query_trace(index, name="q42") as trace:
-        matches, stats = bfmst_search(index, query, period, k=5)
+        result = bfmst_search(index, None, query, period=period, k=5)
     print(trace.to_json(indent=2))
 
 ``source`` may be anything that leads to an ``IOStats``: the stats

@@ -1,28 +1,59 @@
 """Query processing: BFMST (the paper's algorithm), the linear-scan
 ground truth, classical range/NN queries and the time-relaxed
-extension."""
+extension.
 
-from .bfmst import bfmst_search
+The canonical entry points — :func:`bfmst_search`,
+:func:`linear_scan_kmst`, :func:`nearest_neighbours`,
+:func:`range_query`, :func:`continuous_nearest_neighbour`,
+:func:`time_relaxed_kmst` — are the *unified* dispatchers from
+:mod:`repro.search.api`: one shared signature
+``fn(ctx_or_index, dataset, query, *, period=..., k=..., trace=None)``
+returning a :class:`SearchResult`.  The pre-unification positional
+forms still work through the same names (with a
+:class:`DeprecationWarning`); the raw algorithm implementations
+remain importable from their own modules
+(e.g. :func:`repro.search.bfmst.bfmst_search`).
+"""
+
+from .api import (
+    bfmst_search,
+    continuous_nearest_neighbour,
+    linear_scan_kmst,
+    nearest_neighbours,
+    range_query,
+    resolve_context,
+    time_relaxed_kmst,
+)
 from .browse import bfmst_browse
-from .continuous_nn import NNInterval, continuous_nearest_neighbour
-from .linear_scan import linear_scan_kmst
-from .nn import nearest_neighbours, nearest_neighbours_brute_force
-from .range_query import range_query, range_query_brute_force
-from .results import MSTMatch, SearchStats
-from .time_relaxed import time_relaxed_dissim, time_relaxed_kmst
+from .continuous_nn import NNInterval, continuous_nn_with_stats
+from .linear_scan import linear_scan_with_stats
+from .nn import nearest_neighbours_brute_force, nearest_neighbours_with_stats
+from .range_query import range_query_brute_force, range_query_with_stats
+from .results import MSTMatch, SearchResult, SearchStats
+from .time_relaxed import time_relaxed_dissim, time_relaxed_with_stats
 
 __all__ = [
+    # unified API
     "bfmst_search",
-    "bfmst_browse",
     "linear_scan_kmst",
-    "range_query",
-    "range_query_brute_force",
     "nearest_neighbours",
-    "nearest_neighbours_brute_force",
+    "range_query",
     "continuous_nearest_neighbour",
-    "NNInterval",
-    "time_relaxed_dissim",
     "time_relaxed_kmst",
+    "resolve_context",
+    # result types
     "MSTMatch",
     "SearchStats",
+    "SearchResult",
+    "NNInterval",
+    # stats-bearing implementations & reference baselines
+    "bfmst_browse",
+    "linear_scan_with_stats",
+    "nearest_neighbours_with_stats",
+    "nearest_neighbours_brute_force",
+    "range_query_with_stats",
+    "range_query_brute_force",
+    "continuous_nn_with_stats",
+    "time_relaxed_dissim",
+    "time_relaxed_with_stats",
 ]

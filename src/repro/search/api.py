@@ -1,0 +1,471 @@
+"""The unified search API — one signature for every algorithm.
+
+Every entry point accepts the same three leading arguments::
+
+    fn(ctx_or_index, dataset, query, *, period=None, k=1, trace=None, ...)
+    -> SearchResult
+
+* ``ctx_or_index`` — a :class:`~repro.engine.QueryEngine` execution
+  context (anything exposing ``.index``/``.dataset`` and a
+  ``search_hooks(query, period)`` method), a bare
+  :class:`~repro.index.TrajectoryIndex`, or ``None`` for index-free
+  algorithms,
+* ``dataset`` — the :class:`~repro.trajectory.TrajectoryDataset`
+  (``None`` to take the context's, or for index-only algorithms),
+* ``query`` — the query object: a :class:`~repro.trajectory.Trajectory`
+  for (k-)MST / continuous NN / time-relaxed, a
+  :class:`~repro.geometry.Point` for point NN, an
+  :class:`~repro.geometry.MBR2D` window for range queries.
+
+All entry points return a :class:`~repro.search.results.SearchResult`
+whose ``stats`` block has the same field set regardless of algorithm.
+
+**Legacy forms.**  Each function still accepts its pre-unification
+positional form (discriminated by the type of the second positional
+argument) and returns the old result shape, but emits a
+:class:`DeprecationWarning`; see the deprecation table in the README.
+The repro package itself never uses the legacy forms — CI runs the
+engine smoke test with ``-W error::DeprecationWarning`` to keep it
+that way.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager, nullcontext
+
+from ..exceptions import QueryError
+from ..geometry import MBR2D, Point
+from ..obs import state as _obs
+from ..trajectory import Trajectory, TrajectoryDataset
+from . import bfmst as _bfmst
+from . import continuous_nn as _cnn
+from . import linear_scan as _scan
+from . import nn as _nn
+from . import range_query as _range
+from . import time_relaxed as _trx
+from .results import MSTMatch, SearchResult
+
+__all__ = [
+    "bfmst_search",
+    "linear_scan_kmst",
+    "nearest_neighbours",
+    "range_query",
+    "continuous_nearest_neighbour",
+    "time_relaxed_kmst",
+    "resolve_context",
+]
+
+
+# ----------------------------------------------------------------------
+# shared plumbing
+# ----------------------------------------------------------------------
+def resolve_context(ctx_or_index, dataset):
+    """Split the unified API's first two arguments into
+    ``(index, dataset, ctx)``.
+
+    A *context* is duck-typed — anything with ``.index`` and a callable
+    ``search_hooks`` qualifies (the engine's execution context does; no
+    import of :mod:`repro.engine` happens here, so the layering stays
+    acyclic).  An explicit ``dataset`` argument wins over the
+    context's.  As an ergonomic special case a
+    :class:`~repro.trajectory.TrajectoryDataset` passed in the context
+    slot of an index-free algorithm is treated as the dataset.
+    """
+    if (
+        ctx_or_index is not None
+        and hasattr(ctx_or_index, "index")
+        and callable(getattr(ctx_or_index, "search_hooks", None))
+    ):
+        if dataset is None:
+            dataset = getattr(ctx_or_index, "dataset", None)
+        return ctx_or_index.index, dataset, ctx_or_index
+    if dataset is None and isinstance(ctx_or_index, TrajectoryDataset):
+        return None, ctx_or_index, None
+    return ctx_or_index, dataset, None
+
+
+def _warn_legacy(name: str, hint: str) -> None:
+    warnings.warn(
+        f"the positional {name} form is deprecated; call the unified "
+        f"form {hint} (returns SearchResult)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@contextmanager
+def _installed(trace):
+    previous = _obs.ACTIVE
+    _obs.ACTIVE = trace
+    fresh = getattr(trace, "_t0", None) is None
+    if fresh:
+        trace.start()
+    try:
+        yield trace
+    finally:
+        if fresh:
+            trace.finish()
+        _obs.ACTIVE = previous
+
+
+def _tracing(trace):
+    """Install ``trace`` as the active QueryTrace for the call (it is
+    started/finished only if the caller has not already started it)."""
+    return _installed(trace) if trace is not None else nullcontext()
+
+
+def _fill_positional(legacy: list, extra: tuple, name: str) -> list:
+    if len(extra) > len(legacy):
+        raise TypeError(
+            f"{name}() takes at most {len(legacy) + 2} positional "
+            f"arguments ({len(extra) + 2} given)"
+        )
+    for i, value in enumerate(extra):
+        legacy[i] = value
+    return legacy
+
+
+def _new_form_args(args: tuple, dataset, query, name: str):
+    """Bind the new form's trailing positionals ``(dataset, query)``."""
+    if len(args) > 2:
+        raise TypeError(
+            f"unified {name}() takes 3 positional arguments "
+            f"(ctx_or_index, dataset, query); got {len(args) + 1}"
+        )
+    if args:
+        if dataset is not None:
+            raise TypeError(f"{name}() got duplicate 'dataset'")
+        dataset = args[0]
+    if len(args) == 2:
+        if query is not None:
+            raise TypeError(f"{name}() got duplicate 'query'")
+        query = args[1]
+    if query is None:
+        raise TypeError(f"{name}() missing required argument: 'query'")
+    return dataset, query
+
+
+def _require_index(index, name: str):
+    if index is None:
+        raise QueryError(f"{name} requires an index (or engine context)")
+    return index
+
+
+# ----------------------------------------------------------------------
+# k-MST (BFMST)
+# ----------------------------------------------------------------------
+def bfmst_search(
+    ctx_or_index,
+    *args,
+    dataset=None,
+    query=None,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    vmax: float | None = None,
+    use_heuristic1: bool = True,
+    use_heuristic2: bool = True,
+    refine: bool = True,
+    exclude_ids=frozenset(),
+    mindist_fn=None,
+    segment_dissim_fn=None,
+    refinement_cache=None,
+    heap_scratch: list | None = None,
+    trace=None,
+) -> SearchResult:
+    """Index-based k-Most-Similar-Trajectory search (the paper's BFMST).
+
+    Unified form: ``bfmst_search(ctx_or_index, dataset, query, *,
+    period=None, k=1, ...) -> SearchResult`` (``dataset`` may be
+    ``None`` — BFMST reads only the index).  Legacy form
+    ``bfmst_search(index, query, period, k=...)`` still returns the old
+    ``(matches, stats)`` tuple with a :class:`DeprecationWarning`.
+    """
+    if args and isinstance(args[0], Trajectory):
+        _warn_legacy(
+            "bfmst_search(index, query, ...)",
+            "bfmst_search(index, None, query, k=...)",
+        )
+        period, k, vmax, use_heuristic1, use_heuristic2, refine, exclude_ids = (
+            _fill_positional(
+                [period, k, vmax, use_heuristic1, use_heuristic2, refine,
+                 exclude_ids],
+                args[1:],
+                "bfmst_search",
+            )
+        )
+        return _bfmst.bfmst_search(
+            ctx_or_index, args[0], period, k, vmax,
+            use_heuristic1, use_heuristic2, refine, exclude_ids,
+            mindist_fn=mindist_fn, segment_dissim_fn=segment_dissim_fn,
+            refinement_cache=refinement_cache, heap_scratch=heap_scratch,
+        )
+    dataset, query, = _new_form_args(args, dataset, query, "bfmst_search")
+    index, dataset, ctx = resolve_context(ctx_or_index, dataset)
+    _require_index(index, "bfmst_search")
+    hooks = ctx.search_hooks(query, period) if ctx is not None else {}
+    with _tracing(trace):
+        matches, stats = _bfmst.bfmst_search(
+            index, query, period, k, vmax,
+            use_heuristic1, use_heuristic2, refine, exclude_ids,
+            mindist_fn=hooks.get("mindist_fn", mindist_fn),
+            segment_dissim_fn=hooks.get(
+                "segment_dissim_fn", segment_dissim_fn
+            ),
+            refinement_cache=hooks.get("refinement_cache", refinement_cache),
+            heap_scratch=hooks.get("heap_scratch", heap_scratch),
+        )
+    return SearchResult("bfmst", matches, stats)
+
+
+# ----------------------------------------------------------------------
+# linear-scan k-MST
+# ----------------------------------------------------------------------
+def linear_scan_kmst(
+    ctx_or_index,
+    *args,
+    dataset=None,
+    query=None,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    exact: bool = False,
+    exclude_ids=frozenset(),
+    trace=None,
+) -> SearchResult:
+    """Exhaustive k-MST — the index-free ground truth.
+
+    Unified form: ``linear_scan_kmst(None, dataset, query, *, k=1,
+    exact=False, ...) -> SearchResult``.  Legacy form
+    ``linear_scan_kmst(dataset, query, period, k, ...)`` still returns
+    the bare match list with a :class:`DeprecationWarning`.
+    """
+    if args and isinstance(args[0], Trajectory):
+        _warn_legacy(
+            "linear_scan_kmst(dataset, query, ...)",
+            "linear_scan_kmst(None, dataset, query, k=...)",
+        )
+        period, k, exact, exclude_ids = _fill_positional(
+            [period, k, exact, exclude_ids], args[1:], "linear_scan_kmst"
+        )
+        return _scan.linear_scan_kmst(
+            ctx_or_index, args[0], period, k, exact, exclude_ids
+        )
+    dataset, query = _new_form_args(args, dataset, query, "linear_scan_kmst")
+    _index, dataset, _ctx = resolve_context(ctx_or_index, dataset)
+    if dataset is None:
+        raise QueryError("linear_scan_kmst requires a dataset")
+    with _tracing(trace):
+        matches, stats = _scan.linear_scan_with_stats(
+            dataset, query, period, k, exact, exclude_ids
+        )
+    return SearchResult("linear_scan", matches, stats)
+
+
+# ----------------------------------------------------------------------
+# point nearest neighbours
+# ----------------------------------------------------------------------
+def nearest_neighbours(
+    ctx_or_index,
+    *args,
+    dataset=None,
+    query=None,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    trace=None,
+) -> SearchResult:
+    """Historical point-NN: the k objects passing closest to a location.
+
+    Unified form: ``nearest_neighbours(ctx_or_index, dataset, point, *,
+    period=(t_start, t_end), k=1, ...) -> SearchResult`` — the match
+    ``dissim`` slot carries the point distance.  Legacy form
+    ``nearest_neighbours(index, point, t_start, t_end, k)`` still
+    returns the ``(trajectory_id, distance)`` list with a
+    :class:`DeprecationWarning`.
+    """
+    if args and isinstance(args[0], Point):
+        _warn_legacy(
+            "nearest_neighbours(index, point, t_start, t_end, ...)",
+            "nearest_neighbours(index, None, point, period=(t_start, t_end))",
+        )
+        t_start, t_end, k = _fill_positional(
+            [None, None, k], args[1:], "nearest_neighbours"
+        )
+        if t_start is None or t_end is None:
+            raise TypeError(
+                "legacy nearest_neighbours() requires t_start and t_end"
+            )
+        return _nn.nearest_neighbours(ctx_or_index, args[0], t_start, t_end, k)
+    dataset, point = _new_form_args(args, dataset, query, "nearest_neighbours")
+    index, _dataset, _ctx = resolve_context(ctx_or_index, dataset)
+    _require_index(index, "nearest_neighbours")
+    if period is None:
+        raise QueryError("nearest_neighbours requires period=(t_start, t_end)")
+    t_start, t_end = period
+    with _tracing(trace):
+        pairs, stats = _nn.nearest_neighbours_with_stats(
+            index, point, t_start, t_end, k
+        )
+    matches = [MSTMatch(tid, dist, 0.0, True) for tid, dist in pairs]
+    return SearchResult("nn", matches, stats)
+
+
+# ----------------------------------------------------------------------
+# spatiotemporal range
+# ----------------------------------------------------------------------
+def range_query(
+    ctx_or_index,
+    *args,
+    dataset=None,
+    query=None,
+    period: tuple[float, float] | None = None,
+    trace=None,
+) -> SearchResult:
+    """Objects whose path enters a spatial window during an interval.
+
+    Unified form: ``range_query(ctx_or_index, dataset, window, *,
+    period=(t_start, t_end), ...) -> SearchResult`` — hits are unranked
+    :class:`MSTMatch` rows (``dissim`` 0) sorted by id.  Legacy form
+    ``range_query(index, window, t_start, t_end)`` still returns the
+    bare id set with a :class:`DeprecationWarning`.
+    """
+    if args and isinstance(args[0], MBR2D):
+        _warn_legacy(
+            "range_query(index, window, t_start, t_end)",
+            "range_query(index, None, window, period=(t_start, t_end))",
+        )
+        t_start, t_end = _fill_positional([None, None], args[1:], "range_query")
+        if t_start is None or t_end is None:
+            raise TypeError("legacy range_query() requires t_start and t_end")
+        return _range.range_query(ctx_or_index, args[0], t_start, t_end)
+    dataset, window = _new_form_args(args, dataset, query, "range_query")
+    index, _dataset, _ctx = resolve_context(ctx_or_index, dataset)
+    _require_index(index, "range_query")
+    if period is None:
+        raise QueryError("range_query requires period=(t_start, t_end)")
+    t_start, t_end = period
+    with _tracing(trace):
+        hits, stats = _range.range_query_with_stats(
+            index, window, t_start, t_end
+        )
+    matches = [MSTMatch(tid, 0.0, 0.0, True) for tid in sorted(hits)]
+    return SearchResult("range", matches, stats, extras={"hit_ids": sorted(hits)})
+
+
+# ----------------------------------------------------------------------
+# historical continuous NN
+# ----------------------------------------------------------------------
+def continuous_nearest_neighbour(
+    ctx_or_index,
+    *args,
+    dataset=None,
+    query=None,
+    period: tuple[float, float] | None = None,
+    exclude_ids=frozenset(),
+    index=None,
+    trace=None,
+) -> SearchResult:
+    """Nearest object at every instant of the period.
+
+    Unified form: ``continuous_nearest_neighbour(ctx_or_index, dataset,
+    query, *, period=(t_start, t_end), ...) -> SearchResult`` — the
+    interval partition is in ``result.extras["intervals"]`` (also via
+    ``result.intervals``); ``matches`` lists the distinct winners in
+    order of first appearance.  An index in the context slot enables
+    candidate pruning.  Legacy form
+    ``continuous_nearest_neighbour(dataset, query, t_start, t_end,
+    index=...)`` still returns the bare interval list with a
+    :class:`DeprecationWarning`.
+    """
+    if args and isinstance(args[0], Trajectory):
+        _warn_legacy(
+            "continuous_nearest_neighbour(dataset, query, t_start, t_end, ...)",
+            "continuous_nearest_neighbour(index, dataset, query, "
+            "period=(t_start, t_end))",
+        )
+        t_start, t_end, legacy_index, exclude_ids = _fill_positional(
+            [None, None, index, exclude_ids],
+            args[1:],
+            "continuous_nearest_neighbour",
+        )
+        if t_start is None or t_end is None:
+            raise TypeError(
+                "legacy continuous_nearest_neighbour() requires "
+                "t_start and t_end"
+            )
+        return _cnn.continuous_nearest_neighbour(
+            ctx_or_index, args[0], t_start, t_end, legacy_index, exclude_ids
+        )
+    if index is not None:
+        raise TypeError(
+            "the unified continuous_nearest_neighbour() takes the index "
+            "through the first (ctx_or_index) argument, not index="
+        )
+    dataset, q = _new_form_args(
+        args, dataset, query, "continuous_nearest_neighbour"
+    )
+    index, dataset, _ctx = resolve_context(ctx_or_index, dataset)
+    if dataset is None:
+        raise QueryError("continuous_nearest_neighbour requires a dataset")
+    if period is None:
+        raise QueryError(
+            "continuous_nearest_neighbour requires period=(t_start, t_end)"
+        )
+    t_start, t_end = period
+    with _tracing(trace):
+        intervals, stats = _cnn.continuous_nn_with_stats(
+            dataset, q, t_start, t_end, index, exclude_ids
+        )
+    winners: list[int] = []
+    for piece in intervals:
+        if piece.object_id not in winners:
+            winners.append(piece.object_id)
+    matches = [MSTMatch(oid, 0.0, 0.0, True) for oid in winners]
+    return SearchResult(
+        "continuous_nn", matches, stats, extras={"intervals": intervals}
+    )
+
+
+# ----------------------------------------------------------------------
+# time-relaxed k-MST
+# ----------------------------------------------------------------------
+def time_relaxed_kmst(
+    ctx_or_index,
+    *args,
+    dataset=None,
+    query=None,
+    k: int = 1,
+    grid: int = 64,
+    exclude_ids=frozenset(),
+    trace=None,
+) -> SearchResult:
+    """k-MST minimised over all admissible query time shifts.
+
+    Unified form: ``time_relaxed_kmst(None, dataset, query, *, k=1,
+    grid=64, ...) -> SearchResult`` — the optimal shift per answer is
+    in ``result.extras["shifts"]`` (a ``{trajectory_id: shift}``
+    mapping).  Legacy form ``time_relaxed_kmst(dataset, query, k,
+    grid)`` still returns the ``(match, shift)`` pair list with a
+    :class:`DeprecationWarning`.
+    """
+    if args and isinstance(args[0], Trajectory):
+        _warn_legacy(
+            "time_relaxed_kmst(dataset, query, ...)",
+            "time_relaxed_kmst(None, dataset, query, k=...)",
+        )
+        k, grid, exclude_ids = _fill_positional(
+            [k, grid, exclude_ids], args[1:], "time_relaxed_kmst"
+        )
+        return _trx.time_relaxed_kmst(
+            ctx_or_index, args[0], k, grid, exclude_ids
+        )
+    dataset, q = _new_form_args(args, dataset, query, "time_relaxed_kmst")
+    _index, dataset, _ctx = resolve_context(ctx_or_index, dataset)
+    if dataset is None:
+        raise QueryError("time_relaxed_kmst requires a dataset")
+    with _tracing(trace):
+        pairs, stats = _trx.time_relaxed_with_stats(
+            dataset, q, k, grid, exclude_ids
+        )
+    matches = [m for m, _shift in pairs]
+    shifts = {m.trajectory_id: shift for m, shift in pairs}
+    return SearchResult("time_relaxed", matches, stats, extras={"shifts": shifts})

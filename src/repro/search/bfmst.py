@@ -102,8 +102,26 @@ def bfmst_search(
     use_heuristic2: bool = True,
     refine: bool = True,
     exclude_ids: set[int] | frozenset[int] = frozenset(),
+    *,
+    mindist_fn=None,
+    segment_dissim_fn=None,
+    refinement_cache=None,
+    heap_scratch: list | None = None,
 ) -> tuple[list[MSTMatch], SearchStats]:
     """Run a k-MST search and return ``(matches, stats)``.
+
+    This is the algorithm implementation; the documented entry point is
+    the unified :func:`repro.search.bfmst_search` dispatcher, which
+    adds the engine/context plumbing and the :class:`SearchResult`
+    return shape.  The keyword-only hooks are how the
+    :class:`repro.engine.QueryEngine` amortises work across a batch —
+    ``mindist_fn`` memoises node MINDIST evaluations,
+    ``segment_dissim_fn`` memoises the per-leaf-entry DISSIM window
+    integrals, ``refinement_cache`` (a mapping-like ``get``/``put``
+    pair keyed by trajectory id) memoises exact refinement integrals
+    for repeated queries, and ``heap_scratch`` donates a reusable
+    priority-queue buffer.  None of them changes the answer, only the
+    work done.
 
     Parameters
     ----------
@@ -148,7 +166,6 @@ def bfmst_search(
         raise QueryError(f"negative vmax {vmax}")
 
     stats = SearchStats(total_nodes=index.num_nodes)
-    accesses_before = index.node_accesses
     io_before = index.pagefile.stats.snapshot()
     period_len = t_end - t_start
 
@@ -165,13 +182,16 @@ def bfmst_search(
     else:
         trace = None
 
+    seg_dissim = segment_dissim_fn or segment_dissim
     valid: dict[int, _Candidate] = {}
     completed: dict[int, _Candidate] = {}
     rejected: set[int] = set(exclude_ids)
     top = _TopK(k)
     dequeued = 0
 
-    for node_dist, node in best_first_nodes(index, query, t_start, t_end):
+    for node_dist, node in best_first_nodes(
+        index, query, t_start, t_end, mindist_fn=mindist_fn, heap=heap_scratch
+    ):
         dequeued += 1
         # ---- Heuristic 2: MINDISSIMINC early termination -------------
         threshold = top.threshold
@@ -209,7 +229,7 @@ def bfmst_search(
                 cand = _Candidate(tid, t_start, t_end)
                 valid[tid] = cand
                 stats.candidates_created += 1
-            integral, d_lo, d_hi = segment_dissim(query, entry.segment, lo, hi)
+            integral, d_lo, d_hi = seg_dissim(query, entry.segment, lo, hi)
             cand.partial.add_interval(lo, hi, integral, d_lo, d_hi)
             cand.windows.append((entry.segment, lo, hi))
             stats.entries_processed += 1
@@ -233,9 +253,15 @@ def bfmst_search(
                     rejected.add(tid)
                     stats.candidates_rejected += 1
 
-    matches = _assemble(completed, valid, vmax, query, top, k, refine, stats)
+    matches = _assemble(
+        completed, valid, vmax, query, top, k, refine, stats, refinement_cache
+    )
 
-    stats.node_accesses = index.node_accesses - accesses_before
+    # Each dequeue is exactly one read_node call and nothing else in
+    # this query reads nodes, so the local counter equals the global
+    # node-access delta — and stays correct when batches run on the
+    # engine's threaded executor.
+    stats.node_accesses = dequeued
     io_after = index.pagefile.stats.diff(io_before)
     stats.buffer_hits = io_after.buffer_hits
     stats.buffer_misses = io_after.buffer_misses
@@ -275,6 +301,7 @@ def _assemble(
     k: int,
     refine: bool,
     stats: SearchStats,
+    refinement_cache=None,
 ) -> list[MSTMatch]:
     """Rank the candidates, exactly re-integrating the ambiguous ones
     (the paper's post-processing step, Section 4.4)."""
@@ -308,12 +335,24 @@ def _assemble(
                 if not (m.exact and m.error_bound > 0.0 and m.lower <= kth_upper):
                     continue
                 cand = completed[m.trajectory_id]
-                exact_total = 0.0
-                for seg, lo, hi in cand.windows:
-                    integral, _dl, _dh = segment_dissim(
-                        query, seg, lo, hi, exact=True
-                    )
-                    exact_total += integral.approx
+                # A completed candidate's windows tile the whole query
+                # period, so its exact total is a function of (query,
+                # period, trajectory) alone — safe to memoise across
+                # repeated queries regardless of k.
+                exact_total = (
+                    refinement_cache.get(m.trajectory_id)
+                    if refinement_cache is not None
+                    else None
+                )
+                if exact_total is None:
+                    exact_total = 0.0
+                    for seg, lo, hi in cand.windows:
+                        integral, _dl, _dh = segment_dissim(
+                            query, seg, lo, hi, exact=True
+                        )
+                        exact_total += integral.approx
+                    if refinement_cache is not None:
+                        refinement_cache.put(m.trajectory_id, exact_total)
                 refined[m.trajectory_id] = exact_total
                 stats.refinement_candidates += 1
         scored = [

@@ -30,8 +30,13 @@ from ..exceptions import QueryError, TemporalCoverageError
 from ..geometry import MBR3D, distance_trinomial_coefficients
 from ..index import TrajectoryIndex
 from ..trajectory import Trajectory, TrajectoryDataset
+from .results import SearchStats
 
-__all__ = ["NNInterval", "continuous_nearest_neighbour"]
+__all__ = [
+    "NNInterval",
+    "continuous_nearest_neighbour",
+    "continuous_nn_with_stats",
+]
 
 # Relative step used to nudge past a crossing when re-evaluating the
 # winner (distance curves may osculate).
@@ -46,6 +51,67 @@ class NNInterval:
     t_lo: float
     t_hi: float
     object_id: int
+
+
+def continuous_nn_with_stats(
+    dataset: TrajectoryDataset,
+    query: Trajectory,
+    t_start: float,
+    t_end: float,
+    index: TrajectoryIndex | None = None,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+) -> tuple[list[NNInterval], SearchStats]:
+    """:func:`continuous_nearest_neighbour` plus a
+    :class:`SearchStats` block: ``candidates_created`` counts the
+    covering candidates, ``candidates_completed`` those surviving index
+    pruning (equal without an index), ``entries_processed`` the
+    elementary envelope intervals walked."""
+    if t_start >= t_end:
+        raise QueryError(f"empty or inverted period [{t_start}, {t_end}]")
+    if not query.covers(t_start, t_end):
+        raise TemporalCoverageError(
+            f"query {query.object_id!r} does not cover "
+            f"[{t_start}, {t_end}]"
+        )
+    stats = SearchStats()
+    if index is not None:
+        stats.total_nodes = index.num_nodes
+    candidates = [
+        tr
+        for tr in dataset
+        if tr.object_id not in exclude_ids and tr.covers(t_start, t_end)
+    ]
+    stats.candidates_created = len(candidates)
+    if not candidates:
+        return [], stats
+    if index is not None and len(candidates) > 1:
+        accesses_before = index.node_accesses
+        keep = _index_candidate_ids(index, dataset, query, t_start, t_end)
+        stats.node_accesses = max(0, index.node_accesses - accesses_before)
+        if keep:
+            filtered = [tr for tr in candidates if tr.object_id in keep]
+            if filtered:
+                candidates = filtered
+    stats.candidates_completed = len(candidates)
+    stats.candidates_rejected = stats.candidates_created - len(candidates)
+
+    # Elementary intervals: between consecutive *merged* timestamps of
+    # the query and every candidate, each candidate's squared distance
+    # is a single quadratic.
+    stamps: set[float] = {t_start, t_end}
+    stamps.update(query.sampling_timestamps_in(t_start, t_end))
+    for tr in candidates:
+        stamps.update(tr.sampling_timestamps_in(t_start, t_end))
+    grid = sorted(stamps)
+
+    pieces: list[NNInterval] = []
+    for lo, hi in zip(grid, grid[1:]):
+        if not (lo < (lo + hi) / 2.0 < hi):
+            continue  # sub-ulp sliver
+        stats.entries_processed += 1
+        pieces.extend(_envelope_on_interval(query, candidates, lo, hi))
+
+    return _coalesce(pieces), stats
 
 
 def continuous_nearest_neighbour(
@@ -63,43 +129,10 @@ def continuous_nearest_neighbour(
     (the paper family's standing assumption).  Returns maximal
     intervals; adjacent intervals always have different winners.
     """
-    if t_start >= t_end:
-        raise QueryError(f"empty or inverted period [{t_start}, {t_end}]")
-    if not query.covers(t_start, t_end):
-        raise TemporalCoverageError(
-            f"query {query.object_id!r} does not cover "
-            f"[{t_start}, {t_end}]"
-        )
-    candidates = [
-        tr
-        for tr in dataset
-        if tr.object_id not in exclude_ids and tr.covers(t_start, t_end)
-    ]
-    if not candidates:
-        return []
-    if index is not None and len(candidates) > 1:
-        keep = _index_candidate_ids(index, dataset, query, t_start, t_end)
-        if keep:
-            filtered = [tr for tr in candidates if tr.object_id in keep]
-            if filtered:
-                candidates = filtered
-
-    # Elementary intervals: between consecutive *merged* timestamps of
-    # the query and every candidate, each candidate's squared distance
-    # is a single quadratic.
-    stamps: set[float] = {t_start, t_end}
-    stamps.update(query.sampling_timestamps_in(t_start, t_end))
-    for tr in candidates:
-        stamps.update(tr.sampling_timestamps_in(t_start, t_end))
-    grid = sorted(stamps)
-
-    pieces: list[NNInterval] = []
-    for lo, hi in zip(grid, grid[1:]):
-        if not (lo < (lo + hi) / 2.0 < hi):
-            continue  # sub-ulp sliver
-        pieces.extend(_envelope_on_interval(query, candidates, lo, hi))
-
-    return _coalesce(pieces)
+    intervals, _stats = continuous_nn_with_stats(
+        dataset, query, t_start, t_end, index, exclude_ids
+    )
+    return intervals
 
 
 # ----------------------------------------------------------------------

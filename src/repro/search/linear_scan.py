@@ -12,9 +12,61 @@ from ..distance import dissim, dissim_exact
 from ..exceptions import QueryError, TemporalCoverageError
 from ..obs import state as _obs
 from ..trajectory import Trajectory, TrajectoryDataset
-from .results import MSTMatch
+from .results import MSTMatch, SearchStats
 
-__all__ = ["linear_scan_kmst"]
+__all__ = ["linear_scan_kmst", "linear_scan_with_stats"]
+
+
+def linear_scan_with_stats(
+    dataset: TrajectoryDataset,
+    query: Trajectory,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    exact: bool = False,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+) -> tuple[list[MSTMatch], SearchStats]:
+    """:func:`linear_scan_kmst` plus a :class:`SearchStats` block with
+    the same field semantics as BFMST's, so JSONL rows are comparable
+    across algorithms (index-only fields stay 0)."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    t_start, t_end = period if period is not None else (query.t_start, query.t_end)
+    if not query.covers(t_start, t_end):
+        raise TemporalCoverageError(
+            f"query {query.object_id!r} does not cover the period "
+            f"[{t_start}, {t_end}]"
+        )
+    trace = _obs.ACTIVE
+    if trace is not None:
+        trace.registry.inc("search.linear_scan.queries")
+    stats = SearchStats()
+    skipped = 0
+    matches: list[MSTMatch] = []
+    for tr in dataset:
+        if tr.object_id in exclude_ids:
+            continue
+        if not tr.covers(t_start, t_end):
+            skipped += 1
+            if trace is not None:
+                trace.registry.inc("search.linear_scan.skipped_coverage")
+            continue
+        if trace is not None:
+            trace.registry.inc("search.linear_scan.evaluations")
+        stats.candidates_created += 1
+        stats.candidates_completed += 1
+        stats.dissim_evaluations += 1
+        stats.entries_processed += max(0, len(tr) - 1)
+        if exact:
+            value = dissim_exact(query, tr, (t_start, t_end))
+            matches.append(MSTMatch(tr.object_id, value, 0.0, True))
+        else:
+            result = dissim(query, tr, (t_start, t_end))
+            matches.append(
+                MSTMatch(tr.object_id, result.approx, result.error_bound, True)
+            )
+    matches.sort(key=lambda m: (m.dissim, m.trajectory_id))
+    stats.extra["skipped_coverage"] = skipped
+    return matches[:k], stats
 
 
 def linear_scan_kmst(
@@ -32,34 +84,7 @@ def linear_scan_kmst(
     integral is used; otherwise the paper's trapezoid approximation
     (whose error bound is carried into the result).
     """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    t_start, t_end = period if period is not None else (query.t_start, query.t_end)
-    if not query.covers(t_start, t_end):
-        raise TemporalCoverageError(
-            f"query {query.object_id!r} does not cover the period "
-            f"[{t_start}, {t_end}]"
-        )
-    trace = _obs.ACTIVE
-    if trace is not None:
-        trace.registry.inc("search.linear_scan.queries")
-    matches: list[MSTMatch] = []
-    for tr in dataset:
-        if tr.object_id in exclude_ids:
-            continue
-        if not tr.covers(t_start, t_end):
-            if trace is not None:
-                trace.registry.inc("search.linear_scan.skipped_coverage")
-            continue
-        if trace is not None:
-            trace.registry.inc("search.linear_scan.evaluations")
-        if exact:
-            value = dissim_exact(query, tr, (t_start, t_end))
-            matches.append(MSTMatch(tr.object_id, value, 0.0, True))
-        else:
-            result = dissim(query, tr, (t_start, t_end))
-            matches.append(
-                MSTMatch(tr.object_id, result.approx, result.error_bound, True)
-            )
-    matches.sort(key=lambda m: (m.dissim, m.trajectory_id))
-    return matches[:k]
+    matches, _stats = linear_scan_with_stats(
+        dataset, query, period, k, exact, exclude_ids
+    )
+    return matches

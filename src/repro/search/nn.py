@@ -18,8 +18,13 @@ from ..geometry import MBR2D, Point, min_moving_point_rect_distance
 from ..index import NO_PAGE, TrajectoryIndex
 from ..obs import state as _obs
 from ..trajectory import TrajectoryDataset
+from .results import SearchStats
 
-__all__ = ["nearest_neighbours", "nearest_neighbours_brute_force"]
+__all__ = [
+    "nearest_neighbours",
+    "nearest_neighbours_with_stats",
+    "nearest_neighbours_brute_force",
+]
 
 
 def _point_rect(p: Point, box) -> float:
@@ -38,23 +43,25 @@ def _segment_point_distance(seg, p: Point, t_start: float, t_end: float) -> floa
     return min_moving_point_rect_distance(seg, rect, lo, hi)
 
 
-def nearest_neighbours(
+def nearest_neighbours_with_stats(
     index: TrajectoryIndex,
     point: Point,
     t_start: float,
     t_end: float,
     k: int = 1,
-) -> list[tuple[int, float]]:
-    """The ``k`` objects passing closest to ``point`` during the
-    interval, as ``(trajectory_id, distance)`` sorted ascending."""
+) -> tuple[list[tuple[int, float]], SearchStats]:
+    """:func:`nearest_neighbours` plus a :class:`SearchStats` block with
+    the same field semantics as BFMST's (node accesses are counted
+    locally, so the numbers stay per-query under concurrency)."""
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
     if t_start > t_end:
         raise QueryError(f"inverted interval [{t_start}, {t_end}]")
+    stats = SearchStats(total_nodes=index.num_nodes)
     out: list[tuple[int, float]] = []
     seen: set[int] = set()
     if index.root_page == NO_PAGE:
-        return out
+        return out, stats
     trace = _obs.ACTIVE
     reg = trace.registry if trace is not None else None
     if reg is not None:
@@ -70,8 +77,14 @@ def nearest_neighbours(
             if tid not in seen:
                 seen.add(tid)
                 out.append((tid, dist))
+                stats.candidates_completed += 1
             continue
         node = index.read_node(payload)
+        stats.node_accesses += 1
+        if node.is_leaf:
+            stats.leaf_accesses += 1
+        else:
+            stats.internal_accesses += 1
         if reg is not None:
             reg.inc("search.nn.nodes_visited")
         if node.is_leaf:
@@ -79,20 +92,36 @@ def nearest_neighbours(
                 if e.trajectory_id in seen:
                     continue
                 d = _segment_point_distance(e.segment, point, t_start, t_end)
+                stats.entries_processed += 1
                 if reg is not None:
                     reg.inc("search.nn.entries_evaluated")
                 if d is None:
                     continue
                 counter += 1
+                stats.candidates_created += 1
                 heapq.heappush(heap, (d, counter, 1, e.trajectory_id))
         else:
             for e in node.entries:
                 if not e.mbr.overlaps_period(t_start, t_end):
                     continue
                 counter += 1
+                stats.mindist_evaluations += 1
                 heapq.heappush(
                     heap, (_point_rect(point, e.mbr), counter, 0, e.child_page)
                 )
+    return out, stats
+
+
+def nearest_neighbours(
+    index: TrajectoryIndex,
+    point: Point,
+    t_start: float,
+    t_end: float,
+    k: int = 1,
+) -> list[tuple[int, float]]:
+    """The ``k`` objects passing closest to ``point`` during the
+    interval, as ``(trajectory_id, distance)`` sorted ascending."""
+    out, _stats = nearest_neighbours_with_stats(index, point, t_start, t_end, k)
     return out
 
 

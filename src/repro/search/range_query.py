@@ -13,8 +13,48 @@ from ..geometry import MBR2D, MBR3D
 from ..index import TrajectoryIndex
 from ..obs import state as _obs
 from ..trajectory import TrajectoryDataset
+from .results import SearchStats
 
-__all__ = ["range_query", "range_query_brute_force"]
+__all__ = ["range_query", "range_query_with_stats", "range_query_brute_force"]
+
+
+def range_query_with_stats(
+    index: TrajectoryIndex,
+    window: MBR2D,
+    t_start: float,
+    t_end: float,
+) -> tuple[set[int], SearchStats]:
+    """:func:`range_query` plus a :class:`SearchStats` block with the
+    same field semantics as BFMST's.
+
+    ``node_accesses`` comes from the index's global counter diff (the
+    box search does its reads internally), so a *concurrent* caller
+    should serialise range queries or accept batch-level attribution.
+    """
+    box = MBR3D(
+        window.xmin, window.ymin, t_start, window.xmax, window.ymax, t_end
+    )
+    trace = _obs.ACTIVE
+    reg = trace.registry if trace is not None else None
+    if reg is not None:
+        reg.inc("search.range.queries")
+    stats = SearchStats(total_nodes=index.num_nodes)
+    accesses_before = index.node_accesses
+    hits: set[int] = set()
+    for entry in index.range_search(box):
+        stats.entries_processed += 1
+        if reg is not None:
+            reg.inc("search.range.candidate_entries")
+        if entry.trajectory_id in hits:
+            continue
+        stats.candidates_created += 1
+        if _segment_enters(entry.segment, window, t_start, t_end):
+            hits.add(entry.trajectory_id)
+            stats.candidates_completed += 1
+            if reg is not None:
+                reg.inc("search.range.verified_hits")
+    stats.node_accesses = max(0, index.node_accesses - accesses_before)
+    return hits, stats
 
 
 def range_query(
@@ -30,23 +70,7 @@ def range_query(
     verified exactly (a segment's MBB may touch the window while the
     moving point never does).
     """
-    box = MBR3D(
-        window.xmin, window.ymin, t_start, window.xmax, window.ymax, t_end
-    )
-    trace = _obs.ACTIVE
-    reg = trace.registry if trace is not None else None
-    if reg is not None:
-        reg.inc("search.range.queries")
-    hits: set[int] = set()
-    for entry in index.range_search(box):
-        if reg is not None:
-            reg.inc("search.range.candidate_entries")
-        if entry.trajectory_id in hits:
-            continue
-        if _segment_enters(entry.segment, window, t_start, t_end):
-            hits.add(entry.trajectory_id)
-            if reg is not None:
-                reg.inc("search.range.verified_hits")
+    hits, _stats = range_query_with_stats(index, window, t_start, t_end)
     return hits
 
 

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from typing import Iterator
 
-__all__ = ["MSTMatch", "SearchStats"]
+__all__ = ["MSTMatch", "SearchStats", "SearchResult"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,3 +95,77 @@ class SearchStats:
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+@dataclass
+class SearchResult:
+    """The uniform answer envelope of the unified search API.
+
+    Every search entry point — k-MST, linear scan, point NN, range,
+    continuous NN, time-relaxed — returns one of these, so callers,
+    the ``repro stats`` CLI and the bench JSONL rows can treat all
+    algorithms alike:
+
+    * ``algorithm`` — which algorithm produced the answer
+      (``"bfmst"``, ``"linear_scan"``, ``"nn"``, ``"range"``,
+      ``"continuous_nn"``, ``"time_relaxed"``),
+    * ``matches`` — ranked :class:`MSTMatch` rows.  For point NN the
+      ``dissim`` slot carries the point distance; for range queries the
+      hits are unranked and ``dissim`` is 0,
+    * ``stats`` — a :class:`SearchStats` with the *same field set* for
+      every algorithm (fields an algorithm cannot measure stay 0),
+    * ``extras`` — algorithm-specific payload (``"intervals"`` for
+      continuous NN, ``"shifts"`` for time-relaxed).
+
+    Iterating the result iterates ``matches``.
+    """
+
+    algorithm: str
+    matches: list[MSTMatch] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+    extras: dict = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[MSTMatch]:
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    @property
+    def ids(self) -> list[int]:
+        """Trajectory ids of the matches, in rank order."""
+        return [m.trajectory_id for m in self.matches]
+
+    @property
+    def intervals(self):
+        """Continuous-NN intervals (``None`` for other algorithms)."""
+        return self.extras.get("intervals")
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "matches": [
+                {
+                    "trajectory_id": m.trajectory_id,
+                    "dissim": m.dissim,
+                    "error_bound": m.error_bound,
+                    "exact": m.exact,
+                }
+                for m in self.matches
+            ],
+            "stats": self.stats.as_dict(),
+            "extras": {
+                k: v for k, v in self.extras.items() if _jsonable(v)
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+def _jsonable(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False

@@ -20,9 +20,9 @@ import math
 from ..distance import dissim_exact
 from ..exceptions import QueryError
 from ..trajectory import Trajectory, TrajectoryDataset
-from .results import MSTMatch
+from .results import MSTMatch, SearchStats
 
-__all__ = ["time_relaxed_dissim", "time_relaxed_kmst"]
+__all__ = ["time_relaxed_dissim", "time_relaxed_kmst", "time_relaxed_with_stats"]
 
 _GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
 
@@ -89,6 +89,36 @@ def time_relaxed_dissim(
     return (best_val, best_tau)
 
 
+def time_relaxed_with_stats(
+    dataset: TrajectoryDataset,
+    query: Trajectory,
+    k: int = 1,
+    grid: int = 64,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+) -> tuple[list[tuple[MSTMatch, float]], SearchStats]:
+    """:func:`time_relaxed_kmst` plus a :class:`SearchStats` block:
+    ``candidates_created``/``candidates_completed`` count the evaluated
+    candidates, ``candidates_rejected`` those skipped as shorter than
+    the query, ``dissim_evaluations`` one per optimised candidate."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    stats = SearchStats()
+    out: list[tuple[MSTMatch, float]] = []
+    for tr in dataset:
+        if tr.object_id in exclude_ids:
+            continue
+        if tr.duration < query.duration:
+            stats.candidates_rejected += 1
+            continue
+        stats.candidates_created += 1
+        stats.candidates_completed += 1
+        stats.dissim_evaluations += 1
+        value, shift = time_relaxed_dissim(query, tr, grid)
+        out.append((MSTMatch(tr.object_id, value, 0.0, True), shift))
+    out.sort(key=lambda item: (item[0].dissim, item[0].trajectory_id))
+    return out[:k], stats
+
+
 def time_relaxed_kmst(
     dataset: TrajectoryDataset,
     query: Trajectory,
@@ -99,15 +129,5 @@ def time_relaxed_kmst(
     """The k candidates with the smallest time-relaxed dissimilarity,
     as ``(match, best_shift)`` pairs; candidates shorter than the query
     are skipped."""
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    out: list[tuple[MSTMatch, float]] = []
-    for tr in dataset:
-        if tr.object_id in exclude_ids:
-            continue
-        if tr.duration < query.duration:
-            continue
-        value, shift = time_relaxed_dissim(query, tr, grid)
-        out.append((MSTMatch(tr.object_id, value, 0.0, True), shift))
-    out.sort(key=lambda item: (item[0].dissim, item[0].trajectory_id))
-    return out[:k]
+    out, _stats = time_relaxed_with_stats(dataset, query, k, grid, exclude_ids)
+    return out

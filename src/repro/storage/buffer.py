@@ -10,11 +10,19 @@ The buffer caches *deserialised objects* (index nodes) keyed by page
 id: a hit returns the cached object without touching the page file, a
 miss reads the raw page and runs the caller-supplied loader.  Dirty
 objects are serialised and written back on eviction or flush.
+
+Pages can be *pinned* (:meth:`LRUBufferManager.pin`): pinned pages are
+never chosen as eviction victims, which is how the query engine keeps
+the hot upper index levels resident across a whole batch.  Pinning is
+advisory — if every resident page is pinned the cache is allowed to
+overflow its capacity rather than fail.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from typing import Callable
 
 from ..exceptions import StorageError
@@ -35,6 +43,35 @@ class LRUBufferManager:
         self.stats = pagefile.stats
         self._cache: OrderedDict[int, object] = OrderedDict()
         self._dirty: set[int] = set()
+        self._pinned: set[int] = set()
+        # Null context by default; enable_thread_safety() swaps in a
+        # real lock (the engine's threaded executor needs it, nothing
+        # else pays for it).
+        self._lock = nullcontext()
+
+    # ------------------------------------------------------------------
+    # concurrency & pinning
+    # ------------------------------------------------------------------
+    def enable_thread_safety(self) -> None:
+        """Guard every cache operation with an RLock so concurrent
+        readers (the engine's threaded executor) cannot race the LRU
+        bookkeeping.  Irreversible for the buffer's lifetime."""
+        if isinstance(self._lock, nullcontext):
+            self._lock = threading.RLock()
+
+    def pin(self, page_id: int) -> None:
+        """Exempt a page from eviction (it need not be resident yet)."""
+        self._pinned.add(page_id)
+
+    def unpin(self, page_id: int) -> None:
+        self._pinned.discard(page_id)
+
+    def unpin_all(self) -> None:
+        self._pinned.clear()
+
+    @property
+    def pinned_pages(self) -> frozenset[int]:
+        return frozenset(self._pinned)
 
     # ------------------------------------------------------------------
     # paper's sizing policy
@@ -45,10 +82,11 @@ class LRUBufferManager:
         """Resize to ``fraction`` of the current page-file size, clamped
         to ``[min_pages, max_pages]`` (the paper's 10 % / 1000-page
         policy).  Returns the new capacity."""
-        want = int(self.pagefile.num_pages * fraction)
-        self.capacity = max(min_pages, min(max_pages, want))
-        self._evict_overflow(getattr(self, "_serializer", None))
-        return self.capacity
+        with self._lock:
+            want = int(self.pagefile.num_pages * fraction)
+            self.capacity = max(min_pages, min(max_pages, want))
+            self._evict_overflow(getattr(self, "_serializer", None))
+            return self.capacity
 
     # ------------------------------------------------------------------
     # cache interface
@@ -66,26 +104,27 @@ class LRUBufferManager:
         this access may trigger; pin a single serialiser per buffer in
         practice (the index layer does).
         """
-        self.stats.logical_reads += 1
-        trace = _obs.ACTIVE
-        if page_id in self._cache:
-            self.stats.buffer_hits += 1
+        with self._lock:
+            self.stats.logical_reads += 1
+            trace = _obs.ACTIVE
+            if page_id in self._cache:
+                self.stats.buffer_hits += 1
+                if trace is not None:
+                    reg = trace.registry
+                    reg.inc("storage.logical_reads")
+                    reg.inc("storage.buffer_hits")
+                self._cache.move_to_end(page_id)
+                return self._cache[page_id]
+            self.stats.buffer_misses += 1
             if trace is not None:
                 reg = trace.registry
                 reg.inc("storage.logical_reads")
-                reg.inc("storage.buffer_hits")
-            self._cache.move_to_end(page_id)
-            return self._cache[page_id]
-        self.stats.buffer_misses += 1
-        if trace is not None:
-            reg = trace.registry
-            reg.inc("storage.logical_reads")
-            reg.inc("storage.buffer_misses")
-        obj = loader(self.pagefile.read(page_id))
-        self._cache[page_id] = obj
-        self._serializer = serializer or getattr(self, "_serializer", None)
-        self._evict_overflow(self._serializer)
-        return obj
+                reg.inc("storage.buffer_misses")
+            obj = loader(self.pagefile.read(page_id))
+            self._cache[page_id] = obj
+            self._serializer = serializer or getattr(self, "_serializer", None)
+            self._evict_overflow(self._serializer)
+            return obj
 
     def put(
         self,
@@ -96,44 +135,50 @@ class LRUBufferManager:
     ) -> None:
         """Install (or replace) the object for ``page_id``; marks it
         dirty so it is written back on eviction/flush."""
-        self._cache[page_id] = obj
-        self._cache.move_to_end(page_id)
-        if dirty:
-            self._dirty.add(page_id)
-        self._serializer = serializer
-        self._evict_overflow(serializer)
+        with self._lock:
+            self._cache[page_id] = obj
+            self._cache.move_to_end(page_id)
+            if dirty:
+                self._dirty.add(page_id)
+            self._serializer = serializer
+            self._evict_overflow(serializer)
 
     def mark_dirty(self, page_id: int) -> None:
         """Flag an already-cached object as modified."""
-        if page_id not in self._cache:
-            raise StorageError(f"page {page_id} not resident, cannot dirty it")
-        self._dirty.add(page_id)
+        with self._lock:
+            if page_id not in self._cache:
+                raise StorageError(f"page {page_id} not resident, cannot dirty it")
+            self._dirty.add(page_id)
 
     def flush(self, serializer: Callable[[object], bytes] | None = None) -> int:
         """Write back every dirty object; returns how many were written."""
-        ser = serializer or getattr(self, "_serializer", None)
-        written = 0
-        for page_id in sorted(self._dirty):
-            if page_id in self._cache:
-                if ser is None:
-                    raise StorageError("no serializer available for flush")
-                self.pagefile.write(page_id, ser(self._cache[page_id]))
-                written += 1
-        self._dirty.clear()
-        return written
+        with self._lock:
+            ser = serializer or getattr(self, "_serializer", None)
+            written = 0
+            for page_id in sorted(self._dirty):
+                if page_id in self._cache:
+                    if ser is None:
+                        raise StorageError("no serializer available for flush")
+                    self.pagefile.write(page_id, ser(self._cache[page_id]))
+                    written += 1
+            self._dirty.clear()
+            return written
 
     def drop(self) -> None:
         """Empty the cache *without* writing anything back (used by
         benches to measure cold-cache behaviour; flush first if you
         care about the data)."""
-        self._cache.clear()
-        self._dirty.clear()
+        with self._lock:
+            self._cache.clear()
+            self._dirty.clear()
 
     def discard(self, page_id: int) -> None:
         """Drop one page from the cache without writing it back (used
         when the page's node is deallocated)."""
-        self._cache.pop(page_id, None)
-        self._dirty.discard(page_id)
+        with self._lock:
+            self._cache.pop(page_id, None)
+            self._dirty.discard(page_id)
+            self._pinned.discard(page_id)
 
     def resident(self, page_id: int) -> bool:
         return page_id in self._cache
@@ -144,7 +189,18 @@ class LRUBufferManager:
     # ------------------------------------------------------------------
     def _evict_overflow(self, serializer) -> None:
         while len(self._cache) > self.capacity:
-            victim_id, victim = self._cache.popitem(last=False)
+            victim_id = None
+            if self._pinned:
+                # LRU-first among the unpinned residents.
+                for pid in self._cache:
+                    if pid not in self._pinned:
+                        victim_id = pid
+                        break
+                if victim_id is None:
+                    return  # everything resident is pinned: allow overflow
+                victim = self._cache.pop(victim_id)
+            else:
+                victim_id, victim = self._cache.popitem(last=False)
             self.stats.evictions += 1
             if _obs.ACTIVE is not None:
                 _obs.ACTIVE.registry.inc("storage.evictions")

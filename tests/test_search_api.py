@@ -1,0 +1,299 @@
+"""The unified search API: dual-form dispatch, deprecation warnings,
+SearchResult envelopes and cross-algorithm stats parity."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.datagen import generate_gstd, make_workload
+from repro.exceptions import QueryError
+from repro.geometry import MBR2D, Point
+from repro.index import RTree3D
+from repro.search import (
+    SearchResult,
+    SearchStats,
+    bfmst_search,
+    continuous_nearest_neighbour,
+    linear_scan_kmst,
+    nearest_neighbours,
+    range_query,
+    time_relaxed_kmst,
+)
+from repro.search.bfmst import bfmst_search as raw_bfmst
+from repro.search.continuous_nn import (
+    continuous_nearest_neighbour as raw_cnn,
+)
+from repro.search.linear_scan import linear_scan_kmst as raw_scan
+from repro.search.nn import nearest_neighbours as raw_nn
+from repro.search.range_query import range_query as raw_range
+from repro.search.time_relaxed import time_relaxed_kmst as raw_trx
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_gstd(30, samples_per_object=50, seed=23)
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    idx = RTree3D(page_size=512)
+    idx.bulk_insert(dataset)
+    idx.finalize()
+    return idx
+
+
+@pytest.fixture(scope="module")
+def qp(dataset):
+    (q, p), = make_workload(dataset, 1, query_length=0.2, seed=4)
+    return q, p
+
+
+def _legacy(call):
+    """Run a legacy-form call asserting it warns exactly once."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out = call()
+    deps = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deps) == 1, f"expected 1 DeprecationWarning, got {len(deps)}"
+    assert "unified form" in str(deps[0].message)
+    return out
+
+
+def _new(call):
+    """Run a new-form call asserting it does NOT warn."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        return call()
+
+
+class TestDualFormDispatch:
+    def test_bfmst_both_forms_agree(self, index, qp):
+        q, p = qp
+        legacy_matches, legacy_stats = _legacy(
+            lambda: bfmst_search(index, q, p, k=3)
+        )
+        result = _new(lambda: bfmst_search(index, None, q, period=p, k=3))
+        assert isinstance(result, SearchResult)
+        assert result.algorithm == "bfmst"
+        assert result.ids == [m.trajectory_id for m in legacy_matches]
+        assert result.stats.node_accesses == legacy_stats.node_accesses
+
+    def test_linear_scan_both_forms_agree(self, dataset, qp):
+        q, p = qp
+        legacy = _legacy(lambda: linear_scan_kmst(dataset, q, p, 3, True))
+        result = _new(
+            lambda: linear_scan_kmst(
+                None, dataset, q, period=p, k=3, exact=True
+            )
+        )
+        assert result.algorithm == "linear_scan"
+        assert result.ids == [m.trajectory_id for m in legacy]
+
+    def test_dataset_accepted_in_context_slot(self, dataset, qp):
+        q, p = qp
+        result = _new(lambda: linear_scan_kmst(dataset, None, q, period=p, k=2))
+        assert result.algorithm == "linear_scan" and len(result) == 2
+
+    def test_nn_both_forms_agree(self, index, qp):
+        _q, (lo, hi) = qp
+        point = Point(0.5, 0.5)
+        legacy = _legacy(lambda: nearest_neighbours(index, point, lo, hi, 2))
+        result = _new(
+            lambda: nearest_neighbours(
+                index, None, point, period=(lo, hi), k=2
+            )
+        )
+        assert result.algorithm == "nn"
+        assert [(m.trajectory_id, m.dissim) for m in result.matches] == legacy
+
+    def test_range_both_forms_agree(self, index, qp):
+        _q, (lo, hi) = qp
+        window = MBR2D(0.25, 0.25, 0.75, 0.75)
+        legacy = _legacy(lambda: range_query(index, window, lo, hi))
+        result = _new(
+            lambda: range_query(index, None, window, period=(lo, hi))
+        )
+        assert result.algorithm == "range"
+        assert set(result.ids) == legacy
+        assert result.extras["hit_ids"] == sorted(legacy)
+
+    def test_continuous_nn_both_forms_agree(self, index, dataset, qp):
+        q, (lo, hi) = qp
+        legacy = _legacy(
+            lambda: continuous_nearest_neighbour(dataset, q, lo, hi)
+        )
+        result = _new(
+            lambda: continuous_nearest_neighbour(
+                index, dataset, q, period=(lo, hi)
+            )
+        )
+        assert result.algorithm == "continuous_nn"
+        assert result.intervals == legacy
+        assert result.ids  # winners listed
+
+    def test_time_relaxed_both_forms_agree(self, dataset, qp):
+        q, (lo, hi) = qp
+        short = q.sliced(lo, lo + (hi - lo) * 0.5)
+        legacy = _legacy(lambda: time_relaxed_kmst(dataset, short, 2))
+        result = _new(lambda: time_relaxed_kmst(None, dataset, short, k=2))
+        assert result.algorithm == "time_relaxed"
+        assert result.ids == [m.trajectory_id for m, _s in legacy]
+        assert result.extras["shifts"] == {
+            m.trajectory_id: s for m, s in legacy
+        }
+
+    def test_new_form_requires_query(self, index):
+        with pytest.raises(TypeError, match="query"):
+            bfmst_search(index, None)
+
+    def test_new_form_requires_period_where_mandatory(self, index):
+        with pytest.raises(QueryError, match="period"):
+            nearest_neighbours(index, None, Point(0, 0), k=1)
+        with pytest.raises(QueryError, match="period"):
+            range_query(index, None, MBR2D(0, 0, 1, 1))
+
+    def test_index_required_for_index_algorithms(self, qp):
+        q, p = qp
+        with pytest.raises(QueryError, match="index"):
+            bfmst_search(None, None, q, period=p)
+
+
+class TestStatsParity:
+    """Every algorithm reports the same SearchStats field set."""
+
+    def test_all_algorithms_share_stats_fields(self, index, dataset, qp):
+        q, p = qp
+        want = set(SearchStats().as_dict())
+        results = [
+            _new(lambda: bfmst_search(index, None, q, period=p, k=2)),
+            _new(lambda: linear_scan_kmst(None, dataset, q, period=p, k=2)),
+            _new(lambda: nearest_neighbours(
+                index, None, Point(0.5, 0.5), period=p, k=2)),
+            _new(lambda: range_query(
+                index, None, MBR2D(0.2, 0.2, 0.8, 0.8), period=p)),
+            _new(lambda: continuous_nearest_neighbour(
+                index, dataset, q, period=p)),
+            _new(lambda: time_relaxed_kmst(
+                None, dataset, q.sliced(p[0], (p[0] + p[1]) / 2), k=1)),
+        ]
+        for result in results:
+            assert set(result.stats.as_dict()) == want, result.algorithm
+
+    def test_scan_stats_are_populated(self, dataset, qp):
+        q, p = qp
+        result = _new(
+            lambda: linear_scan_kmst(None, dataset, q, period=p, k=3)
+        )
+        s = result.stats
+        assert s.candidates_created == s.candidates_completed > 0
+        assert s.dissim_evaluations == s.candidates_created
+        assert s.entries_processed > 0
+        assert "skipped_coverage" in s.extra
+
+    def test_nn_and_range_count_node_accesses(self, index, qp):
+        _q, p = qp
+        nn_result = _new(lambda: nearest_neighbours(
+            index, None, Point(0.5, 0.5), period=p, k=2))
+        assert nn_result.stats.node_accesses > 0
+        assert nn_result.stats.total_nodes == index.num_nodes
+        range_result = _new(lambda: range_query(
+            index, None, MBR2D(0.1, 0.1, 0.9, 0.9), period=p))
+        assert range_result.stats.node_accesses > 0
+
+    def test_result_serialises_to_json(self, index, qp):
+        import json
+
+        q, p = qp
+        result = _new(lambda: bfmst_search(index, None, q, period=p, k=2))
+        doc = json.loads(result.to_json())
+        assert doc["algorithm"] == "bfmst"
+        assert len(doc["matches"]) == 2
+        assert "pruning_power" in doc["stats"]
+
+
+class TestTraceParameter:
+    def test_trace_kwarg_collects_counters(self, index, qp):
+        from repro.obs import QueryTrace
+
+        q, p = qp
+        trace = QueryTrace(name="api-test", io=index)
+        result = _new(
+            lambda: bfmst_search(index, None, q, period=p, k=2, trace=trace)
+        )
+        assert result.stats.node_accesses > 0
+        assert trace.counters.get("index.nodes_dequeued", 0) > 0
+        assert trace.wall_time_s > 0
+        # the global slot is restored afterwards
+        from repro.obs.state import get_active
+
+        assert get_active() is None
+
+
+class TestInternalCodeIsWarningClean:
+    """repro's own layers must never call the deprecated shims."""
+
+    def test_mod_paths_are_clean(self, dataset, qp):
+        from repro.mod import MovingObjectDatabase
+
+        q, p = qp
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            mod = MovingObjectDatabase()
+            for tr in dataset:
+                mod.add(tr)
+            mod.freeze()
+            mod.most_similar(q, k=2, period=p)
+            mod.most_similar(q, k=2, period=p, use_index=False)
+            mod.range(MBR2D(0.2, 0.2, 0.8, 0.8), p[0], p[1])
+            mod.nearest(Point(0.5, 0.5), p[0], p[1], k=2)
+
+    def test_engine_paths_are_clean(self, index, dataset, qp):
+        from repro.engine import QueryEngine, QueryRequest
+
+        q, p = qp
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with QueryEngine(index, dataset) as engine:
+                engine.run_batch([
+                    QueryRequest("mst", q, p, k=2),
+                    QueryRequest("linear_scan", q, p, k=2),
+                    QueryRequest("nn", Point(0.5, 0.5), p, k=1),
+                    QueryRequest("range", MBR2D(0.2, 0.2, 0.8, 0.8), p),
+                ])
+
+    def test_experiment_workload_runner_is_clean(self, dataset):
+        from repro.experiments.performance import build_index, run_workload
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            index = build_index(dataset, "rtree", page_size=512)
+            workload = list(make_workload(dataset, 2, 0.1, seed=1))
+            run_workload(
+                index, dataset, workload,
+                k=2, variable="k", value=2, verify=True,
+            )
+
+
+class TestLegacyShapesPreserved:
+    """The deprecated forms return exactly the historical shapes."""
+
+    def test_shapes(self, index, dataset, qp):
+        q, p = qp
+        lo, hi = p
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            matches, stats = bfmst_search(index, q, p, k=2)
+            assert matches == raw_bfmst(index, q, p, 2)[0]
+            assert isinstance(stats, SearchStats)
+            scan = linear_scan_kmst(dataset, q, p, 2)
+            assert scan == raw_scan(dataset, q, p, 2)
+            nn = nearest_neighbours(index, Point(0.5, 0.5), lo, hi, 2)
+            assert nn == raw_nn(index, Point(0.5, 0.5), lo, hi, 2)
+            hits = range_query(index, MBR2D(0.2, 0.2, 0.8, 0.8), lo, hi)
+            assert hits == raw_range(index, MBR2D(0.2, 0.2, 0.8, 0.8), lo, hi)
+            cnn = continuous_nearest_neighbour(dataset, q, lo, hi)
+            assert cnn == raw_cnn(dataset, q, lo, hi)
+            trx = time_relaxed_kmst(dataset, q.sliced(lo, (lo + hi) / 2), 1)
+            assert trx == raw_trx(dataset, q.sliced(lo, (lo + hi) / 2), 1)
