@@ -9,6 +9,10 @@ Python::
     python -m repro query index.pages out.csv --object 3 --window 0.1 --k 5
     python -m repro stats index.pages out.csv --k 5
     python -m repro batch index.pages out.csv --queries 8 --k 5 --repeat 2
+    python -m repro shard build out.csv shards/ --shards 4 --partitioner hash
+    python -m repro shard query shards/ out.csv --k 5 --executor thread
+    python -m repro shard inspect shards/
+    python -m repro stats shards/ out.csv --k 5 --per-shard
     python -m repro experiment table2
     python -m repro experiment quality --trucks 20 --queries 10
 
@@ -105,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write the JSON document here instead of stdout",
     )
+    stats.add_argument(
+        "--per-shard", action="store_true",
+        help="index is a sharded manifest directory; include the "
+        "per-shard breakdown in the JSON document",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -131,6 +140,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write per-query + batch JSONL rows here",
     )
+
+    shard = sub.add_parser(
+        "shard", help="build, query and inspect sharded indexes"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    sbuild = shard_sub.add_parser(
+        "build", help="partition a dataset and save a sharded index"
+    )
+    sbuild.add_argument("dataset", help="dataset file (.csv or .json)")
+    sbuild.add_argument("directory", help="output manifest directory")
+    sbuild.add_argument("--tree", choices=_TREE_CHOICES, default="rtree")
+    sbuild.add_argument("--page-size", type=int, default=4096)
+    sbuild.add_argument("--shards", type=int, default=4)
+    sbuild.add_argument(
+        "--partitioner",
+        choices=("round_robin", "hash", "spatial", "temporal"),
+        default="hash",
+    )
+
+    squery = shard_sub.add_parser(
+        "query", help="run a k-MST query against a sharded index"
+    )
+    squery.add_argument("directory", help="sharded manifest directory")
+    squery.add_argument("dataset", help="dataset the query is drawn from")
+    squery.add_argument(
+        "--object", type=int, default=None,
+        help="source object id for the query slice (default: random)",
+    )
+    squery.add_argument(
+        "--window", type=float, default=0.1,
+        help="query length as a fraction of the source lifetime",
+    )
+    squery.add_argument("--k", type=int, default=5)
+    squery.add_argument("--seed", type=int, default=1)
+    squery.add_argument(
+        "--executor", choices=("serial", "thread"), default="serial"
+    )
+    squery.add_argument("--workers", type=int, default=None)
+
+    sinspect = shard_sub.add_parser(
+        "inspect", help="describe a saved sharded index"
+    )
+    sinspect.add_argument("directory", help="sharded manifest directory")
 
     exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     exp.add_argument(
@@ -170,17 +223,21 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_build(args) -> int:
-    from .experiments import build_index
-
-    dataset = _read_dataset(args.dataset)
-    # CSV round-trips ids as strings; the index wants ints.
+def _coerce_int_ids(dataset):
+    """CSV round-trips ids as strings; the index wants ints."""
     from .trajectory import TrajectoryDataset
 
     coerced = TrajectoryDataset()
     for tr in dataset:
         oid = tr.object_id
         coerced.add(tr.with_id(int(oid)) if not isinstance(oid, int) else tr)
+    return coerced
+
+
+def _cmd_build(args) -> int:
+    from .experiments import build_index
+
+    coerced = _coerce_int_ids(_read_dataset(args.dataset))
     start = time.perf_counter()
     index = build_index(coerced, args.tree, page_size=args.page_size)
     elapsed = time.perf_counter() - start
@@ -260,7 +317,12 @@ def _cmd_query(args) -> int:
 def _cmd_stats(args) -> int:
     from .obs import query_trace
 
-    index = load_index(args.index)
+    if args.per_shard:
+        from .sharding import load_sharded_index
+
+        index = load_sharded_index(args.index)
+    else:
+        index = load_index(args.index)
     try:
         dataset = _read_dataset(args.dataset)
         source_id, query = _pick_query(args, dataset)
@@ -290,6 +352,10 @@ def _cmd_stats(args) -> int:
             "search_stats": stats.as_dict(),
             "trace": trace.as_dict(),
         }
+        if args.per_shard:
+            doc["per_shard"] = stats.extra.get("per_shard", [])
+            doc["shards_searched"] = stats.extra.get("shards_searched")
+            doc["shards_pruned"] = stats.extra.get("shards_pruned")
         text = json.dumps(doc, indent=2, sort_keys=True)
         if args.output:
             with open(args.output, "w") as fh:
@@ -298,7 +364,10 @@ def _cmd_stats(args) -> int:
         else:
             print(text)
     finally:
-        index.pagefile.close()
+        if args.per_shard:
+            index.close()
+        else:
+            index.pagefile.close()
     return 0
 
 
@@ -347,6 +416,132 @@ def _cmd_batch(args) -> int:
     finally:
         engine.close()
         engine.index.pagefile.close()
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    return {
+        "build": _cmd_shard_build,
+        "query": _cmd_shard_query,
+        "inspect": _cmd_shard_inspect,
+    }[args.shard_command](args)
+
+
+def _cmd_shard_build(args) -> int:
+    from .index import RTree3D, STRTree, TBTree
+    from .sharding import (
+        ShardedDataset,
+        build_sharded_index,
+        make_partitioner,
+        save_sharded_index,
+    )
+
+    index_cls = {"rtree": RTree3D, "tbtree": TBTree, "strtree": STRTree}[
+        args.tree
+    ]
+    coerced = _coerce_int_ids(_read_dataset(args.dataset))
+    partitioner = make_partitioner(args.partitioner, args.shards)
+    sharded_ds = ShardedDataset.partition(coerced, partitioner)
+    start = time.perf_counter()
+    sharded = build_sharded_index(
+        sharded_ds, index_cls, page_size=args.page_size
+    )
+    elapsed = time.perf_counter() - start
+    try:
+        save_sharded_index(sharded, args.directory)
+        sizes = ", ".join(str(n) for n in sharded_ds.shard_sizes())
+        print(
+            f"built {args.shards}x {args.tree} ({args.partitioner} "
+            f"partitioner) over {sharded.num_entries} segments in "
+            f"{elapsed:.1f}s: {sharded.num_nodes} nodes, "
+            f"{sharded.size_mb():.2f} MB -> {args.directory}"
+        )
+        print(f"trajectories per shard: [{sizes}]")
+    finally:
+        sharded.close()
+    return 0
+
+
+def _cmd_shard_query(args) -> int:
+    from .engine import EngineConfig, QueryRequest, ShardedQueryEngine
+
+    config = EngineConfig(executor=args.executor, max_workers=args.workers)
+    engine = ShardedQueryEngine.open(args.directory, config=config)
+    try:
+        dataset = _read_dataset(args.dataset)
+        source_id, query = _pick_query(args, dataset)
+        if query is None:
+            print(f"error: no trajectory {source_id!r} in {args.dataset}",
+                  file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        result = engine.execute(
+            QueryRequest(
+                "mst", query, (query.t_start, query.t_end), k=args.k
+            )
+        )
+        elapsed = time.perf_counter() - start
+        matches, stats = result.matches, result.stats
+        print(
+            f"query: {args.window:.0%} slice of object {source_id} "
+            f"([{query.t_start:.2f}, {query.t_end:.2f}]) over "
+            f"{engine.index.num_shards} shards ({args.executor})"
+        )
+        for rank, m in enumerate(matches, start=1):
+            print(f"  {rank:2d}. object {m.trajectory_id}  DISSIM={m.dissim:.6g}")
+        print(
+            f"{elapsed * 1000:.1f} ms, pruning power "
+            f"{stats.pruning_power:.1%} "
+            f"({stats.node_accesses}/{stats.total_nodes} nodes), "
+            f"{stats.extra.get('shards_searched', 0)} shards searched / "
+            f"{stats.extra.get('shards_pruned', 0)} pruned"
+        )
+        for row in stats.extra.get("per_shard", []):
+            if row.get("pruned"):
+                print(f"  shard {row['shard']}: pruned by planner")
+            else:
+                print(
+                    f"  shard {row['shard']}: "
+                    f"{row['node_accesses']}/{row['total_nodes']} nodes, "
+                    f"{row['entries_processed']} entries"
+                )
+    finally:
+        engine.close()
+        engine.index.close()
+    return 0
+
+
+def _cmd_shard_inspect(args) -> int:
+    from .sharding import MANIFEST_NAME, load_sharded_index
+    from pathlib import Path
+
+    manifest = json.loads(
+        (Path(args.directory) / MANIFEST_NAME).read_text()
+    )
+    index = load_sharded_index(args.directory)
+    try:
+        part = manifest["partitioner"]
+        print(f"kind:        {manifest['kind']} x {index.num_shards} shards")
+        print(f"partitioner: {part['kind']}")
+        print(f"nodes:       {index.num_nodes}")
+        print(f"entries:     {index.num_entries}")
+        print(f"objects:     {len(index.trajectory_ids)}")
+        print(f"size:        {index.size_mb():.2f} MB")
+        print(f"max speed:   {index.max_speed:.6g}")
+        for i, (shard, extent) in enumerate(
+            zip(index.shards, index.extents())
+        ):
+            if extent is None:
+                print(f"  shard {i}: empty")
+                continue
+            print(
+                f"  shard {i}: {shard.num_nodes} nodes, "
+                f"{shard.num_entries} entries, "
+                f"{len(shard.trajectory_ids)} objects, "
+                f"t=[{extent.tmin:.1f}, {extent.tmax:.1f}]"
+            )
+    finally:
+        index.close()
     return 0
 
 
@@ -409,6 +604,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "stats": _cmd_stats,
         "batch": _cmd_batch,
+        "shard": _cmd_shard,
         "experiment": _cmd_experiment,
     }[args.command]
     try:

@@ -82,9 +82,12 @@ class PartialDissim:
         integral: IntegralResult,
         d_lo: float,
         d_hi: float,
-    ) -> None:
+    ) -> bool:
         """Record a retrieved stretch; raises on overlap with existing
-        coverage beyond floating-point slack."""
+        coverage beyond floating-point slack.  Returns ``True`` when the
+        interval was actually added, ``False`` when it was a duplicate
+        or a sub-resolution sliver absorbed by earlier coalescing (so
+        callers tracking the retrieved windows never double-count)."""
         if not (self.t_start - self._eps <= t_lo < t_hi <= self.t_end + self._eps):
             raise QueryError(
                 f"interval [{t_lo}, {t_hi}] outside query period "
@@ -97,7 +100,7 @@ class PartialDissim:
             if t_hi <= prev.t_hi + self._eps:
                 # A sub-resolution sliver already swallowed by earlier
                 # coalescing (timestamps one ulp apart): absorb it.
-                return
+                return False
             if prev.t_hi > t_lo + self._eps:
                 raise QueryError(
                     f"interval [{t_lo}, {t_hi}] overlaps already retrieved "
@@ -107,13 +110,14 @@ class PartialDissim:
             nxt = self._intervals[idx]
             if nxt.t_lo < t_hi - self._eps:
                 if t_lo >= nxt.t_lo - self._eps and t_hi <= nxt.t_hi + self._eps:
-                    return  # duplicate of an existing interval
+                    return False  # duplicate of an existing interval
                 raise QueryError(
                     f"interval [{t_lo}, {t_hi}] overlaps already retrieved "
                     f"[{nxt.t_lo}, {nxt.t_hi}]"
                 )
         self._intervals.insert(idx, item)
         self._coalesce(max(idx - 1, 0))
+        return True
 
     def _coalesce(self, start: int) -> None:
         """Merge runs of touching intervals beginning at ``start``."""

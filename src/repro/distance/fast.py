@@ -5,6 +5,12 @@ The pure-Python implementations in :mod:`repro.distance.lcss` /
 same values orders of magnitude faster, which the Figure 9 quality
 bench needs (hundreds of full DP matrices per data point).
 
+numpy is an *optional* extra, so the import is deferred to first use:
+this module always imports, :func:`have_numpy` probes availability
+without raising, and callers that need the speed get an actionable
+:class:`ImportError` (the quality experiment falls back to the
+reference metrics instead).
+
 The sequential in-row dependency of the edit DPs is eliminated with the
 classic running-extremum trick: for EDR,
 ``cur[j] = min(cand[j], cur[j-1] + 1)`` equals
@@ -15,33 +21,66 @@ a plain accumulated maximum.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..trajectory import Trajectory
 
 __all__ = [
+    "have_numpy",
     "coords",
     "lcss_distance_fast",
     "edr_distance_fast",
     "dtw_distance_fast",
 ]
 
+_np = None
 
-def coords(traj: Trajectory) -> np.ndarray:
+
+def _numpy():
+    """Import numpy on first use, memoised; raises an actionable
+    :class:`ImportError` when it is not installed."""
+    global _np
+    if _np is None:
+        try:
+            import numpy
+        except ImportError as exc:
+            raise ImportError(
+                "repro.distance.fast needs numpy, which is an optional "
+                "extra: install it with `pip install numpy` (or the "
+                "project's `[test]` extra), or use the pure-Python "
+                "reference metrics in repro.distance.lcss / .edr / .dtw "
+                "— repro.experiments.quality falls back to them "
+                "automatically."
+            ) from exc
+        _np = numpy
+    return _np
+
+
+def have_numpy() -> bool:
+    """``True`` when the vectorised DPs can run (numpy importable)."""
+    try:
+        _numpy()
+    except ImportError:
+        return False
+    return True
+
+
+def coords(traj: Trajectory):
     """``(n, 2)`` float array of the trajectory's spatial samples."""
+    np = _numpy()
     return np.array([(p.x, p.y) for p in traj.samples], dtype=float)
 
 
-def _match_matrix(a: np.ndarray, b: np.ndarray, eps: float) -> np.ndarray:
+def _match_matrix(a, b, eps: float):
     """Boolean ``(n, m)``: per-axis differences both within eps."""
+    np = _numpy()
     dx = np.abs(a[:, None, 0] - b[None, :, 0]) <= eps
     dy = np.abs(a[:, None, 1] - b[None, :, 1]) <= eps
     return dx & dy
 
 
-def lcss_distance_fast(a: np.ndarray, b: np.ndarray, eps: float) -> float:
+def lcss_distance_fast(a, b, eps: float) -> float:
     """``1 - LCSS/min(n, m)``, equal to
     :func:`repro.distance.lcss.lcss_distance` with ``delta=None``."""
+    np = _numpy()
     n, m = len(a), len(b)
     match = _match_matrix(a, b, eps)
     prev = np.zeros(m + 1, dtype=np.int64)
@@ -54,8 +93,9 @@ def lcss_distance_fast(a: np.ndarray, b: np.ndarray, eps: float) -> float:
     return 1.0 - prev[m] / min(n, m)
 
 
-def edr_distance_fast(a: np.ndarray, b: np.ndarray, eps: float) -> int:
+def edr_distance_fast(a, b, eps: float) -> int:
     """Raw EDR count, equal to :func:`repro.distance.edr.edr_distance`."""
+    np = _numpy()
     n, m = len(a), len(b)
     match = _match_matrix(a, b, eps)
     idx = np.arange(1, m + 1, dtype=np.int64)
@@ -76,7 +116,7 @@ def edr_distance_fast(a: np.ndarray, b: np.ndarray, eps: float) -> int:
     return int(prev[m])
 
 
-def dtw_distance_fast(a: np.ndarray, b: np.ndarray) -> float:
+def dtw_distance_fast(a, b) -> float:
     """Unconstrained DTW, equal to
     :func:`repro.distance.dtw.dtw_distance` with ``band=None``.
 
@@ -84,6 +124,7 @@ def dtw_distance_fast(a: np.ndarray, b: np.ndarray) -> float:
     a per-row loop with a vectorised cost matrix — still ~20x the pure
     Python version.
     """
+    np = _numpy()
     n, m = len(a), len(b)
     cost = np.hypot(
         a[:, None, 0] - b[None, :, 0], a[:, None, 1] - b[None, :, 1]

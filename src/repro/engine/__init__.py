@@ -1,8 +1,10 @@
 """repro.engine — batched query execution with multi-level caching.
 
 See :mod:`repro.engine.engine` for the session model,
-:mod:`repro.engine.cache` for the cache levels and
-``docs/ENGINE.md`` for the narrative documentation.
+:mod:`repro.engine.cache` for the cache levels,
+:mod:`repro.engine.planner` + :mod:`repro.engine.sharded` for
+shard-parallel serving and ``docs/ENGINE.md`` / ``docs/SHARDING.md``
+for the narrative documentation.
 """
 
 from .cache import DissimRefinementCache, LRUCache, MindistCache
@@ -15,9 +17,12 @@ from .engine import (
     query_key,
 )
 from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .planner import QueryPlanner, ShardPlan, budget_buffers
+from .sharded import ShardedQueryEngine
 
 __all__ = [
     "QueryEngine",
+    "ShardedQueryEngine",
     "EngineConfig",
     "QueryRequest",
     "BatchResult",
@@ -29,4 +34,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "make_executor",
+    "QueryPlanner",
+    "ShardPlan",
+    "budget_buffers",
 ]

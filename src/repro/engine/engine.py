@@ -205,6 +205,11 @@ class QueryEngine:
         self._local = _thread_local()
         self._signature = None
         self._closed = False
+        # One executor per session: the threaded pool is reused across
+        # batches and shut down with the engine.
+        self.executor = make_executor(
+            self.config.executor, self.config.max_workers
+        )
         self._refresh_session()
 
     # ------------------------------------------------------------------
@@ -230,9 +235,11 @@ class QueryEngine:
         return cls(index, dataset, config=config)
 
     def close(self) -> None:
-        """Release buffer pins (caches are just dropped with the object)."""
+        """Release buffer pins and the session executor's pool (caches
+        are just dropped with the object)."""
         if not self._closed:
             self.index.buffer.unpin_all()
+            self.executor.close()
             self._closed = True
 
     def __enter__(self) -> "QueryEngine":
@@ -376,17 +383,24 @@ class QueryEngine:
         if self._closed:
             raise QueryError("engine is closed")
         self.check_signature()
+        ephemeral = None
         if executor is None:
-            ex = make_executor(self.config.executor, self.config.max_workers)
+            ex = self.executor
         elif isinstance(executor, str):
-            ex = make_executor(executor, self.config.max_workers)
+            ex = ephemeral = make_executor(executor, self.config.max_workers)
         else:
             ex = executor
         if getattr(ex, "kind", "serial") == "thread":
             self.index.buffer.enable_thread_safety()
         before = self.cache_counters()
         t0 = time.perf_counter()
-        results = ex.map(lambda _i, request: self.execute(request), requests)
+        try:
+            results = ex.map(
+                lambda _i, request: self.execute(request), requests
+            )
+        finally:
+            if ephemeral is not None:
+                ephemeral.close()
         wall = time.perf_counter() - t0
         after = self.cache_counters()
         self._publish_cache_deltas(before, after)

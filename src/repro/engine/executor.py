@@ -6,6 +6,12 @@ buffer lookups; threads overlap the latter and, on free-threaded
 builds, the former.  The index must be treated as read-only for the
 duration — the engine enables the buffer manager's lock before
 spawning workers.  Request order is always preserved in the results.
+
+Executors are session objects: a :class:`ThreadedExecutor` creates its
+pool lazily on first use and **reuses it across batches** until
+:meth:`~ThreadedExecutor.close` (the engine owns one executor per
+session and closes it with the session).  Both kinds are context
+managers.
 """
 
 from __future__ import annotations
@@ -25,13 +31,24 @@ class SerialExecutor:
     def map(self, fn: Callable, requests: Sequence) -> list:
         return [fn(i, request) for i, request in enumerate(requests)]
 
+    def close(self) -> None:
+        """Nothing to release; present for interface symmetry."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 class ThreadedExecutor:
-    """Run the batch on a thread pool (results stay in request order).
+    """Run batches on one persistent thread pool (results stay in
+    request order).
 
-    ``max_workers=None`` picks ``min(8, cpu_count)``.  A pool is
-    created per batch, so the executor object itself holds no OS
-    resources between calls.
+    ``max_workers=None`` picks ``min(8, cpu_count)``.  The pool is
+    created on the first parallel :meth:`map` and reused by every
+    subsequent call until :meth:`close`; a closed executor rebuilds the
+    pool on next use.
     """
 
     kind = "thread"
@@ -40,12 +57,31 @@ class ThreadedExecutor:
         if max_workers is None:
             max_workers = min(8, os.cpu_count() or 1)
         self.max_workers = max(1, max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
 
     def map(self, fn: Callable, requests: Sequence) -> list:
         if len(requests) <= 1 or self.max_workers == 1:
             return SerialExecutor().map(fn, requests)
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, range(len(requests)), requests))
+        pool = self._ensure_pool()
+        return list(pool.map(fn, range(len(requests)), requests))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); a later ``map`` re-creates
+        it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def make_executor(kind: str, max_workers: int | None = None):

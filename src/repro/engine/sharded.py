@@ -1,0 +1,344 @@
+"""The sharded query engine: planner + per-shard execution contexts.
+
+A :class:`ShardedQueryEngine` fronts a
+:class:`~repro.sharding.ShardedIndex` the way a
+:class:`~repro.engine.QueryEngine` fronts one tree:
+
+* a **planning layer** (:class:`~repro.engine.planner.QueryPlanner`)
+  selects the shards whose extents can intersect the query and splits
+  one global buffer budget across the shard pools
+  (:func:`~repro.engine.planner.budget_buffers`),
+* an **execution layer** keeps one per-shard :class:`QueryEngine`
+  context (MINDIST / segment-DISSIM caches, pinned upper levels,
+  per-worker heap scratch) and drives the selected shards through the
+  session's executor — serially or on the shared thread pool,
+* the cross-shard k-MST itself happens in
+  :func:`repro.search.bfmst.bfmst_search_sharded`: all selected shards
+  advance under one shared k-th-best bound, then merge into a single
+  ranking/refinement step that uses this engine's *global* refinement
+  cache.
+
+The engine satisfies the unified search API's context protocol
+(``.index``, ``.dataset``, ``search_hooks``), so every
+:mod:`repro.search.api` entry point accepts it unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from ..exceptions import QueryError
+from ..obs import MetricsRegistry
+from ..obs import state as _obs
+from ..search import api as _api
+from ..search.results import SearchResult
+from ..sharding import ShardedIndex, load_sharded_index
+from ..trajectory import Trajectory, TrajectoryDataset, read_csv, read_json
+from .cache import DissimRefinementCache
+from .engine import (
+    SESSION_BUFFER_FRACTION,
+    BatchResult,
+    EngineConfig,
+    QueryEngine,
+    QueryRequest,
+    query_key,
+)
+from .executor import make_executor
+from .planner import QueryPlanner, budget_buffers
+
+__all__ = ["ShardedQueryEngine"]
+
+
+class ShardedQueryEngine:
+    """Session owner for a sharded index, executing query batches.
+
+    Use as a context manager, or call :meth:`close` to release the
+    shard engines' pins and the thread pool::
+
+        with ShardedQueryEngine(sharded_index, dataset) as engine:
+            batch = engine.run_batch([
+                QueryRequest("mst", query, period, k=5),
+            ])
+    """
+
+    def __init__(
+        self,
+        index: ShardedIndex,
+        dataset: TrajectoryDataset | None = None,
+        *,
+        config: EngineConfig | None = None,
+        buffer_fraction: float = SESSION_BUFFER_FRACTION,
+        buffer_max_pages: int = 1000,
+    ):
+        self.index = index
+        self.dataset = dataset
+        self.config = config or EngineConfig()
+        self.metrics = MetricsRegistry()
+        # Global memory budget first, so the shard engines pin their
+        # upper levels into correctly sized pools.
+        self.buffer_capacities = budget_buffers(
+            index.shards, buffer_fraction, buffer_max_pages
+        )
+        # Per-shard execution contexts run serially *inside* a shard —
+        # parallelism happens across shards through this engine's
+        # executor, never nested.
+        shard_config = EngineConfig(
+            dissim_cache_size=self.config.dissim_cache_size,
+            mindist_cache_scopes=self.config.mindist_cache_scopes,
+            segdissim_cache_scopes=self.config.segdissim_cache_scopes,
+            pin_upper_levels=self.config.pin_upper_levels,
+            executor="serial",
+        )
+        self.shard_engines = [
+            QueryEngine(shard, None, config=shard_config)
+            for shard in index.shards
+        ]
+        self.planner = QueryPlanner(index.extents())
+        # Refinement happens once, globally, after the cross-shard
+        # merge — so the refinement cache lives here, not per shard.
+        self.dissim_cache = DissimRefinementCache(
+            max(1, self.config.dissim_cache_size)
+        )
+        self.executor = make_executor(
+            self.config.executor, self.config.max_workers
+        )
+        if self.executor.kind == "thread":
+            self.enable_thread_safety()
+        self._closed = False
+        self.metrics.inc("engine.sessions")
+        self.metrics.inc("engine.shards", len(index.shards))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        manifest_dir: str | Path,
+        dataset_path: str | Path | None = None,
+        *,
+        config: EngineConfig | None = None,
+        buffer_fraction: float = SESSION_BUFFER_FRACTION,
+        buffer_max_pages: int = 1000,
+    ) -> "ShardedQueryEngine":
+        """Open a saved sharded index directory (and optionally its
+        dataset) for querying."""
+        index = load_sharded_index(
+            manifest_dir, buffer_fraction, buffer_max_pages
+        )
+        dataset = None
+        if dataset_path is not None:
+            dataset_path = Path(dataset_path)
+            reader = read_json if dataset_path.suffix == ".json" else read_csv
+            dataset = reader(dataset_path)
+        return cls(
+            index,
+            dataset,
+            config=config,
+            buffer_fraction=buffer_fraction,
+            buffer_max_pages=buffer_max_pages,
+        )
+
+    def enable_thread_safety(self) -> None:
+        """Lock every shard's buffer manager — required before any
+        threaded execution touches the shard pools."""
+        for shard in self.index.shards:
+            shard.buffer.enable_thread_safety()
+
+    def close(self) -> None:
+        """Release every shard engine's pins and the session executor."""
+        if not self._closed:
+            for engine in self.shard_engines:
+                engine.close()
+            self.executor.close()
+            self._closed = True
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # unified-API execution context protocol
+    # ------------------------------------------------------------------
+    def search_hooks(self, query, period) -> dict:
+        """Plan the shard fan-out for one query and bundle the selected
+        shards' cache hooks for
+        :func:`~repro.search.bfmst.bfmst_search_sharded`."""
+        plan = self.planner.plan(query, period)
+        self.metrics.inc("engine.planner.plans")
+        self.metrics.inc("engine.planner.shards_selected", len(plan.selected))
+        self.metrics.inc("engine.planner.shards_pruned", len(plan.pruned))
+        shard_hooks: dict[int, dict] = {}
+        for shard_id in plan.selected:
+            hooks = self.shard_engines[shard_id].search_hooks(query, period)
+            # The merge-step refinement uses the global cache below.
+            hooks.pop("refinement_cache", None)
+            shard_hooks[shard_id] = hooks
+        out: dict = {"selected": plan.selected, "shard_hooks": shard_hooks}
+        if isinstance(query, Trajectory) and self.config.dissim_cache_size > 0:
+            span = tuple(period) if period is not None else (
+                query.t_start,
+                query.t_end,
+            )
+            out["refinement_cache"] = self.dissim_cache.view(
+                query_key(query), span
+            )
+        if self.executor.kind == "thread":
+            out["shard_executor"] = self.executor
+        return out
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, request: QueryRequest) -> SearchResult:
+        """Run one request through the planner + shard contexts."""
+        if self._closed:
+            raise QueryError("engine is closed")
+        kind = request.canonical_kind()
+        self.metrics.inc("engine.queries")
+        self.metrics.inc(f"engine.queries.{kind}")
+        opts = request.options
+        if kind == "mst":
+            result = _api.bfmst_search(
+                self, None, request.query,
+                period=request.period, k=request.k, **opts,
+            )
+            self._record_shard_stats(result)
+            return result
+        if kind == "linear_scan":
+            return _api.linear_scan_kmst(
+                None, self._require_dataset(kind), request.query,
+                period=request.period, k=request.k, **opts,
+            )
+        if kind == "nn":
+            return _api.nearest_neighbours(
+                self, None, request.query,
+                period=request.period, k=request.k, **opts,
+            )
+        if kind == "range":
+            return _api.range_query(
+                self, None, request.query, period=request.period, **opts,
+            )
+        if kind == "continuous_nn":
+            return _api.continuous_nearest_neighbour(
+                self, self._require_dataset(kind), request.query,
+                period=request.period, **opts,
+            )
+        # time_relaxed
+        return _api.time_relaxed_kmst(
+            None, self._require_dataset(kind), request.query,
+            k=request.k, **opts,
+        )
+
+    def run_batch(self, requests: list[QueryRequest]) -> BatchResult:
+        """Execute the batch and return answers in request order.
+
+        Requests run one after another; the parallelism (when the
+        session is threaded) is *per query, across shards* — nesting
+        batch-level and shard-level pools would deadlock a bounded pool
+        and help nothing on a shared one.
+        """
+        if self._closed:
+            raise QueryError("engine is closed")
+        before = self.cache_counters()
+        t0 = time.perf_counter()
+        results = [self.execute(request) for request in requests]
+        wall = time.perf_counter() - t0
+        after = self.cache_counters()
+        self._publish_cache_deltas(before, after)
+        self.metrics.inc("engine.batches")
+        qps = len(requests) / wall if wall > 0 else float("inf")
+        return BatchResult(
+            results=results,
+            wall_time_s=wall,
+            queries_per_sec=qps,
+            executor=self.executor.kind,
+            cache_counters=after,
+            metrics=dict(self.metrics.counters),
+        )
+
+    def _require_dataset(self, kind: str) -> TrajectoryDataset:
+        if self.dataset is None:
+            raise QueryError(
+                f"{kind} queries need the engine to own a dataset "
+                f"(pass one to ShardedQueryEngine(...) or "
+                f".open(dataset_path=...))"
+            )
+        return self.dataset
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _record_shard_stats(self, result: SearchResult) -> None:
+        """Mirror the per-shard breakdown of one k-MST answer into the
+        engine registry (shard-labelled counters)."""
+        for row in result.stats.extra.get("per_shard", ()):
+            label = row["shard"]
+            if row.get("pruned"):
+                self.metrics.inc(f"engine.shard.{label}.pruned")
+                continue
+            self.metrics.inc(f"engine.shard.{label}.queries")
+            self.metrics.inc(
+                f"engine.shard.{label}.node_accesses", row["node_accesses"]
+            )
+            self.metrics.inc(
+                f"engine.shard.{label}.entries_processed",
+                row["entries_processed"],
+            )
+
+    def cache_counters(self) -> dict[str, int]:
+        """Hit/miss/eviction counters summed over the shard engines,
+        plus the global refinement cache and the pooled buffer totals."""
+        out: dict[str, int] = dict(self.dissim_cache.counters())
+        hits = misses = pinned = 0
+        for engine in self.shard_engines:
+            for name, value in engine.mindist_cache.counters().items():
+                out[name] = out.get(name, 0) + value
+            for name, value in engine.segdissim_cache.counters().items():
+                out[name] = out.get(name, 0) + value
+            io = engine.index.buffer.stats
+            hits += io.buffer_hits
+            misses += io.buffer_misses
+            pinned += len(engine.index.buffer.pinned_pages)
+        out["engine.buffer.hits"] = hits
+        out["engine.buffer.misses"] = misses
+        out["engine.buffer.pinned"] = pinned
+        return out
+
+    def _publish_cache_deltas(self, before: dict, after: dict) -> None:
+        trace = _obs.ACTIVE
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta <= 0 or name.endswith((".size", ".scopes", ".pinned")):
+                continue
+            self.metrics.inc(name, delta)
+            if trace is not None:
+                trace.registry.inc(name, delta)
+
+    def per_shard_summary(self) -> list[dict]:
+        """One row per shard for ``repro shard inspect`` / ``repro
+        stats --per-shard``."""
+        rows = []
+        for shard_id, shard in enumerate(self.index.shards):
+            rows.append(
+                {
+                    "shard": shard_id,
+                    "num_nodes": shard.num_nodes,
+                    "num_entries": shard.num_entries,
+                    "trajectories": len(shard.trajectory_ids),
+                    "buffer_capacity": shard.buffer.capacity,
+                    "queries": self.metrics.value(
+                        f"engine.shard.{shard_id}.queries"
+                    ),
+                    "node_accesses": self.metrics.value(
+                        f"engine.shard.{shard_id}.node_accesses"
+                    ),
+                    "pruned": self.metrics.value(
+                        f"engine.shard.{shard_id}.pruned"
+                    ),
+                }
+            )
+        return rows

@@ -17,12 +17,10 @@ import random
 from dataclasses import dataclass
 
 from ..compression import td_tr_fraction
-from ..distance.fast import (
-    coords,
-    dtw_distance_fast,
-    edr_distance_fast,
-    lcss_distance_fast,
-)
+from ..distance import fast as _fast
+from ..distance.dtw import dtw_distance
+from ..distance.edr import edr_distance
+from ..distance.lcss import lcss_distance
 from ..search import linear_scan_kmst
 from ..trajectory import Trajectory, TrajectoryDataset
 
@@ -66,6 +64,44 @@ def _interpolated(query: Trajectory, target: Trajectory) -> Trajectory:
     return query.resampled(stamps) if len(stamps) >= 2 else query
 
 
+def _dp_value_fast(measure, query, q_arr, tr, eps: float) -> float:
+    """One (query, candidate) DP value via the numpy row-sweeps."""
+    t_arr = _fast.coords(tr)
+    if measure == "LCSS":
+        return _fast.lcss_distance_fast(q_arr, t_arr, eps)
+    if measure == "EDR":
+        return float(_fast.edr_distance_fast(q_arr, t_arr, eps))
+    if measure == "LCSS-I":
+        return _fast.lcss_distance_fast(
+            _fast.coords(_interpolated(query, tr)), t_arr, eps
+        )
+    if measure == "EDR-I":
+        return float(
+            _fast.edr_distance_fast(
+                _fast.coords(_interpolated(query, tr)), t_arr, eps
+            )
+        )
+    if measure == "DTW":
+        return _fast.dtw_distance_fast(q_arr, t_arr)
+    raise ValueError(f"unknown measure {measure!r}")
+
+
+def _dp_value_reference(measure, query, tr, eps: float) -> float:
+    """The same value via the pure-Python reference metrics — the
+    no-numpy fallback (orders of magnitude slower, identical results)."""
+    if measure == "LCSS":
+        return lcss_distance(query, tr, eps)
+    if measure == "EDR":
+        return float(edr_distance(query, tr, eps))
+    if measure == "LCSS-I":
+        return lcss_distance(_interpolated(query, tr), tr, eps)
+    if measure == "EDR-I":
+        return float(edr_distance(_interpolated(query, tr), tr, eps))
+    if measure == "DTW":
+        return dtw_distance(query, tr)
+    raise ValueError(f"unknown measure {measure!r}")
+
+
 def _most_similar_dp(
     measure: str,
     query: Trajectory,
@@ -76,24 +112,13 @@ def _most_similar_dp(
     ties, making failures deterministic)."""
     best_id = None
     best_val = None
-    q_arr = coords(query)
+    use_fast = _fast.have_numpy()
+    q_arr = _fast.coords(query) if use_fast else None
     for tr in dataset:
-        if measure == "LCSS":
-            val = lcss_distance_fast(q_arr, coords(tr), eps)
-        elif measure == "EDR":
-            val = float(edr_distance_fast(q_arr, coords(tr), eps))
-        elif measure == "LCSS-I":
-            val = lcss_distance_fast(
-                coords(_interpolated(query, tr)), coords(tr), eps
-            )
-        elif measure == "EDR-I":
-            val = float(
-                edr_distance_fast(coords(_interpolated(query, tr)), coords(tr), eps)
-            )
-        elif measure == "DTW":
-            val = dtw_distance_fast(q_arr, coords(tr))
+        if use_fast:
+            val = _dp_value_fast(measure, query, q_arr, tr, eps)
         else:
-            raise ValueError(f"unknown measure {measure!r}")
+            val = _dp_value_reference(measure, query, tr, eps)
         key = (val, tr.object_id)
         if best_val is None or key < best_val:
             best_val = key

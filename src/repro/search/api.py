@@ -44,7 +44,7 @@ from . import linear_scan as _scan
 from . import nn as _nn
 from . import range_query as _range
 from . import time_relaxed as _trx
-from .results import MSTMatch, SearchResult
+from .results import MSTMatch, SearchResult, SearchStats
 
 __all__ = [
     "bfmst_search",
@@ -152,6 +152,31 @@ def _require_index(index, name: str):
     return index
 
 
+def _is_sharded(index) -> bool:
+    """True for a :class:`~repro.sharding.ShardedIndex` (duck-typed so
+    the search layer keeps no import of :mod:`repro.sharding`)."""
+    return bool(getattr(index, "is_sharded", False))
+
+
+def _merge_shard_stats(agg, parts) -> None:
+    """Fold per-shard :class:`SearchStats` into an aggregate (sums for
+    the additive counters; ``total_nodes`` stays the caller's global
+    figure so pruning power is measured against the whole collection).
+    """
+    for s in parts:
+        agg.node_accesses += s.node_accesses
+        agg.leaf_accesses += s.leaf_accesses
+        agg.internal_accesses += s.internal_accesses
+        agg.entries_processed += s.entries_processed
+        agg.candidates_created += s.candidates_created
+        agg.candidates_completed += s.candidates_completed
+        agg.candidates_rejected += s.candidates_rejected
+        agg.dissim_evaluations += s.dissim_evaluations
+        agg.buffer_hits += s.buffer_hits
+        agg.buffer_misses += s.buffer_misses
+        agg.heap_high_water = max(agg.heap_high_water, s.heap_high_water)
+
+
 # ----------------------------------------------------------------------
 # k-MST (BFMST)
 # ----------------------------------------------------------------------
@@ -205,16 +230,30 @@ def bfmst_search(
     _require_index(index, "bfmst_search")
     hooks = ctx.search_hooks(query, period) if ctx is not None else {}
     with _tracing(trace):
-        matches, stats = _bfmst.bfmst_search(
-            index, query, period, k, vmax,
-            use_heuristic1, use_heuristic2, refine, exclude_ids,
-            mindist_fn=hooks.get("mindist_fn", mindist_fn),
-            segment_dissim_fn=hooks.get(
-                "segment_dissim_fn", segment_dissim_fn
-            ),
-            refinement_cache=hooks.get("refinement_cache", refinement_cache),
-            heap_scratch=hooks.get("heap_scratch", heap_scratch),
-        )
+        if _is_sharded(index):
+            matches, stats = _bfmst.bfmst_search_sharded(
+                index, query, period, k, vmax,
+                use_heuristic1, use_heuristic2, refine, exclude_ids,
+                selected=hooks.get("selected"),
+                shard_hooks=hooks.get("shard_hooks"),
+                refinement_cache=hooks.get(
+                    "refinement_cache", refinement_cache
+                ),
+                executor=hooks.get("shard_executor"),
+            )
+        else:
+            matches, stats = _bfmst.bfmst_search(
+                index, query, period, k, vmax,
+                use_heuristic1, use_heuristic2, refine, exclude_ids,
+                mindist_fn=hooks.get("mindist_fn", mindist_fn),
+                segment_dissim_fn=hooks.get(
+                    "segment_dissim_fn", segment_dissim_fn
+                ),
+                refinement_cache=hooks.get(
+                    "refinement_cache", refinement_cache
+                ),
+                heap_scratch=hooks.get("heap_scratch", heap_scratch),
+            )
     return SearchResult("bfmst", matches, stats)
 
 
@@ -302,9 +341,25 @@ def nearest_neighbours(
         raise QueryError("nearest_neighbours requires period=(t_start, t_end)")
     t_start, t_end = period
     with _tracing(trace):
-        pairs, stats = _nn.nearest_neighbours_with_stats(
-            index, point, t_start, t_end, k
-        )
+        if _is_sharded(index):
+            # Disjoint shards: the global k best is the k best of the
+            # per-shard k bests.
+            pairs = []
+            parts = []
+            for shard in index.shards:
+                shard_pairs, shard_stats = _nn.nearest_neighbours_with_stats(
+                    shard, point, t_start, t_end, k
+                )
+                pairs.extend(shard_pairs)
+                parts.append(shard_stats)
+            pairs.sort(key=lambda p: (p[1], p[0]))
+            pairs = pairs[:k]
+            stats = SearchStats(total_nodes=index.num_nodes)
+            _merge_shard_stats(stats, parts)
+        else:
+            pairs, stats = _nn.nearest_neighbours_with_stats(
+                index, point, t_start, t_end, k
+            )
     matches = [MSTMatch(tid, dist, 0.0, True) for tid, dist in pairs]
     return SearchResult("nn", matches, stats)
 

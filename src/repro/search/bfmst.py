@@ -24,14 +24,33 @@ The algorithm assumes — like the paper — that indexed trajectories are
 valid throughout the query period; candidates that never complete
 their coverage are returned (if they make the top k) as certified
 upper bounds with ``exact=False``.
+
+**Sharded execution.** The traversal core (:func:`_search_shard`)
+operates on one tree and one shared :class:`_TopK` bound, so the same
+code serves both the classic single-index search and
+:func:`bfmst_search_sharded`, which advances one best-first heap per
+shard under a shared (lock-protected) k-th-best bound: a tight
+candidate completed in shard 0 immediately raises the H1/H2 pruning
+threshold seen by every other shard.  Because trajectories are never
+split across shards, candidate accumulation stays local to one shard
+and the per-shard candidate sets merge disjointly before the common
+ranking/refinement step.
+
+A candidate's final DISSIM is the **canonical sum** of its retrieved
+window integrals in time order — not the arrival-order association the
+incremental coalescing happens to produce — so the reported values are
+bit-identical regardless of the tree shape or shard layout that
+delivered the segments.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import nullcontext
 
 from ..distance import PartialDissim, segment_dissim
+from ..distance.trinomial import IntegralResult
 from ..exceptions import QueryError, TemporalCoverageError
 from ..geometry import STSegment
 from ..index import TrajectoryIndex, best_first_nodes
@@ -39,20 +58,32 @@ from ..obs import state as _obs
 from ..trajectory import Trajectory
 from .results import MSTMatch, SearchStats
 
-__all__ = ["bfmst_search"]
+__all__ = ["bfmst_search", "bfmst_search_sharded"]
 
 
 class _Candidate:
     """Per-trajectory bookkeeping: coverage record plus the retrieved
-    segment windows (kept so ambiguous answers can be re-integrated
-    exactly during refinement)."""
+    segment windows with their integrals (kept so the final value and
+    the exact refinement are canonical time-ordered sums, and ambiguous
+    answers can be re-integrated exactly)."""
 
-    __slots__ = ("tid", "partial", "windows")
+    __slots__ = ("tid", "partial", "windows", "total")
 
     def __init__(self, tid: int, t_start: float, t_end: float) -> None:
         self.tid = tid
         self.partial = PartialDissim(t_start, t_end)
-        self.windows: list[tuple[STSegment, float, float]] = []
+        self.windows: list[tuple[float, float, STSegment, IntegralResult]] = []
+        self.total: IntegralResult | None = None  # set on completion
+
+    def canonical_total(self) -> IntegralResult:
+        """Sum of the window integrals in time order — independent of
+        the order the index traversal delivered them."""
+        total = IntegralResult(0.0, 0.0)
+        for _lo, _hi, _seg, integral in sorted(
+            self.windows, key=lambda w: w[0]
+        ):
+            total = total + integral
+        return total
 
 
 class _TopK:
@@ -92,101 +123,63 @@ class _TopK:
         return self.items[-1][0]
 
 
-def bfmst_search(
+class _SharedTopK(_TopK):
+    """A :class:`_TopK` safe to share across shard searches.
+
+    The lock covers reads too: an unsynchronised ``threshold`` during
+    another thread's in-place sort could observe a non-maximal tail
+    element and over-prune.  Updates from different shards never target
+    the same trajectory id (shards are disjoint), but they do race on
+    the buffer itself.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k)
+        self._lock = threading.Lock()
+
+    def update(self, tid: int, upper: float) -> None:
+        with self._lock:
+            _TopK.update(self, tid, upper)
+
+    @property
+    def threshold(self) -> float:
+        with self._lock:
+            return _TopK.threshold.fget(self)
+
+
+def _search_shard(
     index: TrajectoryIndex,
     query: Trajectory,
-    period: tuple[float, float] | None = None,
-    k: int = 1,
-    vmax: float | None = None,
-    use_heuristic1: bool = True,
-    use_heuristic2: bool = True,
-    refine: bool = True,
-    exclude_ids: set[int] | frozenset[int] = frozenset(),
+    t_start: float,
+    t_end: float,
+    vmax: float,
+    use_heuristic1: bool,
+    use_heuristic2: bool,
+    top: _TopK,
+    exclude_ids,
+    stats: SearchStats,
     *,
     mindist_fn=None,
     segment_dissim_fn=None,
-    refinement_cache=None,
     heap_scratch: list | None = None,
-) -> tuple[list[MSTMatch], SearchStats]:
-    """Run a k-MST search and return ``(matches, stats)``.
+) -> tuple[dict[int, _Candidate], dict[int, _Candidate]]:
+    """Advance one tree's best-first traversal to completion under a
+    (possibly shared) top-k bound.
 
-    This is the algorithm implementation; the documented entry point is
-    the unified :func:`repro.search.bfmst_search` dispatcher, which
-    adds the engine/context plumbing and the :class:`SearchResult`
-    return shape.  The keyword-only hooks are how the
-    :class:`repro.engine.QueryEngine` amortises work across a batch —
-    ``mindist_fn`` memoises node MINDIST evaluations,
-    ``segment_dissim_fn`` memoises the per-leaf-entry DISSIM window
-    integrals, ``refinement_cache`` (a mapping-like ``get``/``put``
-    pair keyed by trajectory id) memoises exact refinement integrals
-    for repeated queries, and ``heap_scratch`` donates a reusable
-    priority-queue buffer.  None of them changes the answer, only the
-    work done.
-
-    Parameters
-    ----------
-    index:
-        A finalized (or at least fully built) :class:`RTree3D` or
-        :class:`TBTree`.
-    query:
-        The query trajectory ``Q``.
-    period:
-        The query period ``[t1, tn]``; defaults to the query's
-        lifetime.  The query must cover it.
-    k:
-        Number of most similar trajectories to return.
-    vmax:
-        The paper's ``V_max`` — sum of the maximum indexed speed and
-        the maximum query speed; computed from the index metadata when
-        omitted.  Must dominate the true maximum for the bounds to be
-        safe (it does when derived from the data).
-    use_heuristic1 / use_heuristic2:
-        Ablation switches for OPTDISSIM candidate pruning and
-        MINDISSIMINC early termination.
-    refine:
-        Re-integrate exactly (arcsinh closed form) the candidates whose
-        certified intervals straddle the k-th boundary before ranking.
-    exclude_ids:
-        Trajectory ids never to report (e.g. the query itself when it
-        is also indexed).
+    Returns ``(completed, valid)`` candidate maps; prunes with H1/H2
+    against ``top.threshold``, which — when ``top`` is shared across
+    shards — may tighten at any moment from another shard's progress.
+    Mutates ``stats`` (one shard's counters) in place.
     """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    t_start, t_end = period if period is not None else (query.t_start, query.t_end)
-    if t_start >= t_end:
-        raise QueryError(f"empty or inverted query period [{t_start}, {t_end}]")
-    if not query.covers(t_start, t_end):
-        raise TemporalCoverageError(
-            f"query {query.object_id!r} does not cover the period "
-            f"[{t_start}, {t_end}]"
-        )
-    if vmax is None:
-        vmax = index.max_speed + query.max_speed()
-    if vmax < 0.0:
-        raise QueryError(f"negative vmax {vmax}")
-
-    stats = SearchStats(total_nodes=index.num_nodes)
+    seg_dissim = segment_dissim_fn or segment_dissim
     io_before = index.pagefile.stats.snapshot()
     period_len = t_end - t_start
 
-    # Counter baseline so the SearchStats enrichment reports *this*
-    # query's work even when one trace spans several queries.
-    trace = _obs.ACTIVE
-    if trace is not None and trace.registry.enabled:
-        reg = trace.registry
-        counters_before = (
-            reg.value("index.mindist_evaluations"),
-            reg.value("distance.exact_integrals"),
-            reg.value("distance.trapezoid_integrals"),
-        )
-    else:
-        trace = None
-
-    seg_dissim = segment_dissim_fn or segment_dissim
     valid: dict[int, _Candidate] = {}
     completed: dict[int, _Candidate] = {}
     rejected: set[int] = set(exclude_ids)
-    top = _TopK(k)
     dequeued = 0
 
     for node_dist, node in best_first_nodes(
@@ -230,8 +223,8 @@ def bfmst_search(
                 valid[tid] = cand
                 stats.candidates_created += 1
             integral, d_lo, d_hi = seg_dissim(query, entry.segment, lo, hi)
-            cand.partial.add_interval(lo, hi, integral, d_lo, d_hi)
-            cand.windows.append((entry.segment, lo, hi))
+            if cand.partial.add_interval(lo, hi, integral, d_lo, d_hi):
+                cand.windows.append((lo, hi, entry.segment, integral))
             stats.entries_processed += 1
             stats.dissim_evaluations += 1
 
@@ -239,7 +232,8 @@ def bfmst_search(
                 del valid[tid]
                 completed[tid] = cand
                 stats.candidates_completed += 1
-                top.update(tid, cand.partial.retrieved_integral().upper)
+                cand.total = cand.canonical_total()
+                top.update(tid, cand.total.upper)
                 continue
 
             top.update(tid, cand.partial.pesdissim(vmax))
@@ -253,42 +247,349 @@ def bfmst_search(
                     rejected.add(tid)
                     stats.candidates_rejected += 1
 
-    matches = _assemble(
-        completed, valid, vmax, query, top, k, refine, stats, refinement_cache
-    )
-
     # Each dequeue is exactly one read_node call and nothing else in
-    # this query reads nodes, so the local counter equals the global
-    # node-access delta — and stays correct when batches run on the
-    # engine's threaded executor.
+    # this search reads this shard's nodes, so the local counter equals
+    # the shard's node-access delta — and stays correct when shards run
+    # on the engine's threaded executor.
     stats.node_accesses = dequeued
     io_after = index.pagefile.stats.diff(io_before)
     stats.buffer_hits = io_after.buffer_hits
     stats.buffer_misses = io_after.buffer_misses
+    return completed, valid
+
+
+def _validate(query, period, k):
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    t_start, t_end = period if period is not None else (query.t_start, query.t_end)
+    if t_start >= t_end:
+        raise QueryError(f"empty or inverted query period [{t_start}, {t_end}]")
+    if not query.covers(t_start, t_end):
+        raise TemporalCoverageError(
+            f"query {query.object_id!r} does not cover the period "
+            f"[{t_start}, {t_end}]"
+        )
+    return t_start, t_end
+
+
+def _counters_before(trace):
+    reg = trace.registry
+    return (
+        reg.value("index.mindist_evaluations"),
+        reg.value("distance.exact_integrals"),
+        reg.value("distance.trapezoid_integrals"),
+    )
+
+
+def _harvest(trace, stats, before) -> None:
+    reg = trace.registry
+    stats.mindist_evaluations = (
+        reg.value("index.mindist_evaluations") - before[0]
+    )
+    stats.exact_integral_evals = (
+        reg.value("distance.exact_integrals") - before[1]
+    )
+    stats.trapezoid_evals = (
+        reg.value("distance.trapezoid_integrals") - before[2]
+    )
+    stats.heap_high_water = int(reg.gauge("index.heap_high_water").value)
+    reg.inc("search.bfmst.queries")
+    reg.inc("search.bfmst.node_accesses", stats.node_accesses)
+    reg.inc("search.bfmst.entries_processed", stats.entries_processed)
+    reg.inc("search.bfmst.candidates_created", stats.candidates_created)
+    reg.inc("search.bfmst.h1_rejections", stats.candidates_rejected)
+    reg.inc("search.bfmst.refinements", stats.refinement_candidates)
+    if stats.terminated_early:
+        reg.inc("search.bfmst.h2_terminations")
+        reg.gauge("search.bfmst.h2_termination_depth").set(
+            stats.h2_termination_depth
+        )
+    reg.observe("search.bfmst.leaf_accesses", stats.leaf_accesses)
+
+
+def bfmst_search(
+    index: TrajectoryIndex,
+    query: Trajectory,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    vmax: float | None = None,
+    use_heuristic1: bool = True,
+    use_heuristic2: bool = True,
+    refine: bool = True,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+    *,
+    mindist_fn=None,
+    segment_dissim_fn=None,
+    refinement_cache=None,
+    heap_scratch: list | None = None,
+) -> tuple[list[MSTMatch], SearchStats]:
+    """Run a k-MST search and return ``(matches, stats)``.
+
+    This is the algorithm implementation; the documented entry point is
+    the unified :func:`repro.search.bfmst_search` dispatcher, which
+    adds the engine/context plumbing and the :class:`SearchResult`
+    return shape.  The keyword-only hooks are how the
+    :class:`repro.engine.QueryEngine` amortises work across a batch —
+    ``mindist_fn`` memoises node MINDIST evaluations,
+    ``segment_dissim_fn`` memoises the per-leaf-entry DISSIM window
+    integrals, ``refinement_cache`` (a mapping-like ``get``/``put``
+    pair keyed by trajectory id) memoises exact refinement integrals
+    for repeated queries, and ``heap_scratch`` donates a reusable
+    priority-queue buffer.  None of them changes the answer, only the
+    work done.
+
+    A :class:`~repro.sharding.ShardedIndex` is accepted too and
+    delegates to :func:`bfmst_search_sharded` (the per-shard hooks are
+    then unavailable — use the sharded engine for cached sharded
+    serving).
+
+    Parameters
+    ----------
+    index:
+        A finalized (or at least fully built) :class:`RTree3D` or
+        :class:`TBTree` — or a :class:`~repro.sharding.ShardedIndex`.
+    query:
+        The query trajectory ``Q``.
+    period:
+        The query period ``[t1, tn]``; defaults to the query's
+        lifetime.  The query must cover it.
+    k:
+        Number of most similar trajectories to return.
+    vmax:
+        The paper's ``V_max`` — sum of the maximum indexed speed and
+        the maximum query speed; computed from the index metadata when
+        omitted.  Must dominate the true maximum for the bounds to be
+        safe (it does when derived from the data).
+    use_heuristic1 / use_heuristic2:
+        Ablation switches for OPTDISSIM candidate pruning and
+        MINDISSIMINC early termination.
+    refine:
+        Re-integrate exactly (arcsinh closed form) the candidates whose
+        certified intervals straddle the k-th boundary before ranking.
+    exclude_ids:
+        Trajectory ids never to report (e.g. the query itself when it
+        is also indexed).
+    """
+    if getattr(index, "is_sharded", False):
+        return bfmst_search_sharded(
+            index,
+            query,
+            period,
+            k,
+            vmax,
+            use_heuristic1,
+            use_heuristic2,
+            refine,
+            exclude_ids,
+            refinement_cache=refinement_cache,
+        )
+    t_start, t_end = _validate(query, period, k)
+    if vmax is None:
+        vmax = index.max_speed + query.max_speed()
+    if vmax < 0.0:
+        raise QueryError(f"negative vmax {vmax}")
+
+    stats = SearchStats(total_nodes=index.num_nodes)
+
+    # Counter baseline so the SearchStats enrichment reports *this*
+    # query's work even when one trace spans several queries.
+    trace = _obs.ACTIVE
+    if trace is not None and trace.registry.enabled:
+        before = _counters_before(trace)
+    else:
+        trace = None
+
+    top = _TopK(k)
+    completed, valid = _search_shard(
+        index,
+        query,
+        t_start,
+        t_end,
+        vmax,
+        use_heuristic1,
+        use_heuristic2,
+        top,
+        exclude_ids,
+        stats,
+        mindist_fn=mindist_fn,
+        segment_dissim_fn=segment_dissim_fn,
+        heap_scratch=heap_scratch,
+    )
+    matches = _assemble(
+        completed, valid, vmax, query, k, refine, stats, refinement_cache
+    )
     if trace is not None:
-        reg = trace.registry
-        stats.mindist_evaluations = (
-            reg.value("index.mindist_evaluations") - counters_before[0]
+        _harvest(trace, stats, before)
+    return matches, stats
+
+
+def bfmst_search_sharded(
+    index,
+    query: Trajectory,
+    period: tuple[float, float] | None = None,
+    k: int = 1,
+    vmax: float | None = None,
+    use_heuristic1: bool = True,
+    use_heuristic2: bool = True,
+    refine: bool = True,
+    exclude_ids: set[int] | frozenset[int] = frozenset(),
+    *,
+    selected: list[int] | None = None,
+    shard_hooks: dict[int, dict] | None = None,
+    refinement_cache=None,
+    executor=None,
+) -> tuple[list[MSTMatch], SearchStats]:
+    """Cross-shard k-MST over a :class:`~repro.sharding.ShardedIndex`.
+
+    Every selected shard runs the same best-first traversal as the
+    single-index search, but all of them share one k-th-best bound, so
+    pruning crosses shard boundaries.  The disjoint per-shard candidate
+    sets are merged and ranked/refined once, globally.  ``vmax``
+    defaults to the *global* maximum over shards plus the query's — the
+    same value the unsharded search would use, which (together with the
+    canonical window summation) makes the answer bit-identical to the
+    single-index path.
+
+    Parameters beyond :func:`bfmst_search`'s:
+
+    selected:
+        Shard ids to search (the planner's pre-filter); ``None``
+        searches all.  Skipping a shard whose extent cannot overlap the
+        query period is answer-preserving.
+    shard_hooks:
+        Optional per-shard-id dict of ``mindist_fn`` /
+        ``segment_dissim_fn`` / ``heap_scratch`` hooks (the sharded
+        engine's caches).
+    executor:
+        Anything with ``.map(fn, items)`` (e.g. the engine's
+        :class:`~repro.engine.executor.ThreadedExecutor`) to advance
+        shards concurrently; ``None`` runs them serially.
+    """
+    t_start, t_end = _validate(query, period, k)
+    shards = index.shards
+    if vmax is None:
+        vmax = index.max_speed + query.max_speed()
+    if vmax < 0.0:
+        raise QueryError(f"negative vmax {vmax}")
+    if selected is None:
+        selected = list(range(len(shards)))
+    else:
+        selected = list(selected)
+        for sid in selected:
+            if not 0 <= sid < len(shards):
+                raise QueryError(f"shard id {sid} out of range [0, {len(shards)})")
+
+    stats = SearchStats(total_nodes=index.num_nodes)
+    trace = _obs.ACTIVE
+    if trace is not None and trace.registry.enabled:
+        before = _counters_before(trace)
+    else:
+        trace = None
+
+    top: _TopK = _SharedTopK(k) if len(selected) > 1 else _TopK(k)
+    hooks_by_shard = shard_hooks or {}
+
+    def run(shard_id: int):
+        shard_stats = SearchStats(total_nodes=shards[shard_id].num_nodes)
+        hooks = hooks_by_shard.get(shard_id, {})
+        completed, valid = _search_shard(
+            shards[shard_id],
+            query,
+            t_start,
+            t_end,
+            vmax,
+            use_heuristic1,
+            use_heuristic2,
+            top,
+            exclude_ids,
+            shard_stats,
+            mindist_fn=hooks.get("mindist_fn"),
+            segment_dissim_fn=hooks.get("segment_dissim_fn"),
+            heap_scratch=hooks.get("heap_scratch"),
         )
-        stats.exact_integral_evals = (
-            reg.value("distance.exact_integrals") - counters_before[1]
+        return shard_id, completed, valid, shard_stats
+
+    if executor is not None and len(selected) > 1:
+        # Engine executors use the (index, item) map convention.
+        outcomes = executor.map(lambda _i, sid: run(sid), selected)
+    else:
+        outcomes = [run(sid) for sid in selected]
+
+    completed: dict[int, _Candidate] = {}
+    valid: dict[int, _Candidate] = {}
+    per_shard: list[dict] = []
+    for shard_id, shard_completed, shard_valid, s in outcomes:
+        completed.update(shard_completed)
+        valid.update(shard_valid)
+        stats.node_accesses += s.node_accesses
+        stats.leaf_accesses += s.leaf_accesses
+        stats.internal_accesses += s.internal_accesses
+        stats.entries_processed += s.entries_processed
+        stats.candidates_created += s.candidates_created
+        stats.candidates_completed += s.candidates_completed
+        stats.candidates_rejected += s.candidates_rejected
+        stats.dissim_evaluations += s.dissim_evaluations
+        stats.buffer_hits += s.buffer_hits
+        stats.buffer_misses += s.buffer_misses
+        stats.terminated_early = stats.terminated_early or s.terminated_early
+        stats.h2_termination_depth = max(
+            stats.h2_termination_depth, s.h2_termination_depth
         )
-        stats.trapezoid_evals = (
-            reg.value("distance.trapezoid_integrals") - counters_before[2]
+        per_shard.append(
+            {
+                "shard": shard_id,
+                "pruned": False,
+                "node_accesses": s.node_accesses,
+                "leaf_accesses": s.leaf_accesses,
+                "entries_processed": s.entries_processed,
+                "candidates_created": s.candidates_created,
+                "candidates_rejected": s.candidates_rejected,
+                "terminated_early": s.terminated_early,
+                "total_nodes": s.total_nodes,
+            }
         )
-        stats.heap_high_water = int(reg.gauge("index.heap_high_water").value)
-        reg.inc("search.bfmst.queries")
-        reg.inc("search.bfmst.node_accesses", stats.node_accesses)
-        reg.inc("search.bfmst.entries_processed", stats.entries_processed)
-        reg.inc("search.bfmst.candidates_created", stats.candidates_created)
-        reg.inc("search.bfmst.h1_rejections", stats.candidates_rejected)
-        reg.inc("search.bfmst.refinements", stats.refinement_candidates)
-        if stats.terminated_early:
-            reg.inc("search.bfmst.h2_terminations")
-            reg.gauge("search.bfmst.h2_termination_depth").set(
-                stats.h2_termination_depth
+    searched = set(selected)
+    for shard_id in range(len(shards)):
+        if shard_id not in searched:
+            per_shard.append(
+                {
+                    "shard": shard_id,
+                    "pruned": True,
+                    "node_accesses": 0,
+                    "leaf_accesses": 0,
+                    "entries_processed": 0,
+                    "candidates_created": 0,
+                    "candidates_rejected": 0,
+                    "terminated_early": False,
+                    "total_nodes": shards[shard_id].num_nodes,
+                }
             )
-        reg.observe("search.bfmst.leaf_accesses", stats.leaf_accesses)
+    per_shard.sort(key=lambda row: row["shard"])
+    stats.extra["per_shard"] = per_shard
+    stats.extra["shards_searched"] = len(selected)
+    stats.extra["shards_pruned"] = len(shards) - len(selected)
+
+    matches = _assemble(
+        completed, valid, vmax, query, k, refine, stats, refinement_cache
+    )
+    if trace is not None:
+        _harvest(trace, stats, before)
+        reg = trace.registry
+        reg.inc("search.bfmst.sharded_queries")
+        reg.inc("search.bfmst.shards_searched", len(selected))
+        reg.inc("search.bfmst.shards_pruned", len(shards) - len(selected))
+        for row in per_shard:
+            if not row["pruned"]:
+                label = row["shard"]
+                reg.inc(f"search.shard.{label}.queries")
+                reg.inc(
+                    f"search.shard.{label}.node_accesses",
+                    row["node_accesses"],
+                )
+                reg.inc(
+                    f"search.shard.{label}.entries_processed",
+                    row["entries_processed"],
+                )
     return matches, stats
 
 
@@ -297,7 +598,6 @@ def _assemble(
     valid: dict[int, _Candidate],
     vmax: float,
     query: Trajectory,
-    top: _TopK,
     k: int,
     refine: bool,
     stats: SearchStats,
@@ -307,7 +607,7 @@ def _assemble(
     (the paper's post-processing step, Section 4.4)."""
     scored: list[MSTMatch] = []
     for cand in completed.values():
-        total = cand.partial.retrieved_integral()
+        total = cand.total if cand.total is not None else cand.canonical_total()
         scored.append(
             MSTMatch(cand.tid, total.upper, total.error_bound, exact=True)
         )
@@ -345,8 +645,12 @@ def _assemble(
                     else None
                 )
                 if exact_total is None:
+                    # Time-ordered summation: the exact value must not
+                    # depend on segment arrival order either.
                     exact_total = 0.0
-                    for seg, lo, hi in cand.windows:
+                    for lo, hi, seg, _approx in sorted(
+                        cand.windows, key=lambda w: w[0]
+                    ):
                         integral, _dl, _dh = segment_dissim(
                             query, seg, lo, hi, exact=True
                         )

@@ -1,0 +1,64 @@
+"""Partitioned view of a trajectory dataset.
+
+A :class:`ShardedDataset` *is a* :class:`~repro.trajectory.TrajectoryDataset`
+holding every trajectory (so dataset-level algorithms — linear scan,
+CNN, quality experiments — run on it unchanged), plus the partition:
+``shards[i]`` is a plain :class:`TrajectoryDataset` with shard *i*'s
+trajectories and ``assignments`` maps object id → shard id.  Shards are
+disjoint and cover the full dataset; trajectories are shared, never
+copied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..trajectory import Trajectory, TrajectoryDataset
+from .partitioners import Partitioner
+
+__all__ = ["ShardedDataset"]
+
+
+class ShardedDataset(TrajectoryDataset):
+    """A dataset plus its trajectory-to-shard partition."""
+
+    def __init__(
+        self, trajectories: Iterable[Trajectory], partitioner: Partitioner
+    ) -> None:
+        super().__init__(trajectories)
+        partitioner.fit(self)
+        self.partitioner = partitioner
+        self.num_shards = partitioner.num_shards
+        self.shards: list[TrajectoryDataset] = [
+            TrajectoryDataset() for _ in range(self.num_shards)
+        ]
+        self.assignments: dict = {}
+        for tr in self:
+            shard = partitioner.shard_of(tr)
+            self.shards[shard].add(tr)
+            self.assignments[tr.object_id] = shard
+
+    @classmethod
+    def partition(
+        cls, dataset: TrajectoryDataset, partitioner: Partitioner
+    ) -> "ShardedDataset":
+        """Partition an existing dataset (insertion order preserved)."""
+        return cls(dataset, partitioner)
+
+    def shard_of(self, object_id) -> int:
+        """Shard id holding ``object_id``; raises ``KeyError`` when
+        unknown."""
+        try:
+            return self.assignments[object_id]
+        except KeyError:
+            raise KeyError(f"no trajectory with id {object_id!r}") from None
+
+    def shard_sizes(self) -> list[int]:
+        return [len(s) for s in self.shards]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedDataset({len(self)} trajectories, "
+            f"{self.num_shards} shards via {self.partitioner.kind}, "
+            f"sizes={self.shard_sizes()})"
+        )

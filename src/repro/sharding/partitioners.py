@@ -1,0 +1,202 @@
+"""Trajectory-to-shard assignment strategies.
+
+A partitioner maps every trajectory of a dataset to exactly one of
+``num_shards`` shards — trajectories are never split across shards, so
+a candidate's DISSIM accumulation happens entirely inside one shard
+and the cross-shard search merges *disjoint* candidate sets.
+
+Four strategies cover the usual serving layouts:
+
+* :class:`RoundRobinPartitioner` — dataset order modulo shard count;
+  the load-balancing default when nothing is known about the data,
+* :class:`HashPartitioner` — a multiplicative hash of the (integer)
+  trajectory id; stable under dataset reordering,
+* :class:`SpatialPartitioner` — equi-populated slabs over the
+  trajectory MBR centre's x coordinate (quantile boundaries are
+  computed from the dataset being partitioned and persisted in the
+  shard manifest),
+* :class:`TemporalPartitioner` — the same quantile scheme over the
+  trajectory's temporal midpoint; with staggered fleets this gives the
+  planner's time-extent pre-filter real pruning power.
+
+``partitioner.params()`` round-trips through the JSON shard manifest
+(:mod:`repro.sharding.persistence`) via :func:`partitioner_from_params`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..exceptions import QueryError, TrajectoryError
+from ..trajectory import Trajectory, TrajectoryDataset
+
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "SpatialPartitioner",
+    "TemporalPartitioner",
+    "PARTITIONER_KINDS",
+    "make_partitioner",
+    "partitioner_from_params",
+]
+
+# Knuth's multiplicative constant — spreads consecutive integer ids
+# across shards without the modulo banding of ``tid % n``.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MODULUS = 1 << 32
+
+
+class Partitioner:
+    """Base class: assigns trajectories to ``num_shards`` shards."""
+
+    kind = "abstract"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise QueryError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    def fit(self, dataset: TrajectoryDataset) -> "Partitioner":
+        """Derive any data-dependent state (quantile boundaries) from
+        the dataset about to be partitioned; returns ``self``."""
+        return self
+
+    def shard_of(self, trajectory: Trajectory) -> int:
+        """Shard id in ``[0, num_shards)`` for one trajectory."""
+        raise NotImplementedError
+
+    def params(self) -> dict:
+        """JSON-ready manifest block reconstructing this partitioner."""
+        return {"kind": self.kind, "num_shards": self.num_shards}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Dataset order modulo shard count (balanced by construction)."""
+
+    kind = "round_robin"
+
+    def __init__(self, num_shards: int) -> None:
+        super().__init__(num_shards)
+        self._next = 0
+        self._assigned: dict = {}
+
+    def shard_of(self, trajectory: Trajectory) -> int:
+        oid = trajectory.object_id
+        shard = self._assigned.get(oid)
+        if shard is None:
+            shard = self._next % self.num_shards
+            self._assigned[oid] = shard
+            self._next += 1
+        return shard
+
+
+class HashPartitioner(Partitioner):
+    """Multiplicative hash of the integer trajectory id."""
+
+    kind = "hash"
+
+    def shard_of(self, trajectory: Trajectory) -> int:
+        oid = trajectory.object_id
+        if not isinstance(oid, int):
+            raise TrajectoryError(
+                f"hash partitioning requires integer object ids, got {oid!r}"
+            )
+        return (oid * _HASH_MULTIPLIER % _HASH_MODULUS) % self.num_shards
+
+
+class _QuantilePartitioner(Partitioner):
+    """Shared machinery of the range partitioners: sort every
+    trajectory's scalar key, cut at equi-populated quantiles, assign by
+    bisection.  Boundaries are the manifest-persisted state."""
+
+    def __init__(
+        self, num_shards: int, boundaries: list[float] | None = None
+    ) -> None:
+        super().__init__(num_shards)
+        self.boundaries = list(boundaries) if boundaries is not None else None
+
+    def _key(self, trajectory: Trajectory) -> float:
+        raise NotImplementedError
+
+    def fit(self, dataset: TrajectoryDataset) -> "Partitioner":
+        keys = sorted(self._key(tr) for tr in dataset)
+        if not keys:
+            raise TrajectoryError("cannot fit a range partitioner on an empty dataset")
+        self.boundaries = [
+            keys[(i * len(keys)) // self.num_shards]
+            for i in range(1, self.num_shards)
+        ]
+        return self
+
+    def shard_of(self, trajectory: Trajectory) -> int:
+        if self.boundaries is None:
+            raise QueryError(
+                f"{self.kind} partitioner is unfitted: call fit(dataset) "
+                f"or construct it with explicit boundaries"
+            )
+        return bisect_right(self.boundaries, self._key(trajectory))
+
+    def params(self) -> dict:
+        out = super().params()
+        out["boundaries"] = self.boundaries
+        return out
+
+
+class SpatialPartitioner(_QuantilePartitioner):
+    """Equi-populated x-slabs over the trajectory MBR centre."""
+
+    kind = "spatial"
+
+    def _key(self, trajectory: Trajectory) -> float:
+        box = trajectory.mbr()
+        return (box.xmin + box.xmax) / 2.0
+
+
+class TemporalPartitioner(_QuantilePartitioner):
+    """Equi-populated slabs over the trajectory's temporal midpoint."""
+
+    kind = "temporal"
+
+    def _key(self, trajectory: Trajectory) -> float:
+        return (trajectory.t_start + trajectory.t_end) / 2.0
+
+
+PARTITIONER_KINDS = {
+    cls.kind: cls
+    for cls in (
+        RoundRobinPartitioner,
+        HashPartitioner,
+        SpatialPartitioner,
+        TemporalPartitioner,
+    )
+}
+
+
+def make_partitioner(kind: str, num_shards: int) -> Partitioner:
+    """``kind`` in round_robin | hash | spatial | temporal → instance
+    (range partitioners come back unfitted; ``fit`` runs at partition
+    time)."""
+    try:
+        cls = PARTITIONER_KINDS[kind]
+    except KeyError:
+        raise QueryError(
+            f"unknown partitioner kind {kind!r}; expected one of "
+            f"{sorted(PARTITIONER_KINDS)}"
+        ) from None
+    return cls(num_shards)
+
+
+def partitioner_from_params(params: dict) -> Partitioner:
+    """Rebuild a partitioner from its manifest ``params()`` block."""
+    kind = params.get("kind")
+    if kind not in PARTITIONER_KINDS:
+        raise QueryError(f"unknown partitioner kind {kind!r} in manifest")
+    cls = PARTITIONER_KINDS[kind]
+    num_shards = int(params["num_shards"])
+    if issubclass(cls, _QuantilePartitioner):
+        return cls(num_shards, boundaries=params.get("boundaries"))
+    return cls(num_shards)

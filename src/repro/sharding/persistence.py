@@ -1,0 +1,138 @@
+"""Saving and loading sharded indexes.
+
+A sharded index persists as a **directory**: one
+``shard_<i>.pages`` file (plus its ``.meta.json`` sidecar, both written
+by :func:`repro.index.persistence.save_index`) per shard, and a
+``manifest.json`` tying them together:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "kind": "rtree",
+      "num_shards": 4,
+      "partitioner": {"kind": "temporal", "num_shards": 4,
+                      "boundaries": [500.0, 1000.0, 1500.0]},
+      "shards": [
+        {"file": "shard_0000.pages", "num_nodes": 12, "num_entries": 310,
+         "extent": [0.0, 0.0, 0.0, 1.0, 1.0, 500.0]},
+        ...
+      ]
+    }
+
+``extent`` is the shard's root MBR (``null`` for an empty shard) so a
+loader — or an external tool — can do shard pre-filtering straight from
+the manifest.  ``load_sharded_index`` validates the manifest and every
+shard file before touching pages, raising
+:class:`~repro.exceptions.StorageError` on corruption or missing shards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import StorageError
+from ..index import NO_PAGE
+from ..index.persistence import load_index, save_index
+from .index import ShardedIndex
+
+__all__ = ["save_sharded_index", "load_sharded_index", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+
+_MANIFEST_VERSION = 1
+
+
+def _shard_filename(i: int) -> str:
+    return f"shard_{i:04d}.pages"
+
+
+def save_sharded_index(sharded: ShardedIndex, directory: str | Path) -> None:
+    """Write every shard's pages + a ``manifest.json`` into
+    ``directory`` (created; must not already contain a manifest)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists():
+        raise StorageError(f"{manifest_path} already exists; refusing to overwrite")
+
+    shard_records = []
+    for i, index in enumerate(sharded.shards):
+        filename = _shard_filename(i)
+        save_index(index, directory / filename)
+        extent = (
+            list(index.mbr().as_tuple()) if index.root_page != NO_PAGE else None
+        )
+        shard_records.append(
+            {
+                "file": filename,
+                "num_nodes": index.num_nodes,
+                "num_entries": index.num_entries,
+                "extent": extent,
+            }
+        )
+
+    manifest = {
+        "version": _MANIFEST_VERSION,
+        "kind": sharded.kind,
+        "num_shards": sharded.num_shards,
+        "partitioner": sharded.partitioner_params,
+        "shards": shard_records,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+
+
+def load_sharded_index(
+    directory: str | Path,
+    buffer_fraction: float = 0.10,
+    buffer_max_pages: int = 1000,
+) -> ShardedIndex:
+    """Reopen a sharded index directory for querying (read-only).
+
+    The ``buffer_max_pages`` budget is global: it is split evenly across
+    shards here, and the engine's planner re-budgets proportionally to
+    shard size when it opens a session.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"missing shard manifest {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"{manifest_path}: corrupt manifest: {exc}") from exc
+    if manifest.get("version") != _MANIFEST_VERSION:
+        raise StorageError(
+            f"{manifest_path}: unsupported manifest version "
+            f"{manifest.get('version')}"
+        )
+    records = manifest.get("shards")
+    if not isinstance(records, list) or not records:
+        raise StorageError(f"{manifest_path}: manifest lists no shards")
+    if len(records) != manifest.get("num_shards"):
+        raise StorageError(
+            f"{manifest_path}: num_shards={manifest.get('num_shards')} but "
+            f"{len(records)} shard records"
+        )
+
+    per_shard_pages = max(1, buffer_max_pages // len(records))
+    shards = []
+    for record in records:
+        shard_path = directory / record["file"]
+        # load_index would silently create an empty page file, so check
+        # existence first to turn a missing shard into a hard error.
+        if not shard_path.exists():
+            raise StorageError(f"missing shard file {shard_path}")
+        index = load_index(shard_path, buffer_fraction, per_shard_pages)
+        if index.num_entries != record["num_entries"]:
+            raise StorageError(
+                f"{shard_path}: manifest says {record['num_entries']} "
+                f"entries, sidecar says {index.num_entries}"
+            )
+        shards.append(index)
+    return ShardedIndex(
+        shards,
+        kind=manifest.get("kind"),
+        partitioner_params=manifest.get("partitioner"),
+    )

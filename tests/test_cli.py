@@ -111,6 +111,60 @@ class TestExperimentCommand:
         assert "DISSIM" in out
 
 
+class TestShard:
+    def test_build_inspect_query_stats(self, small_csv, tmp_path, capsys):
+        directory = tmp_path / "shards"
+        rc = main(
+            ["shard", "build", str(small_csv), str(directory),
+             "--shards", "3", "--partitioner", "hash",
+             "--page-size", "1024"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3x rtree" in out
+        assert (directory / "manifest.json").exists()
+
+        rc = main(["shard", "inspect", str(directory)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 shards" in out
+        assert "shard 2:" in out
+
+        rc = main(
+            ["shard", "query", str(directory), str(small_csv),
+             "--k", "3", "--seed", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DISSIM=" in out
+        assert "shards searched" in out
+
+        rc = main(
+            ["shard", "query", str(directory), str(small_csv),
+             "--k", "3", "--seed", "2", "--executor", "thread",
+             "--workers", "2"]
+        )
+        assert rc == 0
+
+        out_path = tmp_path / "trace.json"
+        rc = main(
+            ["stats", str(directory), str(small_csv), "--k", "3",
+             "--seed", "2", "--per-shard", "--output", str(out_path)]
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert len(doc["per_shard"]) == 3
+        assert doc["shards_searched"] + doc["shards_pruned"] == 3
+
+    def test_query_missing_directory(self, small_csv, tmp_path):
+        rc = main(
+            ["shard", "query", str(tmp_path / "nope"), str(small_csv)]
+        )
+        assert rc == 1
+
+
 def test_version_flag(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["--version"])

@@ -1,0 +1,98 @@
+"""Lazy-numpy behaviour of repro.distance.fast and the quality
+experiment's pure-Python fallback."""
+
+import builtins
+
+import pytest
+
+from repro.datagen import generate_trucks
+from repro.distance import fast
+from repro.distance.dtw import dtw_distance
+from repro.distance.edr import edr_distance
+from repro.distance.lcss import lcss_distance
+from repro.experiments import quality
+
+MEASURES = ("LCSS", "EDR", "LCSS-I", "EDR-I", "DTW")
+
+
+@pytest.fixture()
+def no_numpy(monkeypatch):
+    """Make ``import numpy`` fail and clear the memoised module."""
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy is not installed (simulated)")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(fast, "_np", None)
+    monkeypatch.setattr(builtins, "__import__", blocked)
+    yield
+    fast._np = None  # don't leak the blocked state to other tests
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_trucks(
+        5, samples_per_truck=25, seed=29, length_variation=0.5
+    ).normalised()
+    eps = dataset.max_spatial_std() / 4.0
+    return dataset, eps
+
+
+class TestLazyImport:
+    def test_have_numpy_true_in_test_env(self):
+        assert fast.have_numpy()
+
+    def test_import_error_is_actionable(self, no_numpy):
+        assert not fast.have_numpy()
+        with pytest.raises(ImportError, match="pip install numpy"):
+            fast._numpy()
+
+    def test_module_functions_raise_without_numpy(self, no_numpy, world):
+        dataset, _ = world
+        with pytest.raises(ImportError, match="optional"):
+            fast.coords(next(iter(dataset)))
+
+
+class TestQualityFallback:
+    def test_fast_equals_reference_values(self, world):
+        dataset, eps = world
+        trs = list(dataset)[:3]
+        for q in trs:
+            qa = fast.coords(q)
+            for tr in trs:
+                ta = fast.coords(tr)
+                assert fast.lcss_distance_fast(qa, ta, eps) == pytest.approx(
+                    lcss_distance(q, tr, eps), abs=1e-12
+                )
+                assert fast.edr_distance_fast(qa, ta, eps) == edr_distance(
+                    q, tr, eps
+                )
+                assert fast.dtw_distance_fast(qa, ta) == pytest.approx(
+                    dtw_distance(q, tr), abs=1e-9
+                )
+
+def test_quality_winners_match_between_paths(world, monkeypatch):
+    """The experiment picks identical winners with and without numpy."""
+    dataset, eps = world
+    query = next(iter(dataset))
+    fast_winners = {
+        m: quality._most_similar_dp(m, query, dataset, eps) for m in MEASURES
+    }
+
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy is not installed (simulated)")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(fast, "_np", None)
+    monkeypatch.setattr(builtins, "__import__", blocked)
+    slow_winners = {
+        m: quality._most_similar_dp(m, query, dataset, eps) for m in MEASURES
+    }
+    monkeypatch.undo()
+    fast._np = None
+    assert slow_winners == fast_winners

@@ -1,4 +1,5 @@
-"""Round-trip tests for index persistence (save/load on disk)."""
+"""Round-trip tests for index persistence (save/load on disk) — single
+page files and sharded manifest directories."""
 
 import json
 import random
@@ -18,6 +19,14 @@ from repro import (
 )
 from repro.datagen import make_query
 from repro.exceptions import IndexError_, StorageError
+from repro.sharding import (
+    MANIFEST_NAME,
+    ShardedDataset,
+    build_sharded_index,
+    load_sharded_index,
+    make_partitioner,
+    save_sharded_index,
+)
 
 
 @pytest.fixture(scope="module")
@@ -133,3 +142,140 @@ class TestErrorHandling:
         meta_path.write_text(json.dumps(meta))
         with pytest.raises(StorageError):
             load_index(path)
+
+
+# ----------------------------------------------------------------------
+# sharded manifest directories
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sharded_world(dataset):
+    sharded_ds = ShardedDataset.partition(
+        dataset, make_partitioner("hash", 3)
+    )
+    index = build_sharded_index(sharded_ds, RTree3D, page_size=1024)
+    yield dataset, sharded_ds, index
+    index.close()
+
+
+def _save(sharded_world, tmp_path):
+    _, _, index = sharded_world
+    directory = tmp_path / "shards"
+    save_sharded_index(index, directory)
+    return directory
+
+
+@pytest.mark.parametrize("cls", [RTree3D, TBTree])
+class TestShardedRoundTrip:
+    def test_manifest_and_queries_survive_reload(
+        self, cls, dataset, tmp_path
+    ):
+        sharded_ds = ShardedDataset.partition(
+            dataset, make_partitioner("temporal", 3)
+        )
+        index = build_sharded_index(sharded_ds, cls, page_size=1024)
+        directory = tmp_path / "shards"
+        save_sharded_index(index, directory)
+
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        assert manifest["num_shards"] == 3
+        assert manifest["partitioner"]["kind"] == "temporal"
+        assert len(manifest["shards"]) == 3
+        for entry in manifest["shards"]:
+            assert (directory / entry["file"]).exists()
+
+        loaded = load_sharded_index(directory)
+        try:
+            assert loaded.num_shards == index.num_shards
+            assert loaded.num_nodes == index.num_nodes
+            assert loaded.num_entries == index.num_entries
+            assert loaded.trajectory_ids == index.trajectory_ids
+            assert loaded.max_speed == pytest.approx(index.max_speed)
+            rng = random.Random(4)
+            for _ in range(2):
+                query, period = make_query(dataset, 0.2, rng)
+                got = bfmst_search(loaded, None, query, period=period, k=3)
+                want = bfmst_search(index, None, query, period=period, k=3)
+                assert [
+                    (m.trajectory_id, m.dissim) for m in got.matches
+                ] == [(m.trajectory_id, m.dissim) for m in want.matches]
+        finally:
+            loaded.close()
+            index.close()
+
+
+class TestShardedIdentityAfterReload:
+    def test_reloaded_equals_unsharded_tree(self, sharded_world, tmp_path):
+        dataset, _, _ = sharded_world
+        directory = _save(sharded_world, tmp_path)
+        single = RTree3D(page_size=1024)
+        single.bulk_insert(dataset)
+        single.finalize()
+        loaded = load_sharded_index(directory)
+        try:
+            rng = random.Random(9)
+            for _ in range(3):
+                query, period = make_query(dataset, 0.2, rng)
+                got = bfmst_search(loaded, None, query, period=period, k=5)
+                want = bfmst_search(single, None, query, period=period, k=5)
+                assert [
+                    (m.trajectory_id, m.dissim, m.error_bound, m.exact)
+                    for m in got.matches
+                ] == [
+                    (m.trajectory_id, m.dissim, m.error_bound, m.exact)
+                    for m in want.matches
+                ]
+        finally:
+            loaded.close()
+
+
+class TestShardedErrorHandling:
+    def test_refuses_overwrite(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        _, _, index = sharded_world
+        with pytest.raises(StorageError):
+            save_sharded_index(index, directory)
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StorageError):
+            load_sharded_index(tmp_path / "empty")
+
+    def test_corrupt_manifest(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        (directory / MANIFEST_NAME).write_text("{oops")
+        with pytest.raises(StorageError):
+            load_sharded_index(directory)
+
+    def test_wrong_manifest_version(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        manifest["version"] = 999
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError):
+            load_sharded_index(directory)
+
+    def test_missing_shard_file(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        victim = directory / manifest["shards"][1]["file"]
+        victim.unlink()
+        # DiskPageFile would silently create a missing file on open;
+        # the loader must notice the hole first.
+        with pytest.raises(StorageError, match="missing shard"):
+            load_sharded_index(directory)
+
+    def test_shard_count_mismatch(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        manifest["shards"] = manifest["shards"][:2]
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError):
+            load_sharded_index(directory)
+
+    def test_entry_count_mismatch(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        manifest["shards"][0]["num_entries"] += 1
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError):
+            load_sharded_index(directory)
