@@ -7,6 +7,8 @@ Python::
     python -m repro build out.csv index.pages --tree rtree
     python -m repro info index.pages
     python -m repro query index.pages out.csv --object 3 --window 0.1 --k 5
+    python -m repro query index.pages out.csv --k 5 --backend mmap
+    python -m repro fsck index.pages
     python -m repro stats index.pages out.csv --k 5
     python -m repro batch index.pages out.csv --queries 8 --k 5 --repeat 2
     python -m repro shard build out.csv shards/ --shards 4 --partitioner hash
@@ -75,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a saved index")
     info.add_argument("index", help="index file")
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify a saved index (or shard directory): sidecar, "
+        "digest and every page's checksum frame",
+    )
+    fsck.add_argument("path", help="index file or sharded manifest directory")
+    fsck.add_argument(
+        "--verbose", action="store_true",
+        help="print a verdict for every page, not just the bad ones",
+    )
+
+    def add_backend_flag(p):
+        p.add_argument(
+            "--backend", choices=("disk", "mmap"), default="disk",
+            help="page-store backend for serving (mmap is read-only, "
+            "zero-copy)",
+        )
+
     query = sub.add_parser("query", help="run a k-MST query")
     query.add_argument("index", help="index file")
     query.add_argument("dataset", help="dataset the query is drawn from")
@@ -88,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--k", type=int, default=5)
     query.add_argument("--seed", type=int, default=1)
+    add_backend_flag(query)
 
     stats = sub.add_parser(
         "stats",
@@ -114,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="index is a sharded manifest directory; include the "
         "per-shard breakdown in the JSON document",
     )
+    add_backend_flag(stats)
 
     batch = sub.add_parser(
         "batch",
@@ -140,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write per-query + batch JSONL rows here",
     )
+    add_backend_flag(batch)
 
     shard = sub.add_parser(
         "shard", help="build, query and inspect sharded indexes"
@@ -179,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("serial", "thread"), default="serial"
     )
     squery.add_argument("--workers", type=int, default=None)
+    add_backend_flag(squery)
 
     sinspect = shard_sub.add_parser(
         "inspect", help="describe a saved sharded index"
@@ -283,8 +307,22 @@ def _pick_query(args, dataset):
     return source_id, source.sliced(t_lo, t_lo + window).with_id(-1)
 
 
+def _cmd_fsck(args) -> int:
+    from .index import fsck as run_fsck
+
+    report = run_fsck(args.path)
+    print(report.summary())
+    if args.verbose:
+        for rep in [report] + report.shards:
+            for page in rep.pages:
+                detail = f": {page.detail}" if page.detail else ""
+                print(f"  {rep.path}: page {page.page_id}: "
+                      f"{page.status}{detail}")
+    return 0 if report.ok else 1
+
+
 def _cmd_query(args) -> int:
-    index = load_index(args.index)
+    index = load_index(args.index, backend=args.backend)
     try:
         dataset = _read_dataset(args.dataset)
         source_id, query = _pick_query(args, dataset)
@@ -320,9 +358,9 @@ def _cmd_stats(args) -> int:
     if args.per_shard:
         from .sharding import load_sharded_index
 
-        index = load_sharded_index(args.index)
+        index = load_sharded_index(args.index, backend=args.backend)
     else:
-        index = load_index(args.index)
+        index = load_index(args.index, backend=args.backend)
     try:
         dataset = _read_dataset(args.dataset)
         source_id, query = _pick_query(args, dataset)
@@ -376,7 +414,9 @@ def _cmd_batch(args) -> int:
     from .engine import EngineConfig, QueryEngine, QueryRequest
 
     config = EngineConfig(executor=args.executor, max_workers=args.workers)
-    engine = QueryEngine.open(args.index, args.dataset, config=config)
+    engine = QueryEngine.open(
+        args.index, args.dataset, config=config, backend=args.backend
+    )
     try:
         workload = list(
             make_workload(
@@ -466,7 +506,9 @@ def _cmd_shard_query(args) -> int:
     from .engine import EngineConfig, QueryRequest, ShardedQueryEngine
 
     config = EngineConfig(executor=args.executor, max_workers=args.workers)
-    engine = ShardedQueryEngine.open(args.directory, config=config)
+    engine = ShardedQueryEngine.open(
+        args.directory, config=config, backend=args.backend
+    )
     try:
         dataset = _read_dataset(args.dataset)
         source_id, query = _pick_query(args, dataset)
@@ -601,6 +643,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "build": _cmd_build,
         "info": _cmd_info,
+        "fsck": _cmd_fsck,
         "query": _cmd_query,
         "stats": _cmd_stats,
         "batch": _cmd_batch,

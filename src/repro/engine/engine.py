@@ -224,9 +224,22 @@ class QueryEngine:
         config: EngineConfig | None = None,
         buffer_fraction: float = SESSION_BUFFER_FRACTION,
         buffer_max_pages: int = 1000,
+        backend: str = "disk",
+        verify: bool = False,
     ) -> "QueryEngine":
-        """Open a saved index (and optionally its dataset) for querying."""
-        index = load_index(index_path, buffer_fraction, buffer_max_pages)
+        """Open a saved index (and optionally its dataset) for querying.
+
+        ``backend`` selects the page store (``"disk"`` or the zero-copy
+        read-only ``"mmap"``); ``verify`` checks the page file's digest
+        against the sidecar before serving.
+        """
+        index = load_index(
+            index_path,
+            buffer_fraction,
+            buffer_max_pages,
+            backend=backend,
+            verify=verify,
+        )
         dataset = None
         if dataset_path is not None:
             dataset_path = Path(dataset_path)

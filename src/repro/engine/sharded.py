@@ -121,11 +121,18 @@ class ShardedQueryEngine:
         config: EngineConfig | None = None,
         buffer_fraction: float = SESSION_BUFFER_FRACTION,
         buffer_max_pages: int = 1000,
+        backend: str = "disk",
+        verify: bool = False,
     ) -> "ShardedQueryEngine":
         """Open a saved sharded index directory (and optionally its
-        dataset) for querying."""
+        dataset) for querying.  ``backend``/``verify`` are forwarded to
+        the per-shard :func:`~repro.index.persistence.load_index`."""
         index = load_sharded_index(
-            manifest_dir, buffer_fraction, buffer_max_pages
+            manifest_dir,
+            buffer_fraction,
+            buffer_max_pages,
+            backend=backend,
+            verify=verify,
         )
         dataset = None
         if dataset_path is not None:

@@ -30,6 +30,11 @@ class PageOverflowError(StorageError):
     """Raised when a serialised node does not fit in one page."""
 
 
+class ChecksumError(StorageError):
+    """Raised when a framed page fails its read-time integrity check
+    (CRC mismatch or corrupted padding) — see ``repro.storage.format``."""
+
+
 class IndexError_(ReproError):
     """Raised for structural index violations (named with a trailing
     underscore to avoid shadowing the builtin :class:`IndexError`)."""

@@ -226,24 +226,26 @@ def min_moving_point_rect_distance(
             return (pos - side_hi, v)
         return (0.0, 0.0)
 
-    best_sq = math.inf
+    def dist_sq_at(tau: float) -> float:
+        dxv, _ = clearance(x0, vx, rect.xmin, rect.xmax, tau)
+        dyv, _ = clearance(y0, vy, rect.ymin, rect.ymax, tau)
+        return dxv * dxv + dyv * dyv
+
+    # Candidate minima are the breakpoints and, per piece, the vertex
+    # of the quadratic dist^2(tau) = (dxv + dxs*(tau-mid))^2 +
+    # (dyv + dys*(tau-mid))^2.  The quadratic only *locates* the
+    # vertex; every candidate is then evaluated directly — evaluating
+    # the extrapolated quadratic at a far-away endpoint cancels
+    # catastrophically when the true minimum is near zero.
+    best_sq = min(dist_sq_at(tau) for tau in taus)
     for i in range(len(taus) - 1):
         a_tau, b_tau = taus[i], taus[i + 1]
         mid = (a_tau + b_tau) / 2.0
         dxv, dxs = clearance(x0, vx, rect.xmin, rect.xmax, mid)
         dyv, dys = clearance(y0, vy, rect.ymin, rect.ymax, mid)
-        # On this piece dist^2(tau) = (dxv + dxs*(tau-mid))^2 +
-        # (dyv + dys*(tau-mid))^2, a quadratic in (tau - mid).
         a2 = dxs * dxs + dys * dys
-        b2 = 2.0 * (dxv * dxs + dyv * dys)
-        c2 = dxv * dxv + dyv * dyv
-        candidates = [a_tau - mid, b_tau - mid]
         if a2 > 0.0:
-            vertex = -b2 / (2.0 * a2)
-            if a_tau - mid < vertex < b_tau - mid:
-                candidates.append(vertex)
-        for u in candidates:
-            val = a2 * u * u + b2 * u + c2
-            if val < best_sq:
-                best_sq = val
-    return math.sqrt(max(best_sq, 0.0))
+            vertex = mid - (dxv * dxs + dyv * dys) / a2
+            if a_tau < vertex < b_tau:
+                best_sq = min(best_sq, dist_sq_at(vertex))
+    return math.sqrt(best_sq)

@@ -2,9 +2,10 @@
 
 from .base import TrajectoryIndex, quadratic_split
 from .entry import ENTRY_BYTES, InternalEntry, LeafEntry
+from .fsck import FsckReport, PageVerdict, fsck, fsck_index, fsck_sharded
 from .mindist import mindist
-from .node import NO_PAGE, Node, node_capacity
-from .persistence import load_index, save_index
+from .node import NO_PAGE, NODE_OVERHEAD_BYTES, Node, node_capacity
+from .persistence import load_index, migrate_index_v1, save_index
 from .rstar import RStarTree
 from .rtree3d import RTree3D
 from .strtree import STRTree
@@ -20,6 +21,7 @@ __all__ = [
     "Node",
     "NO_PAGE",
     "node_capacity",
+    "NODE_OVERHEAD_BYTES",
     "RTree3D",
     "RStarTree",
     "STRTree",
@@ -28,4 +30,10 @@ __all__ = [
     "best_first_nodes",
     "save_index",
     "load_index",
+    "migrate_index_v1",
+    "fsck",
+    "fsck_index",
+    "fsck_sharded",
+    "FsckReport",
+    "PageVerdict",
 ]

@@ -1,0 +1,183 @@
+"""Offline integrity checking (``repro fsck``).
+
+Walks a persisted index — a single page file + sidecar, or a whole
+shard directory — and verifies everything that can be verified without
+deserialising a node: sidecar presence and version, page-count and
+digest agreement, and the v2 frame (magic, version, kind, CRC,
+padding) of **every page**.  All-zero pages are reported as ``free``
+(a released slot that was never rewritten), not as corruption.
+
+The result is a plain report object with per-page verdicts, so the CLI
+can print it and tests can assert on it; nothing here raises on
+corruption — a broken index yields a report with ``ok == False``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import StorageError
+from ..storage import file_sha256, verify_page
+from .persistence import _FORMAT_VERSION, _KINDS, _meta_path
+
+__all__ = ["PageVerdict", "FsckReport", "fsck_index", "fsck_sharded", "fsck"]
+
+
+@dataclass
+class PageVerdict:
+    """The verdict for one page: ``ok``, ``free``, or ``bad``."""
+
+    page_id: int
+    status: str
+    detail: str | None = None
+
+
+@dataclass
+class FsckReport:
+    """Everything fsck found about one page file (or, aggregated, one
+    shard directory)."""
+
+    path: str
+    errors: list[str] = field(default_factory=list)
+    pages: list[PageVerdict] = field(default_factory=list)
+    shards: list["FsckReport"] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.errors
+            and all(p.status != "bad" for p in self.pages)
+            and all(s.ok for s in self.shards)
+        )
+
+    @property
+    def bad_pages(self) -> list[PageVerdict]:
+        return [p for p in self.pages if p.status == "bad"]
+
+    def summary(self) -> str:
+        """One line per problem (plus one for a clean bill of health)."""
+        lines = []
+        counts = {"ok": 0, "free": 0, "bad": 0}
+        for p in self.pages:
+            counts[p.status] = counts.get(p.status, 0) + 1
+        if self.pages or not self.shards:
+            state = "OK" if self.ok else "CORRUPT"
+            lines.append(
+                f"{self.path}: {state} — {counts['ok']} ok, "
+                f"{counts['free']} free, {counts['bad']} bad pages"
+            )
+        for err in self.errors:
+            lines.append(f"{self.path}: ERROR: {err}")
+        for p in self.bad_pages:
+            # verify_page details already name the page.
+            lines.append(f"{self.path}: {p.detail}")
+        for s in self.shards:
+            lines.append(s.summary())
+        return "\n".join(lines)
+
+
+def fsck_index(path: str | Path) -> FsckReport:
+    """Check one saved index (page file + ``.meta.json`` sidecar)."""
+    path = Path(path)
+    report = FsckReport(path=str(path))
+    meta_file = _meta_path(path)
+
+    meta: dict | None = None
+    if not meta_file.exists():
+        report.errors.append(f"missing metadata sidecar {meta_file.name}")
+    else:
+        try:
+            meta = json.loads(meta_file.read_text())
+        except json.JSONDecodeError as exc:
+            report.errors.append(f"corrupt metadata sidecar: {exc}")
+        else:
+            version = meta.get("version")
+            if version != _FORMAT_VERSION:
+                report.errors.append(
+                    f"format version {version!r} (this build reads "
+                    f"version {_FORMAT_VERSION})"
+                )
+                meta = None
+            elif meta.get("kind") not in _KINDS:
+                report.errors.append(f"unknown index kind {meta.get('kind')!r}")
+
+    if not path.exists():
+        report.errors.append("missing page file")
+        return report
+
+    page_size = (meta or {}).get("page_size", 4096)
+    size = path.stat().st_size
+    if size % page_size != 0:
+        report.errors.append(
+            f"file size {size} is not a multiple of the page size "
+            f"{page_size} (truncated?)"
+        )
+    num_pages = size // page_size
+    if meta is not None:
+        want = meta.get("num_pages")
+        if want is not None and want != num_pages:
+            report.errors.append(
+                f"metadata records {want} pages, file holds {num_pages}"
+            )
+        digest = meta.get("pages_sha256")
+        if digest is not None and file_sha256(path) != digest:
+            report.errors.append("SHA-256 digest mismatch against sidecar")
+
+    with open(path, "rb") as fh:
+        for pid in range(num_pages):
+            data = fh.read(page_size)
+            if len(data) != page_size:
+                report.pages.append(
+                    PageVerdict(
+                        pid, "bad", f"page {pid}: short read ({len(data)} bytes)"
+                    )
+                )
+                break
+            if not data.strip(b"\x00"):
+                report.pages.append(PageVerdict(pid, "free"))
+                continue
+            problem = verify_page(data, pid)
+            if problem is None:
+                report.pages.append(PageVerdict(pid, "ok"))
+            else:
+                report.pages.append(PageVerdict(pid, "bad", problem))
+    return report
+
+
+def fsck_sharded(directory: str | Path) -> FsckReport:
+    """Check a shard directory: the manifest, then every shard file."""
+    from ..sharding.persistence import read_manifest
+
+    directory = Path(directory)
+    report = FsckReport(path=str(directory))
+    try:
+        manifest = read_manifest(directory)
+    except StorageError as exc:
+        report.errors.append(str(exc))
+        return report
+
+    for record in manifest["shards"]:
+        shard_path = directory / record["file"]
+        if not shard_path.exists():
+            report.errors.append(f"missing shard file {record['file']}")
+            continue
+        shard_report = fsck_index(shard_path)
+        digest = record.get("pages_sha256")
+        if digest is not None and shard_path.exists():
+            if file_sha256(shard_path) != digest:
+                shard_report.errors.append(
+                    "SHA-256 digest mismatch against manifest"
+                )
+        report.shards.append(shard_report)
+    return report
+
+
+def fsck(path: str | Path) -> FsckReport:
+    """Dispatch: a directory is checked as a shard directory, anything
+    else as a single index file."""
+    path = Path(path)
+    if path.is_dir():
+        return fsck_sharded(path)
+    return fsck_index(path)

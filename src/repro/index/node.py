@@ -6,10 +6,15 @@ A node is one page worth of entries.  Leaf nodes (level 0) hold
 additionally stamps each leaf with the single trajectory it bundles and
 doubly links the leaves of one trajectory (``prev_leaf``/``next_leaf``).
 
-Layout (little-endian): a 32-byte header
-``kind(u8) level(u8) count(u16) pad(u32) owner(i64) prev(i64) next(i64)``
-followed by ``count`` fixed 56-byte entries.  With 4 KB pages this
-yields a fanout of 72.
+Serialisation sits on the self-verifying v2 page format
+(:mod:`repro.storage.format`): :meth:`Node.to_bytes` frames the node
+payload behind a checksummed 16-byte page header, and
+:meth:`Node.from_bytes` verifies the frame before parsing — corruption
+surfaces as a :class:`~repro.exceptions.ChecksumError` at read time,
+never as a garbage MBR.  The payload layout (little-endian) is a
+32-byte node header ``kind(u8) level(u8) count(u16) pad(u32) owner(i64)
+prev(i64) next(i64)`` followed by ``count`` fixed 56-byte entries.
+With 4 KB pages this still yields a fanout of 72.
 """
 
 from __future__ import annotations
@@ -18,9 +23,17 @@ import struct
 
 from ..exceptions import IndexError_, PageOverflowError
 from ..geometry import MBR3D
+from ..storage.format import KIND_NODE, PAGE_HEADER_BYTES, frame_page, unframe_page
 from .entry import ENTRY_BYTES, InternalEntry, LeafEntry
 
-__all__ = ["Node", "node_capacity", "tb_leaf_payload_size", "NO_PAGE", "HEADER_BYTES"]
+__all__ = [
+    "Node",
+    "node_capacity",
+    "tb_leaf_payload_size",
+    "NO_PAGE",
+    "HEADER_BYTES",
+    "NODE_OVERHEAD_BYTES",
+]
 
 _HEADER_FMT = struct.Struct("<BBHIqqq")
 HEADER_BYTES = 32
@@ -35,10 +48,14 @@ _POINT_FMT = struct.Struct("<3d")
 
 NO_PAGE = -1
 
+#: Fixed per-page overhead: the checksummed page frame plus the node
+#: header.  Everything after it is entry payload.
+NODE_OVERHEAD_BYTES = PAGE_HEADER_BYTES + HEADER_BYTES
+
 
 def node_capacity(page_size: int) -> int:
     """Maximum entries per node for the given page size."""
-    cap = (page_size - HEADER_BYTES) // ENTRY_BYTES
+    cap = (page_size - NODE_OVERHEAD_BYTES) // ENTRY_BYTES
     if cap < 2:
         raise IndexError_(
             f"page size {page_size} too small for a node (capacity {cap})"
@@ -125,8 +142,14 @@ class Node:
     # serialisation
     # ------------------------------------------------------------------
     def to_bytes(self, page_size: int) -> bytes:
+        """Serialise to a framed (checksummed) page image; the page
+        file zero-pads it to ``page_size`` on write."""
+        return frame_page(self.to_payload(page_size), KIND_NODE)
+
+    def to_payload(self, page_size: int) -> bytes:
+        """The raw node payload (header + entries), unframed."""
         if self.chained and self.is_leaf:
-            return self._chained_to_bytes(page_size)
+            return self._chained_payload(page_size)
         cap = node_capacity(page_size)
         if len(self.entries) > cap:
             raise PageOverflowError(
@@ -148,9 +171,9 @@ class Node:
             parts.append(e.to_bytes())
         return b"".join(parts)
 
-    def _chained_to_bytes(self, page_size: int) -> bytes:
+    def _chained_payload(self, page_size: int) -> bytes:
         payload = tb_leaf_payload_size(self.entries)
-        if HEADER_BYTES + payload > page_size:
+        if NODE_OVERHEAD_BYTES + payload > page_size:
             raise PageOverflowError(
                 f"chained leaf {self.page_id} payload of {payload} bytes "
                 f"exceeds page size {page_size}"
@@ -182,7 +205,19 @@ class Node:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, page_id: int, data: bytes) -> "Node":
+    def from_bytes(cls, page_id: int, data) -> "Node":
+        """Parse a framed page image (``bytes`` or ``memoryview``); the
+        frame is verified before any node field is trusted."""
+        _kind, payload = unframe_page(data, page_id)
+        return cls.from_payload(page_id, payload)
+
+    @classmethod
+    def from_payload(cls, page_id: int, data) -> "Node":
+        """Parse a raw (unframed) node payload.
+
+        This is the pre-v2 on-page layout; it stays public so the v1
+        migration path (``migrate_index_v1``) can read legacy files.
+        """
         if len(data) < HEADER_BYTES:
             raise IndexError_(f"page {page_id}: truncated node header")
         kind, level, count, _pad, owner, prev_leaf, next_leaf = _HEADER_FMT.unpack(

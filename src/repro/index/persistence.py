@@ -1,12 +1,22 @@
-"""Saving and loading indexes.
+"""Saving and loading indexes — crash-safe, self-verifying (v2).
 
-An index is a page file plus a handful of metadata (tree kind, root
-page, counters, ``max_speed`` for V_max).  ``save_index`` copies the
-pages into a :class:`~repro.storage.DiskPageFile` and writes the
-metadata as a JSON sidecar (``<path>.meta.json``); ``load_index``
-reopens both and returns a *finalized* (query-only) index — further
-insertions are rejected, exactly like after
-:meth:`~repro.index.base.TrajectoryIndex.finalize`.
+An index on disk is a page file (every page framed and checksummed by
+:mod:`repro.storage.format`) plus a JSON metadata sidecar
+(``<path>.meta.json``) carrying the tree kind, root page, counters,
+``max_speed`` for V_max, the page count and a SHA-256 digest of the
+page file.
+
+Persistence is *atomic*: both files are written to temporaries in the
+destination directory, fsynced, and published with ``os.replace``; the
+metadata sidecar is committed last, so it acts as the commit point — a
+crash mid-save leaves either the complete old state or the complete
+new state, never a torn index.  ``load_index`` reopens the pair behind
+a chosen backend (``"disk"`` or the read-only zero-copy ``"mmap"``)
+and returns a *finalized* (query-only) index.
+
+v1 files (unframed pages, ``"version": 1`` sidecars) are rejected with
+an error naming the mismatch; :func:`migrate_index_v1` rewrites them
+in place-adjacent fashion into the v2 format.
 
 The TB-tree's per-trajectory leaf-chain anchors are persisted too, so
 ``trajectory_segments`` keeps working on a loaded tree.
@@ -18,16 +28,22 @@ import json
 from pathlib import Path
 
 from ..exceptions import IndexError_, StorageError
-from ..storage import DiskPageFile
+from ..storage import (
+    DiskPageFile,
+    atomic_write_bytes,
+    file_sha256,
+    open_pagefile,
+)
 from .base import TrajectoryIndex
+from .node import Node
 from .rstar import RStarTree
 from .rtree3d import RTree3D
 from .strtree import STRTree
 from .tbtree import TBTree
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "migrate_index_v1"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 _KINDS = {
     "rtree": RTree3D,
@@ -35,6 +51,10 @@ _KINDS = {
     "tbtree": TBTree,
     "strtree": STRTree,
 }
+
+#: Backends ``load_index`` accepts (building in memory and then loading
+#: from it makes no sense; ``"memory"`` is deliberately absent).
+_LOAD_BACKENDS = ("disk", "mmap")
 
 
 def _kind_of(index: TrajectoryIndex) -> str:
@@ -54,23 +74,13 @@ def _meta_path(path: Path) -> Path:
     return path.with_name(path.name + ".meta.json")
 
 
-def save_index(index: TrajectoryIndex, path: str | Path) -> None:
-    """Write the index's pages and metadata next to each other.
-
-    The index is flushed first; it stays usable afterwards.
-    """
-    path = Path(path)
-    if path.exists():
-        raise StorageError(f"{path} already exists; refusing to overwrite")
-    index.buffer.flush(index._serializer)
-    with DiskPageFile(path, page_size=index.page_size) as dst:
-        for pid in range(index.pagefile.num_pages):
-            dst.allocate()
-            dst.write(pid, index.pagefile.read(pid))
+def _build_meta(index: TrajectoryIndex, num_pages: int, digest: str) -> dict:
     meta = {
         "version": _FORMAT_VERSION,
         "kind": _kind_of(index),
         "page_size": index.page_size,
+        "num_pages": num_pages,
+        "pages_sha256": digest,
         "root_page": index.root_page,
         "num_nodes": index.num_nodes,
         "num_entries": index.num_entries,
@@ -81,42 +91,195 @@ def save_index(index: TrajectoryIndex, path: str | Path) -> None:
         meta["active_leaf"] = {
             str(tid): page for tid, page in index._active_leaf.items()
         }
-    _meta_path(path).write_text(json.dumps(meta))
+    return meta
 
 
-def load_index(
-    path: str | Path,
-    buffer_fraction: float = 0.10,
-    buffer_max_pages: int = 1000,
-) -> TrajectoryIndex:
-    """Reopen a saved index for querying (read-only)."""
+def save_index(index: TrajectoryIndex, path: str | Path) -> dict:
+    """Atomically write the index's pages and metadata next to each
+    other; returns the metadata dict (the sharding layer embeds it in
+    its manifest).
+
+    The pages land in a temporary file first, reach stable storage via
+    fsync, and are published with an atomic rename; the metadata
+    sidecar — the commit point — goes last, the same way.  The index is
+    flushed first and stays usable afterwards.
+    """
     path = Path(path)
-    meta_file = _meta_path(path)
+    if path.exists():
+        raise StorageError(f"{path} already exists; refusing to overwrite")
+    index.buffer.flush(index._serializer)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        # DiskPageFile.close() is durable (flush + fsync) and the
+        # rename in commit_file publishes the complete file only.
+        from ..storage import commit_file
+
+        with DiskPageFile(tmp, page_size=index.page_size) as dst:
+            for pid in range(index.pagefile.num_pages):
+                dst.allocate()
+                dst.write(pid, index.pagefile.read(pid))
+            num_pages = dst.num_pages
+        commit_file(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    meta = _build_meta(index, num_pages, file_sha256(path))
+    atomic_write_bytes(_meta_path(path), json.dumps(meta).encode("ascii"))
+    return meta
+
+
+def _read_meta(meta_file: Path) -> dict:
     if not meta_file.exists():
         raise StorageError(f"missing metadata sidecar {meta_file}")
     try:
         meta = json.loads(meta_file.read_text())
     except json.JSONDecodeError as exc:
         raise StorageError(f"{meta_file}: corrupt metadata: {exc}") from exc
-    if meta.get("version") != _FORMAT_VERSION:
+    version = meta.get("version")
+    if version == 1:
         raise StorageError(
-            f"{meta_file}: unsupported format version {meta.get('version')}"
+            f"{meta_file}: this is a v1 index file; this build reads "
+            f"format version {_FORMAT_VERSION}.  Migrate it with "
+            f"repro.index.migrate_index_v1 (or rebuild from the source "
+            f"dataset) — see docs/STORAGE.md"
+        )
+    if version != _FORMAT_VERSION:
+        raise StorageError(
+            f"{meta_file}: unsupported format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
         )
     kind = meta.get("kind")
     if kind not in _KINDS:
         raise StorageError(f"{meta_file}: unknown index kind {kind!r}")
+    return meta
 
-    pagefile = DiskPageFile(path, page_size=meta["page_size"])
-    index = _KINDS[kind](pagefile=pagefile)
+
+def load_index(
+    path: str | Path,
+    buffer_fraction: float = 0.10,
+    buffer_max_pages: int = 1000,
+    *,
+    backend: str = "disk",
+    verify: bool = False,
+) -> TrajectoryIndex:
+    """Reopen a saved index for querying (read-only).
+
+    ``backend`` selects the page store: ``"disk"`` (buffered file I/O)
+    or ``"mmap"`` (zero-copy read-only serving).  With ``verify=True``
+    the page file's SHA-256 is checked against the metadata digest
+    before the index is opened — full-file verification, as opposed to
+    the per-page checksums that always guard individual reads.
+    """
+    if backend not in _LOAD_BACKENDS:
+        raise StorageError(
+            f"unknown load backend {backend!r}; expected one of "
+            f"{list(_LOAD_BACKENDS)}"
+        )
+    path = Path(path)
+    meta = _read_meta(_meta_path(path))
+    if not path.exists():
+        raise StorageError(f"missing page file {path}")
+
+    size = path.stat().st_size
+    page_size = meta["page_size"]
+    if size % page_size != 0:
+        raise StorageError(
+            f"{path}: size {size} is not a multiple of the page size "
+            f"{page_size} — the file is truncated or corrupt"
+        )
+    num_pages = meta.get("num_pages")
+    if num_pages is not None and size != num_pages * page_size:
+        raise StorageError(
+            f"{path}: {size // page_size} pages on disk, metadata "
+            f"records {num_pages} — the file is truncated or corrupt"
+        )
+    if verify:
+        digest = meta.get("pages_sha256")
+        if digest is not None and file_sha256(path) != digest:
+            raise StorageError(
+                f"{path}: SHA-256 digest does not match the metadata "
+                f"sidecar — the page file was modified after save"
+            )
+
+    pagefile = open_pagefile(backend, path, page_size=page_size)
+    index = _KINDS[meta["kind"]](pagefile=pagefile)
     index.root_page = meta["root_page"]
     index.num_nodes = meta["num_nodes"]
     index.num_entries = meta["num_entries"]
     index.max_speed = meta["max_speed"]
     index.trajectory_ids = set(meta["trajectory_ids"])
-    if kind == "tbtree" and "active_leaf" in meta:
+    if meta["kind"] == "tbtree" and "active_leaf" in meta:
         index._active_leaf = {
             int(tid): page for tid, page in meta["active_leaf"].items()
         }
     index.buffer.resize_to_fraction(buffer_fraction, buffer_max_pages)
     index._finalized = True
     return index
+
+
+def migrate_index_v1(src: str | Path, dst: str | Path) -> dict:
+    """Rewrite a v1 index (raw unframed pages) into the v2 format.
+
+    Reads the v1 pages with the legacy parser
+    (:meth:`~repro.index.node.Node.from_payload`), re-serialises every
+    node behind the checksummed v2 frame, and writes ``dst`` (pages +
+    sidecar) with the same atomic protocol as :func:`save_index`.
+    All-zero pages (freed, never-rewritten slots) are carried over
+    verbatim.  Returns the new metadata dict.
+    """
+    src, dst = Path(src), Path(dst)
+    meta_file = _meta_path(src)
+    if not meta_file.exists():
+        raise StorageError(f"missing metadata sidecar {meta_file}")
+    try:
+        meta = json.loads(meta_file.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"{meta_file}: corrupt metadata: {exc}") from exc
+    if meta.get("version") != 1:
+        raise StorageError(
+            f"{meta_file}: migration expects a v1 index, found version "
+            f"{meta.get('version')!r}"
+        )
+    if meta.get("kind") not in _KINDS:
+        raise StorageError(f"{meta_file}: unknown index kind {meta.get('kind')!r}")
+    if not src.exists():
+        raise StorageError(f"missing page file {src}")
+    if dst.exists():
+        raise StorageError(f"{dst} already exists; refusing to overwrite")
+
+    from ..exceptions import PageOverflowError
+    from ..storage import commit_file
+
+    page_size = meta["page_size"]
+    tmp = dst.with_name(dst.name + ".tmp")
+    try:
+        with DiskPageFile(src, page_size=page_size) as old, DiskPageFile(
+            tmp, page_size=page_size
+        ) as new:
+            for pid in range(old.num_pages):
+                raw = old.read(pid)
+                new.allocate()
+                if bytes(raw).strip(b"\x00"):
+                    node = Node.from_payload(pid, raw)
+                    try:
+                        new.write(pid, node.to_bytes(page_size))
+                    except PageOverflowError as exc:
+                        # A v1 page could pack 16 more payload bytes
+                        # than the framed format leaves room for.
+                        raise StorageError(
+                            f"{src}: page {pid} is packed too tightly "
+                            f"to fit behind the v2 page frame ({exc}); "
+                            f"rebuild this index from the source "
+                            f"dataset instead of migrating"
+                        ) from exc
+            num_pages = new.num_pages
+        commit_file(tmp, dst)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    new_meta = dict(meta)
+    new_meta["version"] = _FORMAT_VERSION
+    new_meta["num_pages"] = num_pages
+    new_meta["pages_sha256"] = file_sha256(dst)
+    atomic_write_bytes(_meta_path(dst), json.dumps(new_meta).encode("ascii"))
+    return new_meta

@@ -20,7 +20,7 @@ from __future__ import annotations
 from ..exceptions import IndexError_
 from .base import TrajectoryIndex, quadratic_split
 from .entry import InternalEntry, LeafEntry
-from .node import HEADER_BYTES, NO_PAGE, Node, tb_leaf_payload_size
+from .node import NODE_OVERHEAD_BYTES, NO_PAGE, Node, tb_leaf_payload_size
 
 __all__ = ["TBTree"]
 
@@ -46,7 +46,7 @@ class TBTree(TrajectoryIndex):
     # ------------------------------------------------------------------
     def _leaf_fits(self, leaf: Node, entry: LeafEntry) -> bool:
         payload = tb_leaf_payload_size(leaf.entries + [entry])
-        return HEADER_BYTES + payload <= self.page_size
+        return NODE_OVERHEAD_BYTES + payload <= self.page_size
 
     def insert_entry(self, entry: LeafEntry) -> None:
         tid = entry.trajectory_id

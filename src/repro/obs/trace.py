@@ -61,6 +61,9 @@ def _io_as_dict(io) -> dict:
         "buffer_hits",
         "buffer_misses",
         "evictions",
+        "fsyncs",
+        "mmap_reads",
+        "checksum_failures",
     )
     out = {f: getattr(io, f) for f in fields if hasattr(io, f)}
     if hasattr(io, "hit_ratio"):

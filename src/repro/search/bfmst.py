@@ -255,6 +255,8 @@ def _search_shard(
     io_after = index.pagefile.stats.diff(io_before)
     stats.buffer_hits = io_after.buffer_hits
     stats.buffer_misses = io_after.buffer_misses
+    stats.mmap_reads = io_after.mmap_reads
+    stats.checksum_failures = io_after.checksum_failures
     return completed, valid
 
 
@@ -531,6 +533,8 @@ def bfmst_search_sharded(
         stats.dissim_evaluations += s.dissim_evaluations
         stats.buffer_hits += s.buffer_hits
         stats.buffer_misses += s.buffer_misses
+        stats.mmap_reads += s.mmap_reads
+        stats.checksum_failures += s.checksum_failures
         stats.terminated_early = stats.terminated_early or s.terminated_early
         stats.h2_termination_depth = max(
             stats.h2_termination_depth, s.h2_termination_depth

@@ -62,6 +62,8 @@ class SearchStats:
     total_nodes: int = 0
     buffer_hits: int = 0
     buffer_misses: int = 0
+    mmap_reads: int = 0
+    checksum_failures: int = 0
     terminated_early: bool = False
     refinement_candidates: int = 0
     # --- trace-harvested enrichment (zero without a live QueryTrace) ---

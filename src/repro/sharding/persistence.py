@@ -8,13 +8,14 @@ by :func:`repro.index.persistence.save_index`) per shard, and a
 .. code-block:: json
 
     {
-      "version": 1,
+      "version": 2,
       "kind": "rtree",
       "num_shards": 4,
       "partitioner": {"kind": "temporal", "num_shards": 4,
                       "boundaries": [500.0, 1000.0, 1500.0]},
       "shards": [
         {"file": "shard_0000.pages", "num_nodes": 12, "num_entries": 310,
+         "num_pages": 14, "pages_sha256": "…",
          "extent": [0.0, 0.0, 0.0, 1.0, 1.0, 500.0]},
         ...
       ]
@@ -22,9 +23,17 @@ by :func:`repro.index.persistence.save_index`) per shard, and a
 
 ``extent`` is the shard's root MBR (``null`` for an empty shard) so a
 loader — or an external tool — can do shard pre-filtering straight from
-the manifest.  ``load_sharded_index`` validates the manifest and every
-shard file before touching pages, raising
-:class:`~repro.exceptions.StorageError` on corruption or missing shards.
+the manifest; ``pages_sha256`` is each shard file's content digest,
+recorded at save time for ``fsck``/``verify``-time integrity checks.
+
+The directory is committed crash-safely: every shard file is published
+atomically by ``save_index`` (tmp + fsync + rename), and the manifest —
+itself written atomically — goes **last**, making it the commit point:
+a crash mid-save never leaves a manifest pointing at torn shards.
+``load_sharded_index`` validates the manifest and every shard file
+before touching pages, raising
+:class:`~repro.exceptions.StorageError` on corruption or missing
+shards.
 """
 
 from __future__ import annotations
@@ -35,13 +44,19 @@ from pathlib import Path
 from ..exceptions import StorageError
 from ..index import NO_PAGE
 from ..index.persistence import load_index, save_index
+from ..storage import atomic_write_bytes
 from .index import ShardedIndex
 
-__all__ = ["save_sharded_index", "load_sharded_index", "MANIFEST_NAME"]
+__all__ = [
+    "save_sharded_index",
+    "load_sharded_index",
+    "read_manifest",
+    "MANIFEST_NAME",
+]
 
 MANIFEST_NAME = "manifest.json"
 
-_MANIFEST_VERSION = 1
+_MANIFEST_VERSION = 2
 
 
 def _shard_filename(i: int) -> str:
@@ -50,7 +65,11 @@ def _shard_filename(i: int) -> str:
 
 def save_sharded_index(sharded: ShardedIndex, directory: str | Path) -> None:
     """Write every shard's pages + a ``manifest.json`` into
-    ``directory`` (created; must not already contain a manifest)."""
+    ``directory`` (created; must not already contain a manifest).
+
+    Shards are committed first (each atomically), the manifest last —
+    the manifest's existence means the whole directory is complete.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     manifest_path = directory / MANIFEST_NAME
@@ -60,7 +79,7 @@ def save_sharded_index(sharded: ShardedIndex, directory: str | Path) -> None:
     shard_records = []
     for i, index in enumerate(sharded.shards):
         filename = _shard_filename(i)
-        save_index(index, directory / filename)
+        shard_meta = save_index(index, directory / filename)
         extent = (
             list(index.mbr().as_tuple()) if index.root_page != NO_PAGE else None
         )
@@ -69,6 +88,8 @@ def save_sharded_index(sharded: ShardedIndex, directory: str | Path) -> None:
                 "file": filename,
                 "num_nodes": index.num_nodes,
                 "num_entries": index.num_entries,
+                "num_pages": shard_meta["num_pages"],
+                "pages_sha256": shard_meta["pages_sha256"],
                 "extent": extent,
             }
         )
@@ -80,20 +101,13 @@ def save_sharded_index(sharded: ShardedIndex, directory: str | Path) -> None:
         "partitioner": sharded.partitioner_params,
         "shards": shard_records,
     }
-    manifest_path.write_text(json.dumps(manifest, indent=2))
+    atomic_write_bytes(
+        manifest_path, json.dumps(manifest, indent=2).encode("ascii")
+    )
 
 
-def load_sharded_index(
-    directory: str | Path,
-    buffer_fraction: float = 0.10,
-    buffer_max_pages: int = 1000,
-) -> ShardedIndex:
-    """Reopen a sharded index directory for querying (read-only).
-
-    The ``buffer_max_pages`` budget is global: it is split evenly across
-    shards here, and the engine's planner re-budgets proportionally to
-    shard size when it opens a session.
-    """
+def read_manifest(directory: str | Path) -> dict:
+    """Read and structurally validate a shard directory's manifest."""
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
     if not manifest_path.exists():
@@ -102,10 +116,17 @@ def load_sharded_index(
         manifest = json.loads(manifest_path.read_text())
     except json.JSONDecodeError as exc:
         raise StorageError(f"{manifest_path}: corrupt manifest: {exc}") from exc
-    if manifest.get("version") != _MANIFEST_VERSION:
+    version = manifest.get("version")
+    if version == 1:
         raise StorageError(
-            f"{manifest_path}: unsupported manifest version "
-            f"{manifest.get('version')}"
+            f"{manifest_path}: this is a v1 shard directory; this build "
+            f"reads manifest version {_MANIFEST_VERSION}.  Migrate each "
+            f"shard with repro.index.migrate_index_v1 (or rebuild) — "
+            f"see docs/STORAGE.md"
+        )
+    if version != _MANIFEST_VERSION:
+        raise StorageError(
+            f"{manifest_path}: unsupported manifest version {version!r}"
         )
     records = manifest.get("shards")
     if not isinstance(records, list) or not records:
@@ -115,6 +136,27 @@ def load_sharded_index(
             f"{manifest_path}: num_shards={manifest.get('num_shards')} but "
             f"{len(records)} shard records"
         )
+    return manifest
+
+
+def load_sharded_index(
+    directory: str | Path,
+    buffer_fraction: float = 0.10,
+    buffer_max_pages: int = 1000,
+    *,
+    backend: str = "disk",
+    verify: bool = False,
+) -> ShardedIndex:
+    """Reopen a sharded index directory for querying (read-only).
+
+    ``backend``/``verify`` are forwarded to :func:`load_index` per
+    shard.  The ``buffer_max_pages`` budget is global: it is split
+    evenly across shards here, and the engine's planner re-budgets
+    proportionally to shard size when it opens a session.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    records = manifest["shards"]
 
     per_shard_pages = max(1, buffer_max_pages // len(records))
     shards = []
@@ -124,7 +166,13 @@ def load_sharded_index(
         # existence first to turn a missing shard into a hard error.
         if not shard_path.exists():
             raise StorageError(f"missing shard file {shard_path}")
-        index = load_index(shard_path, buffer_fraction, per_shard_pages)
+        index = load_index(
+            shard_path,
+            buffer_fraction,
+            per_shard_pages,
+            backend=backend,
+            verify=verify,
+        )
         if index.num_entries != record["num_entries"]:
             raise StorageError(
                 f"{shard_path}: manifest says {record['num_entries']} "

@@ -1,7 +1,27 @@
-"""Paged storage substrate: page files, LRU buffer manager, I/O stats."""
+"""Paged storage substrate: self-verifying page format, pluggable page
+file backends (memory/disk/mmap), LRU buffer manager, crash-safe file
+commitment, I/O stats."""
 
+from .atomic import atomic_write_bytes, commit_file, file_sha256, fsync_directory
 from .buffer import LRUBufferManager
-from .pagefile import PAGE_SIZE_DEFAULT, DiskPageFile, InMemoryPageFile, PageFile
+from .format import (
+    FORMAT_VERSION,
+    KIND_NODE,
+    PAGE_HEADER_BYTES,
+    frame_page,
+    page_payload_capacity,
+    unframe_page,
+    verify_page,
+)
+from .pagefile import (
+    BACKENDS,
+    PAGE_SIZE_DEFAULT,
+    DiskPageFile,
+    InMemoryPageFile,
+    MmapPageFile,
+    PageFile,
+    open_pagefile,
+)
 from .stats import IOStats
 
 __all__ = [
@@ -9,6 +29,20 @@ __all__ = [
     "PageFile",
     "InMemoryPageFile",
     "DiskPageFile",
+    "MmapPageFile",
+    "BACKENDS",
+    "open_pagefile",
     "LRUBufferManager",
     "IOStats",
+    "FORMAT_VERSION",
+    "PAGE_HEADER_BYTES",
+    "KIND_NODE",
+    "frame_page",
+    "unframe_page",
+    "verify_page",
+    "page_payload_capacity",
+    "atomic_write_bytes",
+    "commit_file",
+    "file_sha256",
+    "fsync_directory",
 ]

@@ -1,0 +1,63 @@
+"""Crash-safe file commitment: write-temp, fsync, atomic rename.
+
+The persistence layers (``repro.index.persistence`` and
+``repro.sharding.persistence``) never write a final file in place.
+They produce the content under a temporary name in the *same
+directory*, force it to stable storage, and :func:`os.replace` it over
+the final name — so a crash at any instant leaves either the complete
+old state or the complete new state, never a half-written file that
+later loads as garbage.  Directory entries are fsynced too (on POSIX)
+so the rename itself survives power loss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "commit_file", "fsync_directory", "file_sha256"]
+
+
+def fsync_directory(directory: Path) -> None:
+    """Force a directory entry update (a rename/create) to disk.
+    Silently skipped where directories cannot be opened (Windows)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def commit_file(tmp_path: Path, final_path: Path) -> None:
+    """Atomically rename ``tmp_path`` over ``final_path`` and fsync the
+    containing directory.  ``tmp_path`` must already be fsynced."""
+    os.replace(tmp_path, final_path)
+    fsync_directory(final_path.parent)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tmp + fsync + atomic rename."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    commit_file(tmp, path)
+
+
+def file_sha256(path: str | Path, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 of a file's contents (the per-file content digest
+    recorded in index metadata and shard manifests)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()

@@ -16,6 +16,11 @@ never chosen as eviction victims, which is how the query engine keeps
 the hot upper index levels resident across a whole batch.  Pinning is
 advisory — if every resident page is pinned the cache is allowed to
 overflow its capacity rather than fail.
+
+Over a read-only backend (``pagefile.writable`` is ``False``, e.g. the
+mmap serving backend) the buffer runs in **read-only mode**: dirty
+tracking is skipped entirely — evictions never serialise, ``flush`` is
+an inert no-op, and attempts to dirty a page are rejected loudly.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from collections import OrderedDict
 from contextlib import nullcontext
 from typing import Callable
 
-from ..exceptions import StorageError
+from ..exceptions import ChecksumError, StorageError
 from ..obs import state as _obs
 from .pagefile import PageFile
 
@@ -41,6 +46,7 @@ class LRUBufferManager:
         self.pagefile = pagefile
         self.capacity = capacity
         self.stats = pagefile.stats
+        self.read_only = not getattr(pagefile, "writable", True)
         self._cache: OrderedDict[int, object] = OrderedDict()
         self._dirty: set[int] = set()
         self._pinned: set[int] = set()
@@ -120,7 +126,11 @@ class LRUBufferManager:
                 reg = trace.registry
                 reg.inc("storage.logical_reads")
                 reg.inc("storage.buffer_misses")
-            obj = loader(self.pagefile.read(page_id))
+            try:
+                obj = loader(self.pagefile.read(page_id))
+            except ChecksumError:
+                self.stats.checksum_failures += 1
+                raise
             self._cache[page_id] = obj
             self._serializer = serializer or getattr(self, "_serializer", None)
             self._evict_overflow(self._serializer)
@@ -136,6 +146,12 @@ class LRUBufferManager:
         """Install (or replace) the object for ``page_id``; marks it
         dirty so it is written back on eviction/flush."""
         with self._lock:
+            if dirty and self.read_only:
+                raise StorageError(
+                    f"page {page_id}: buffer is read-only "
+                    f"({type(self.pagefile).__name__} backend), cannot "
+                    f"install dirty pages"
+                )
             self._cache[page_id] = obj
             self._cache.move_to_end(page_id)
             if dirty:
@@ -146,12 +162,21 @@ class LRUBufferManager:
     def mark_dirty(self, page_id: int) -> None:
         """Flag an already-cached object as modified."""
         with self._lock:
+            if self.read_only:
+                raise StorageError(
+                    f"page {page_id}: buffer is read-only "
+                    f"({type(self.pagefile).__name__} backend), cannot "
+                    f"dirty pages"
+                )
             if page_id not in self._cache:
                 raise StorageError(f"page {page_id} not resident, cannot dirty it")
             self._dirty.add(page_id)
 
     def flush(self, serializer: Callable[[object], bytes] | None = None) -> int:
-        """Write back every dirty object; returns how many were written."""
+        """Write back every dirty object; returns how many were written.
+        A no-op (0) in read-only mode — there is never anything dirty."""
+        if self.read_only:
+            return 0
         with self._lock:
             ser = serializer or getattr(self, "_serializer", None)
             written = 0
@@ -204,6 +229,8 @@ class LRUBufferManager:
             self.stats.evictions += 1
             if _obs.ACTIVE is not None:
                 _obs.ACTIVE.registry.inc("storage.evictions")
+            if self.read_only:
+                continue  # dirty tracking is off: nothing to write back
             if victim_id in self._dirty:
                 if serializer is None:
                     raise StorageError(

@@ -1,19 +1,29 @@
-"""Fixed-size page files.
+"""Fixed-size page files — the pluggable storage backends.
 
 The disk substrate under the indexes: a flat array of fixed-size pages
 (4 KB by default, matching the paper's setup) addressed by integer page
-ids.  Two backends share one interface:
+ids.  Three backends share one interface, selectable by name through
+:data:`BACKENDS` / :func:`open_pagefile`:
 
-* :class:`InMemoryPageFile` — a list of byte blocks; fast, used by the
-  tests and benches,
-* :class:`DiskPageFile` — a real file with one 4 KB slot per page, for
-  users who want the index to persist.
+* ``"memory"`` — :class:`InMemoryPageFile`, a list of byte blocks;
+  fast, used while building and by the tests and benches,
+* ``"disk"`` — :class:`DiskPageFile`, a real file with one slot per
+  page.  Durable: ``flush(fsync=True)`` issues a real fsync barrier and
+  ``close()`` flushes + fsyncs before releasing the handle, so a
+  cleanly closed file never loses acknowledged writes,
+* ``"mmap"`` — :class:`MmapPageFile`, a **read-only** memory-mapped
+  view that serves pages as zero-copy ``memoryview`` slices; the
+  cold-start-fast serving backend (open cost is one ``mmap`` call, the
+  OS pages data in on demand and shares it across processes).
 
-Both enforce the page-size invariant and count physical I/O.
+All backends enforce the page-size invariant and count physical I/O;
+the read-only one advertises ``writable = False`` so the buffer
+manager can skip dirty tracking entirely.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 from pathlib import Path
 
@@ -21,13 +31,26 @@ from ..exceptions import PageOverflowError, StorageError
 from ..obs import state as _obs
 from .stats import IOStats
 
-__all__ = ["PAGE_SIZE_DEFAULT", "PageFile", "InMemoryPageFile", "DiskPageFile"]
+__all__ = [
+    "PAGE_SIZE_DEFAULT",
+    "PageFile",
+    "InMemoryPageFile",
+    "DiskPageFile",
+    "MmapPageFile",
+    "BACKENDS",
+    "open_pagefile",
+]
 
 PAGE_SIZE_DEFAULT = 4096
 
 
 class PageFile:
     """Abstract fixed-size page store."""
+
+    #: Whether the backend accepts ``allocate``/``write``.  Read-only
+    #: backends (mmap) advertise ``False`` and the buffer manager then
+    #: skips all dirty tracking.
+    writable = True
 
     def __init__(self, page_size: int = PAGE_SIZE_DEFAULT, stats: IOStats | None = None):
         if page_size < 64:
@@ -41,13 +64,21 @@ class PageFile:
         raise NotImplementedError
 
     def read(self, page_id: int) -> bytes:
-        """Fetch the raw bytes of a page (exactly ``page_size`` long)."""
+        """Fetch the raw bytes of a page (exactly ``page_size`` long;
+        may be a ``memoryview`` on zero-copy backends)."""
         raise NotImplementedError
 
     def write(self, page_id: int, data: bytes) -> None:
         """Store ``data`` into a page; shorter payloads are zero-padded,
         longer ones raise :class:`PageOverflowError`."""
         raise NotImplementedError
+
+    def flush(self, fsync: bool = False) -> None:
+        """Push buffered writes down; with ``fsync=True`` force them to
+        stable storage.  No-op on backends with nothing to sync."""
+
+    def close(self) -> None:
+        """Release backend resources (durably, for disk files)."""
 
     @property
     def num_pages(self) -> int:
@@ -68,6 +99,12 @@ class PageFile:
     def size_mb(self) -> float:
         """Total file size in binary megabytes (what Table 2 reports)."""
         return self.size_bytes() / (1024.0 * 1024.0)
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class InMemoryPageFile(PageFile):
@@ -129,19 +166,32 @@ class DiskPageFile(PageFile):
             )
         self._num_pages = size // page_size
 
+    def flush(self, fsync: bool = False) -> None:
+        """Drain Python's write buffer; with ``fsync=True`` also force
+        the kernel's to stable storage (a durability barrier)."""
+        self._fh.flush()
+        if fsync:
+            os.fsync(self._fh.fileno())
+            self.stats.fsyncs += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.registry.inc("storage.fsync")
+
     def close(self) -> None:
-        self._fh.close()
-
-    def __enter__(self) -> "DiskPageFile":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+        """Durable close: every buffered write reaches stable storage
+        before the handle is released."""
+        if not self._fh.closed:
+            self.flush(fsync=True)
+            self._fh.close()
 
     def allocate(self) -> int:
         page_id = self._num_pages
         self._fh.seek(page_id * self.page_size)
         self._fh.write(b"\x00" * self.page_size)
+        # The zero-fill is a real page-sized write; count it so IOStats
+        # physical_writes matches what the kernel saw.
+        self.stats.physical_writes += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("storage.physical_writes")
         self._num_pages += 1
         return page_id
 
@@ -173,3 +223,119 @@ class DiskPageFile(PageFile):
             raise StorageError(
                 f"page id {page_id} out of range [0, {self._num_pages})"
             )
+
+
+class MmapPageFile(PageFile):
+    """Read-only page store serving zero-copy ``memoryview`` slices of
+    a memory-mapped file.
+
+    The serving backend: opening costs one ``mmap`` call regardless of
+    file size, the OS pages data in lazily (so cold starts touch only
+    what queries actually read) and the page cache is shared across
+    every process mapping the same index.  All mutation entry points
+    raise :class:`StorageError`.
+    """
+
+    writable = False
+
+    def __init__(
+        self,
+        path: str | Path,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        stats: IOStats | None = None,
+    ):
+        super().__init__(page_size, stats)
+        self._path = Path(path)
+        if not self._path.exists():
+            raise StorageError(f"{self._path}: no such page file to mmap")
+        self._fh = open(self._path, "rb")
+        size = os.fstat(self._fh.fileno()).st_size
+        if size % page_size != 0:
+            raise StorageError(
+                f"{self._path}: size {size} is not a multiple of the "
+                f"page size {page_size}"
+            )
+        self._num_pages = size // page_size
+        self._mm = (
+            mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+            if size
+            else None
+        )
+        self._view = memoryview(self._mm) if self._mm is not None else None
+
+    def allocate(self) -> int:
+        raise StorageError(f"{self._path}: mmap backend is read-only")
+
+    def write(self, page_id: int, data: bytes) -> None:
+        raise StorageError(f"{self._path}: mmap backend is read-only")
+
+    def read(self, page_id: int):
+        self._check(page_id)
+        self.stats.mmap_reads += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.registry.inc("storage.mmap_reads")
+        start = page_id * self.page_size
+        return self._view[start : start + self.page_size]
+
+    def close(self) -> None:
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                # Zero-copy slices handed out by read() are still
+                # alive; dropping our reference lets the map unmap
+                # when the last slice is garbage-collected.  Safe for
+                # a read-only mapping.
+                pass
+            self._mm = None
+        if not self._fh.closed:
+            self._fh.close()
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def _check(self, page_id: int) -> None:
+        if not (0 <= page_id < self._num_pages):
+            raise StorageError(
+                f"page id {page_id} out of range [0, {self._num_pages})"
+            )
+
+
+#: Backend registry: the names the persistence layer, the engines and
+#: the CLI accept (``backend="mmap"`` etc.).
+BACKENDS: dict[str, type[PageFile]] = {
+    "memory": InMemoryPageFile,
+    "disk": DiskPageFile,
+    "mmap": MmapPageFile,
+}
+
+
+def open_pagefile(
+    backend: str,
+    path: str | Path | None = None,
+    page_size: int = PAGE_SIZE_DEFAULT,
+    stats: IOStats | None = None,
+) -> PageFile:
+    """Instantiate a backend by registry name.
+
+    ``path`` is required for the file-backed backends and rejected for
+    ``"memory"`` (mismatches are configuration bugs worth failing on).
+    """
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise StorageError(
+            f"unknown storage backend {backend!r}; expected one of "
+            f"{sorted(BACKENDS)}"
+        ) from None
+    if backend == "memory":
+        if path is not None:
+            raise StorageError("the memory backend takes no path")
+        return cls(page_size=page_size, stats=stats)
+    if path is None:
+        raise StorageError(f"the {backend} backend needs a path")
+    return cls(path, page_size=page_size, stats=stats)

@@ -4,11 +4,19 @@ The paper's performance claims are about node accesses and pruned
 space; these counters make both observable.  A single
 :class:`IOStats` instance is shared by a page file and its buffer
 manager so a search can snapshot/diff it.
+
+Beyond the seed's six page-traffic counters, the durable storage
+engine adds three: ``fsyncs`` (explicit durability barriers issued by
+:meth:`~repro.storage.pagefile.DiskPageFile.flush`), ``mmap_reads``
+(zero-copy page serves from a
+:class:`~repro.storage.pagefile.MmapPageFile`), and
+``checksum_failures`` (framed pages rejected by read-time
+verification — see ``repro.storage.format``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["IOStats"]
 
@@ -23,36 +31,28 @@ class IOStats:
     buffer_hits: int = 0
     buffer_misses: int = 0
     evictions: int = 0
+    fsyncs: int = 0
+    mmap_reads: int = 0
+    checksum_failures: int = 0
 
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counters."""
         return IOStats(
-            self.physical_reads,
-            self.physical_writes,
-            self.logical_reads,
-            self.buffer_hits,
-            self.buffer_misses,
-            self.evictions,
+            **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Counter deltas since the ``earlier`` snapshot."""
         return IOStats(
-            self.physical_reads - earlier.physical_reads,
-            self.physical_writes - earlier.physical_writes,
-            self.logical_reads - earlier.logical_reads,
-            self.buffer_hits - earlier.buffer_hits,
-            self.buffer_misses - earlier.buffer_misses,
-            self.evictions - earlier.evictions,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
     def reset(self) -> None:
-        self.physical_reads = 0
-        self.physical_writes = 0
-        self.logical_reads = 0
-        self.buffer_hits = 0
-        self.buffer_misses = 0
-        self.evictions = 0
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
     @property
     def hit_ratio(self) -> float:

@@ -9,7 +9,7 @@ import pytest
 
 from repro import RTree3D, TBTree, Trajectory, bfmst_search, generate_gstd, linear_scan_kmst
 from repro.datagen import make_query
-from repro.exceptions import IndexError_, ReproError
+from repro.exceptions import IndexError_, ReproError, StorageError
 from repro.storage import DiskPageFile, InMemoryPageFile, LRUBufferManager
 
 
@@ -18,12 +18,13 @@ class TestCorruptPages:
         index = RTree3D()
         index.bulk_insert(small_dataset)
         index.finalize()
-        # stomp on the root page behind the buffer's back
+        # stomp on the root page behind the buffer's back; since v2
+        # the page frame (magic/CRC) catches this before node parsing
         raw = bytearray(index.pagefile.read(index.root_page))
         raw[0] = 0xEE
         index.pagefile.write(index.root_page, bytes(raw))
         index.buffer.drop()
-        with pytest.raises(IndexError_):
+        with pytest.raises(StorageError):
             index.read_node(index.root_page)
 
     def test_truncated_entry_count_detected(self, small_dataset):
@@ -31,11 +32,11 @@ class TestCorruptPages:
         index.bulk_insert(small_dataset)
         index.finalize()
         raw = bytearray(index.pagefile.read(index.root_page))
-        raw[2] = 0xFF  # entry count low byte -> beyond page payload
-        raw[3] = 0xFF
+        raw[18] = 0xFF  # entry count bytes inside the framed payload
+        raw[19] = 0xFF
         index.pagefile.write(index.root_page, bytes(raw))
         index.buffer.drop()
-        with pytest.raises(IndexError_):
+        with pytest.raises(StorageError):
             index.read_node(index.root_page)
 
     def test_all_failures_are_repro_errors(self, small_dataset):

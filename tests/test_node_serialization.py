@@ -1,13 +1,30 @@
 """Tests for node/entry page serialisation (round trips, capacity
-derivation, corruption detection)."""
+derivation, corruption detection).
+
+Since v2, node pages are framed (16-byte checksummed header from
+``repro.storage.format``): semantic corruption of the *payload* is
+tested through ``Node.from_payload``/re-framing, while any byte poked
+into the framed image trips the frame checks first.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exceptions import IndexError_, PageOverflowError
+from repro.exceptions import ChecksumError, IndexError_, PageOverflowError, StorageError
 from repro.geometry import MBR3D, STPoint, STSegment
 from repro.index import ENTRY_BYTES, InternalEntry, LeafEntry, Node, node_capacity
+from repro.index.node import NODE_OVERHEAD_BYTES
+from repro.storage import frame_page, unframe_page
+
+
+def corrupt_payload(node: Node, mutate) -> bytes:
+    """Re-frame a node image whose *payload* was tampered with — the
+    CRC is then valid, so the node parser sees the corruption."""
+    _kind, payload = unframe_page(node.to_bytes(4096))
+    payload = bytearray(payload)
+    mutate(payload)
+    return frame_page(bytes(payload))
 
 
 def leaf_entry(tid=1, x1=0.0, y1=0.0, t1=0.0, x2=1.0, y2=1.0, t2=1.0):
@@ -50,7 +67,8 @@ class TestEntries:
 
 class TestNodeCapacity:
     def test_paper_setup_capacity(self):
-        # 4 KB pages, 32-byte header, 56-byte entries -> 72.
+        # 4 KB pages, 16-byte frame + 32-byte node header, 56-byte
+        # entries -> 72 (the frame costs no fanout at 4 KB).
         assert node_capacity(4096) == 72
 
     def test_too_small_page_rejected(self):
@@ -97,28 +115,57 @@ class TestNodeSerialisation:
 
     def test_corrupt_kind_rejected(self):
         node = Node(0, 0, entries=[leaf_entry()])
-        data = bytearray(node.to_bytes(4096))
-        data[0] = 99
+
+        def poke(payload):
+            payload[0] = 99
+
         with pytest.raises(IndexError_):
-            Node.from_bytes(0, bytes(data))
+            Node.from_bytes(0, corrupt_payload(node, poke))
 
     def test_inconsistent_level_rejected(self):
         node = Node(0, 0, entries=[leaf_entry()])
-        data = bytearray(node.to_bytes(4096))
-        data[1] = 3  # leaf kind with level 3
+
+        def poke(payload):
+            payload[1] = 3  # leaf kind with level 3
+
         with pytest.raises(IndexError_):
-            Node.from_bytes(0, bytes(data))
+            Node.from_bytes(0, corrupt_payload(node, poke))
 
     def test_truncated_header_rejected(self):
-        with pytest.raises(IndexError_):
+        # Too short for a page frame, let alone a node header.
+        with pytest.raises(StorageError):
             Node.from_bytes(0, b"\x01\x00")
+        # And an unframed payload too short for a node header.
+        with pytest.raises(IndexError_):
+            Node.from_payload(0, b"\x01\x00")
 
     def test_count_beyond_payload_rejected(self):
         node = Node(0, 0, entries=[leaf_entry()])
-        data = bytearray(node.to_bytes(256))
-        data[2] = 200  # count low byte
+
+        def poke(payload):
+            payload[2] = 200  # count low byte
+
         with pytest.raises(IndexError_):
-            Node.from_bytes(0, bytes(data))
+            Node.from_bytes(0, corrupt_payload(node, poke))
+
+    def test_bit_flip_in_framed_page_detected(self):
+        """Poking the framed image itself (not the payload) trips the
+        frame verification before any node field is trusted."""
+        node = Node(0, 0, entries=[leaf_entry(i) for i in range(5)])
+        data = node.to_bytes(4096)
+        for offset in (0, 5, 20, len(data) - 1):
+            bad = bytearray(data)
+            bad[offset] ^= 0xFF
+            with pytest.raises(StorageError):  # ChecksumError is one
+                Node.from_bytes(0, bytes(bad))
+
+    def test_from_bytes_accepts_memoryview(self):
+        """The mmap backend serves memoryview slices; parsing must not
+        require a bytes copy."""
+        node = Node(3, 0, entries=[leaf_entry(i) for i in range(4)])
+        padded = node.to_bytes(4096).ljust(4096, b"\x00")
+        back = Node.from_bytes(3, memoryview(padded))
+        assert back.entries == node.entries
 
 
 class TestChainedLeafSerialisation:
@@ -156,20 +203,21 @@ class TestChainedLeafSerialisation:
         assert back.entries == entries
 
     def test_payload_size_matches_serialisation(self):
-        from repro.index.node import HEADER_BYTES, tb_leaf_payload_size
+        from repro.index.node import tb_leaf_payload_size
 
         entries = self.contiguous_entries(20)
         node = Node(0, 0, entries=entries, owner_id=5, chained=True)
         data = node.to_bytes(4096)
-        # serialisation pads nothing itself; length = header + payload
-        assert len(data) == HEADER_BYTES + tb_leaf_payload_size(entries)
+        # serialisation pads nothing itself; length = frame + node
+        # header + payload
+        assert len(data) == NODE_OVERHEAD_BYTES + tb_leaf_payload_size(entries)
 
     def test_chained_capacity_exceeds_flat_capacity(self):
-        """The whole point: a 4 KB chained leaf holds ~168 contiguous
+        """The whole point: a 4 KB chained leaf holds ~167 contiguous
         segments vs 72 flat entries."""
         from repro.index import node_capacity
 
-        entries = self.contiguous_entries(168)
+        entries = self.contiguous_entries(167)
         node = Node(0, 0, entries=entries, owner_id=5, chained=True)
         node.to_bytes(4096)  # fits
         assert len(entries) > 2 * node_capacity(4096)
@@ -177,7 +225,7 @@ class TestChainedLeafSerialisation:
     def test_chained_overflow_rejected(self):
         from repro.exceptions import PageOverflowError
 
-        entries = self.contiguous_entries(169)
+        entries = self.contiguous_entries(168)
         node = Node(0, 0, entries=entries, owner_id=5, chained=True)
         with pytest.raises(PageOverflowError):
             node.to_bytes(4096)
@@ -185,8 +233,20 @@ class TestChainedLeafSerialisation:
     def test_corrupt_chain_rejected(self):
         entries = self.contiguous_entries(3)
         node = Node(0, 0, entries=entries, owner_id=5, chained=True)
-        data = bytearray(node.to_bytes(4096))
-        data[32] = 0  # chain length 0 is invalid
-        data[33] = 0
+
+        def poke(payload):
+            payload[32] = 0  # chain length 0 is invalid
+            payload[33] = 0
+
         with pytest.raises(IndexError_):
+            Node.from_bytes(0, corrupt_payload(node, poke))
+
+    def test_flipped_chain_byte_fails_checksum(self):
+        """Tampering with the framed image (the old pre-frame attack)
+        now dies at the frame, not in the chain decoder."""
+        entries = self.contiguous_entries(3)
+        node = Node(0, 0, entries=entries, owner_id=5, chained=True)
+        data = bytearray(node.to_bytes(4096))
+        data[48] ^= 0xFF  # first chain-layout byte of the payload
+        with pytest.raises(ChecksumError):
             Node.from_bytes(0, bytes(data))

@@ -1,7 +1,10 @@
 """Round-trip tests for index persistence (save/load on disk) — single
-page files and sharded manifest directories."""
+page files and sharded manifest directories, the v2 durability
+guarantees (atomic commit, truncation detection, digest verification),
+backend identity (disk vs mmap) and the v1 migration path."""
 
 import json
+import os
 import random
 
 import pytest
@@ -19,6 +22,8 @@ from repro import (
 )
 from repro.datagen import make_query
 from repro.exceptions import IndexError_, StorageError
+from repro.index import fsck, fsck_index, migrate_index_v1
+from repro.storage import unframe_page
 from repro.sharding import (
     MANIFEST_NAME,
     ShardedDataset,
@@ -279,3 +284,306 @@ class TestShardedErrorHandling:
         (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
         with pytest.raises(StorageError):
             load_sharded_index(directory)
+
+
+# ----------------------------------------------------------------------
+# v2 durability: atomic commit, truncation detection, digest verify
+# ----------------------------------------------------------------------
+def _saved_index(dataset, tmp_path, cls=RTree3D, **kw):
+    index = cls(**kw)
+    index.bulk_insert(dataset)
+    index.finalize()
+    path = tmp_path / "index.pages"
+    meta = save_index(index, path)
+    return index, path, meta
+
+
+class TestDurability:
+    def test_save_returns_meta_with_digest(self, dataset, tmp_path):
+        _, path, meta = _saved_index(dataset, tmp_path)
+        assert meta["version"] == 2
+        assert meta["num_pages"] * meta["page_size"] == path.stat().st_size
+        sidecar = json.loads((tmp_path / "index.pages.meta.json").read_text())
+        assert sidecar == meta
+
+    def test_no_temporaries_left_behind(self, dataset, tmp_path):
+        _saved_index(dataset, tmp_path)
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_failed_save_leaves_no_partial_file(self, dataset, tmp_path):
+        index = RTree3D()
+        index.bulk_insert(dataset)
+        index.finalize()
+
+        def boom(page_id):
+            raise RuntimeError("injected read failure")
+
+        index.pagefile.read = boom
+        path = tmp_path / "index.pages"
+        with pytest.raises(RuntimeError, match="injected"):
+            save_index(index, path)
+        # Neither a torn page file nor a stale temporary may survive.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_truncated_file_rejected(self, dataset, tmp_path):
+        _, path, meta = _saved_index(dataset, tmp_path)
+        os.truncate(path, path.stat().st_size - 100)  # mid-page cut
+        with pytest.raises(StorageError, match="truncated"):
+            load_index(path)
+
+    def test_whole_page_truncation_rejected(self, dataset, tmp_path):
+        _, path, meta = _saved_index(dataset, tmp_path)
+        os.truncate(path, path.stat().st_size - meta["page_size"])
+        with pytest.raises(StorageError, match="truncated"):
+            load_index(path)
+
+    def test_verify_happy_path(self, dataset, tmp_path):
+        index, path, _ = _saved_index(dataset, tmp_path)
+        loaded = load_index(path, verify=True)
+        rng = random.Random(11)
+        query, period = make_query(dataset, 0.2, rng)
+        got, _ = bfmst_search(loaded, query, period, k=3)
+        want, _ = bfmst_search(index, query, period, k=3)
+        assert [m.trajectory_id for m in got] == [
+            m.trajectory_id for m in want
+        ]
+        loaded.pagefile.close()
+
+    def test_verify_detects_tamper(self, dataset, tmp_path):
+        _, path, _ = _saved_index(dataset, tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(path.stat().st_size // 2)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(StorageError, match="digest"):
+            load_index(path, verify=True)
+
+    def test_unknown_backend_rejected(self, dataset, tmp_path):
+        _, path, _ = _saved_index(dataset, tmp_path)
+        with pytest.raises(StorageError, match="backend"):
+            load_index(path, backend="tape")
+
+
+# ----------------------------------------------------------------------
+# backend identity — ISSUE acceptance: k-MST answers byte-identical on
+# memory/disk/mmap for both trees, across all four partitioners
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", [RTree3D, TBTree])
+class TestBackendIdentity:
+    def test_single_index_identical_on_all_backends(
+        self, cls, dataset, tmp_path
+    ):
+        index, path, _ = _saved_index(dataset, tmp_path, cls=cls)
+        disk = load_index(path, backend="disk")
+        mm = load_index(path, backend="mmap")
+        try:
+            rng = random.Random(7)
+            for _ in range(3):
+                query, period = make_query(dataset, 0.2, rng)
+                answers = []
+                for idx in (index, disk, mm):
+                    matches, _ = bfmst_search(idx, query, period, k=5)
+                    answers.append(
+                        [
+                            (m.trajectory_id, m.dissim, m.error_bound, m.exact)
+                            for m in matches
+                        ]
+                    )
+                assert answers[0] == answers[1] == answers[2]
+            assert mm.pagefile.stats.mmap_reads > 0
+            assert mm.pagefile.stats.physical_reads == 0
+        finally:
+            disk.pagefile.close()
+            mm.pagefile.close()
+
+    @pytest.mark.parametrize(
+        "part", ["round_robin", "hash", "spatial", "temporal"]
+    )
+    def test_sharded_identical_on_all_backends(
+        self, cls, part, dataset, tmp_path
+    ):
+        sharded_ds = ShardedDataset.partition(
+            dataset, make_partitioner(part, 3)
+        )
+        index = build_sharded_index(sharded_ds, cls, page_size=1024)
+        directory = tmp_path / "shards"
+        save_sharded_index(index, directory)
+        disk = load_sharded_index(directory, backend="disk")
+        mm = load_sharded_index(directory, backend="mmap", verify=True)
+        try:
+            rng = random.Random(13)
+            for _ in range(2):
+                query, period = make_query(dataset, 0.2, rng)
+                answers = []
+                for idx in (index, disk, mm):
+                    result = bfmst_search(idx, None, query, period=period, k=5)
+                    answers.append(
+                        [
+                            (m.trajectory_id, m.dissim, m.error_bound, m.exact)
+                            for m in result.matches
+                        ]
+                    )
+                assert answers[0] == answers[1] == answers[2]
+        finally:
+            index.close()
+            disk.close()
+            mm.close()
+
+
+# ----------------------------------------------------------------------
+# v1 migration
+# ----------------------------------------------------------------------
+def _downgrade_to_v1(path, meta):
+    """Rewrite a saved v2 index as a genuine v1 file: raw unframed node
+    payloads in the page slots, a ``"version": 1`` sidecar without the
+    v2 digest fields."""
+    page_size = meta["page_size"]
+    raw = path.read_bytes()
+    v1_pages = []
+    for pid in range(len(raw) // page_size):
+        page = raw[pid * page_size : (pid + 1) * page_size]
+        if not page.strip(b"\x00"):
+            v1_pages.append(page)
+            continue
+        _, payload = unframe_page(page, pid)
+        v1_pages.append(bytes(payload).ljust(page_size, b"\x00"))
+    path.write_bytes(b"".join(v1_pages))
+    v1_meta = {
+        k: v
+        for k, v in meta.items()
+        if k not in ("num_pages", "pages_sha256")
+    }
+    v1_meta["version"] = 1
+    sidecar = path.with_name(path.name + ".meta.json")
+    sidecar.write_text(json.dumps(v1_meta))
+
+
+class TestV1Migration:
+    @pytest.mark.parametrize("cls", [RTree3D, TBTree])
+    def test_v1_file_rejected_with_migration_pointer(
+        self, cls, dataset, tmp_path
+    ):
+        _, path, meta = _saved_index(dataset, tmp_path, cls=cls)
+        _downgrade_to_v1(path, meta)
+        with pytest.raises(StorageError, match="migrate_index_v1"):
+            load_index(path)
+
+    @pytest.mark.parametrize("cls", [RTree3D, TBTree])
+    def test_migration_round_trip(self, cls, dataset, tmp_path):
+        index, path, meta = _saved_index(dataset, tmp_path, cls=cls)
+        _downgrade_to_v1(path, meta)
+        dst = tmp_path / "migrated.pages"
+        new_meta = migrate_index_v1(path, dst)
+        assert new_meta["version"] == 2
+        assert fsck_index(dst).ok
+
+        loaded = load_index(dst, verify=True)
+        try:
+            rng = random.Random(5)
+            for _ in range(3):
+                query, period = make_query(dataset, 0.2, rng)
+                got, _ = bfmst_search(loaded, query, period, k=3)
+                want, _ = bfmst_search(index, query, period, k=3)
+                assert [
+                    (m.trajectory_id, m.dissim) for m in got
+                ] == [(m.trajectory_id, m.dissim) for m in want]
+        finally:
+            loaded.pagefile.close()
+
+    def test_migrate_rejects_v2_input(self, dataset, tmp_path):
+        _, path, _ = _saved_index(dataset, tmp_path)
+        with pytest.raises(StorageError, match="expects a v1"):
+            migrate_index_v1(path, tmp_path / "out.pages")
+
+    def test_migrate_refuses_overwrite(self, dataset, tmp_path):
+        _, path, meta = _saved_index(dataset, tmp_path)
+        _downgrade_to_v1(path, meta)
+        dst = tmp_path / "out.pages"
+        dst.write_bytes(b"")
+        with pytest.raises(StorageError, match="refusing to overwrite"):
+            migrate_index_v1(path, dst)
+
+
+# ----------------------------------------------------------------------
+# fsck
+# ----------------------------------------------------------------------
+class TestFsck:
+    def test_clean_index_reports_ok(self, dataset, tmp_path):
+        _, path, meta = _saved_index(dataset, tmp_path)
+        report = fsck_index(path)
+        assert report.ok
+        assert report.errors == []
+        assert report.bad_pages == []
+        assert len(report.pages) == meta["num_pages"]
+        assert "OK" in report.summary()
+
+    def test_kill_a_byte_anywhere_is_detected(self, dataset, tmp_path):
+        """The on-disk half of the kill-a-byte property: flip one byte
+        at sampled offsets across the whole persisted file and fsck must
+        flag the index every time (digest mismatch and/or a bad page)."""
+        _, path, _ = _saved_index(dataset, tmp_path)
+        pristine = path.read_bytes()
+        rng = random.Random(99)
+        offsets = rng.sample(range(len(pristine)), 24)
+        for off in offsets:
+            mutated = bytearray(pristine)
+            mutated[off] ^= 0xFF
+            path.write_bytes(bytes(mutated))
+            report = fsck_index(path)
+            assert not report.ok, f"flip at offset {off} went undetected"
+            assert report.errors or report.bad_pages
+        path.write_bytes(pristine)
+        assert fsck_index(path).ok
+
+    def test_missing_sidecar_is_an_error(self, dataset, tmp_path):
+        _, path, _ = _saved_index(dataset, tmp_path)
+        (tmp_path / "index.pages.meta.json").unlink()
+        report = fsck_index(path)
+        assert not report.ok
+        assert any("sidecar" in e for e in report.errors)
+
+    def test_missing_page_file_is_an_error(self, dataset, tmp_path):
+        _, path, _ = _saved_index(dataset, tmp_path)
+        path.unlink()
+        report = fsck_index(path)
+        assert not report.ok
+        assert any("missing page file" in e for e in report.errors)
+
+    def test_truncation_is_an_error(self, dataset, tmp_path):
+        _, path, _ = _saved_index(dataset, tmp_path)
+        os.truncate(path, path.stat().st_size - 100)
+        report = fsck_index(path)
+        assert not report.ok
+        assert any("truncated" in e for e in report.errors)
+
+    def test_fsck_dispatches_on_directories(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        report = fsck(directory)
+        assert report.ok
+        assert len(report.shards) == 3
+        assert all(s.ok for s in report.shards)
+
+    def test_sharded_corruption_is_localised(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        victim = directory / manifest["shards"][1]["file"]
+        with open(victim, "r+b") as fh:
+            fh.seek(20)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        report = fsck(directory)
+        assert not report.ok
+        verdicts = [s.ok for s in report.shards]
+        assert verdicts.count(False) == 1
+        assert "CORRUPT" in report.summary()
+
+    def test_sharded_missing_shard_file(self, sharded_world, tmp_path):
+        directory = _save(sharded_world, tmp_path)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        (directory / manifest["shards"][0]["file"]).unlink()
+        report = fsck(directory)
+        assert not report.ok
+        assert any("missing shard" in e for e in report.errors)

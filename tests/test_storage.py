@@ -1,15 +1,25 @@
-"""Tests for the paged-storage layer: page files (memory and disk),
-the LRU buffer manager, and I/O accounting."""
+"""Tests for the paged-storage layer: page files (memory, disk, mmap),
+the checksummed page format, the LRU buffer manager (including its
+read-only mode), and I/O accounting."""
+
+import threading
 
 import pytest
 
-from repro.exceptions import PageOverflowError, StorageError
+from repro.exceptions import ChecksumError, PageOverflowError, StorageError
 from repro.storage import (
     PAGE_SIZE_DEFAULT,
+    BACKENDS,
     DiskPageFile,
     InMemoryPageFile,
     IOStats,
     LRUBufferManager,
+    MmapPageFile,
+    frame_page,
+    open_pagefile,
+    page_payload_capacity,
+    unframe_page,
+    verify_page,
 )
 
 
@@ -202,3 +212,305 @@ class TestLRUBufferManager:
         buf._dirty.add(a)
         with pytest.raises(StorageError):
             buf.get(b, lambda data: data)
+
+    def test_all_pinned_overflows_instead_of_failing(self):
+        """Pinning is advisory: when every resident page is pinned the
+        cache overflows its capacity rather than erroring or evicting
+        a pinned page."""
+        pf, buf = self.make(capacity=2)
+        pids = [pf.allocate() for _ in range(4)]
+        for pid in pids:
+            pf.write(pid, bytes([pid + 1]))
+        loader = lambda data: data[0]
+        for pid in pids:
+            buf.pin(pid)
+            buf.get(pid, loader)
+        assert len(buf) == 4  # over capacity, nothing evicted
+        assert all(buf.resident(pid) for pid in pids)
+        assert pf.stats.evictions == 0
+        # unpinning lets the next miss shrink the cache again
+        buf.unpin_all()
+        extra = pf.allocate()
+        pf.write(extra, b"\x09")
+        buf.get(extra, loader)
+        assert len(buf) <= 2
+
+    def test_threaded_eviction_writes_back_in_order(self):
+        """Concurrent updates through a tiny locked buffer: every
+        page's final content must be the last value written, whether
+        it reached the page file via eviction or the final flush."""
+        pf = InMemoryPageFile(page_size=256)
+        buf = LRUBufferManager(pf, capacity=2)
+        buf.enable_thread_safety()
+        ser = lambda obj: bytes(obj)
+        loader = lambda data: bytearray(data[:2])
+        num_pages = 8
+        pids = [pf.allocate() for _ in range(num_pages)]
+        rounds = 30
+
+        def worker(offset):
+            for r in range(rounds):
+                pid = pids[(offset + r) % num_pages]
+                buf.put(pid, bytearray([pid, r]), ser, dirty=True)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        buf.flush()
+        assert pf.stats.evictions > 0  # capacity 2 << 8 pages: it churned
+        for pid in pids:
+            data = pf.read(pid)
+            # First byte identifies the page: write-back never crossed
+            # pages, and the page saw a real (not torn) update.
+            assert data[0] == pid
+
+
+class TestPageFormat:
+    def test_round_trip(self):
+        payload = b"some node payload"
+        framed = frame_page(payload)
+        kind, back = unframe_page(framed)
+        assert kind == 1
+        assert bytes(back) == payload
+
+    def test_round_trip_with_padding(self):
+        payload = b"x" * 100
+        padded = frame_page(payload).ljust(4096, b"\x00")
+        _kind, back = unframe_page(padded)
+        assert bytes(back) == payload
+
+    def test_payload_capacity(self):
+        assert page_payload_capacity(4096) == 4080
+        with pytest.raises(StorageError):
+            page_payload_capacity(8)
+
+    def test_kill_a_byte_exhaustive(self):
+        """Flipping ANY single byte of a framed, padded page is
+        detected — frame header, payload, and padding alike."""
+        payload = bytes(range(64))
+        page = frame_page(payload).ljust(128, b"\x00")
+        for offset in range(len(page)):
+            for flip in (0x01, 0xFF):
+                bad = bytearray(page)
+                bad[offset] ^= flip
+                with pytest.raises(StorageError):
+                    unframe_page(bytes(bad), page_id=7)
+                assert verify_page(bytes(bad), page_id=7) is not None
+        # the untampered page is fine
+        assert verify_page(page) is None
+
+    def test_checksum_error_is_storage_error(self):
+        payload = b"abc"
+        bad = bytearray(frame_page(payload))
+        bad[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            unframe_page(bytes(bad))
+        assert issubclass(ChecksumError, StorageError)
+
+    def test_v1_style_page_gets_actionable_error(self):
+        """Raw (unframed) node bytes — a v1 page — name the version
+        mismatch and point at the migration docs."""
+        raw = b"\x01\x00\x05\x00" + b"\x00" * 60
+        with pytest.raises(StorageError, match="migrated|docs/STORAGE"):
+            unframe_page(raw)
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(StorageError):
+            unframe_page(b"\x50\x52")
+
+    def test_memoryview_is_zero_copy(self):
+        payload = b"q" * 32
+        padded = frame_page(payload).ljust(256, b"\x00")
+        view = memoryview(padded)
+        _kind, back = unframe_page(view)
+        assert isinstance(back, memoryview)
+        assert bytes(back) == payload
+
+
+class TestDiskDurability:
+    def test_allocate_counts_physical_write(self, tmp_path):
+        with DiskPageFile(tmp_path / "p.bin", page_size=256) as pf:
+            pf.allocate()
+            pf.allocate()
+            assert pf.stats.physical_writes == 2
+
+    def test_flush_fsync_counted(self, tmp_path):
+        with DiskPageFile(tmp_path / "p.bin", page_size=256) as pf:
+            pid = pf.allocate()
+            pf.write(pid, b"x")
+            pf.flush()
+            assert pf.stats.fsyncs == 0
+            pf.flush(fsync=True)
+            assert pf.stats.fsyncs == 1
+
+    def test_close_flushes_unflushed_writes(self, tmp_path):
+        """The close() durability regression: data written but never
+        explicitly flushed must survive the close."""
+        path = tmp_path / "p.bin"
+        pf = DiskPageFile(path, page_size=256)
+        pid = pf.allocate()
+        pf.write(pid, b"must survive close")
+        pf.close()  # no flush() call before this
+        assert pf.stats.fsyncs >= 1
+        with DiskPageFile(path, page_size=256) as back:
+            assert back.read(pid).startswith(b"must survive close")
+
+    def test_close_is_idempotent(self, tmp_path):
+        pf = DiskPageFile(tmp_path / "p.bin", page_size=256)
+        pf.close()
+        pf.close()  # must not raise on the closed handle
+
+
+class TestMmapPageFile:
+    @staticmethod
+    def make_file(tmp_path, pages=3, page_size=256):
+        path = tmp_path / "pages.bin"
+        with DiskPageFile(path, page_size=page_size) as pf:
+            for i in range(pages):
+                pf.allocate()
+                pf.write(i, bytes([i + 1]) * 16)
+        return path
+
+    def test_reads_match_disk(self, tmp_path):
+        path = self.make_file(tmp_path)
+        with MmapPageFile(path, page_size=256) as mm:
+            assert mm.num_pages == 3
+            for i in range(3):
+                assert bytes(mm.read(i)) == bytes([i + 1]) * 16 + b"\x00" * 240
+
+    def test_read_returns_zero_copy_memoryview(self, tmp_path):
+        path = self.make_file(tmp_path)
+        with MmapPageFile(path, page_size=256) as mm:
+            page = mm.read(0)
+            assert isinstance(page, memoryview)
+            assert len(page) == 256
+
+    def test_counts_mmap_reads_not_physical(self, tmp_path):
+        path = self.make_file(tmp_path)
+        with MmapPageFile(path, page_size=256) as mm:
+            mm.read(0)
+            mm.read(1)
+            assert mm.stats.mmap_reads == 2
+            assert mm.stats.physical_reads == 0
+
+    def test_writes_rejected(self, tmp_path):
+        path = self.make_file(tmp_path)
+        with MmapPageFile(path, page_size=256) as mm:
+            assert mm.writable is False
+            with pytest.raises(StorageError):
+                mm.write(0, b"x")
+            with pytest.raises(StorageError):
+                mm.allocate()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            MmapPageFile(tmp_path / "nope.bin", page_size=256)
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "odd.bin"
+        path.write_bytes(b"\x00" * 300)  # not a multiple of 256
+        with pytest.raises(StorageError):
+            MmapPageFile(path, page_size=256)
+
+    def test_empty_file_ok(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with MmapPageFile(path, page_size=256) as mm:
+            assert mm.num_pages == 0
+            with pytest.raises(StorageError):
+                mm.read(0)
+
+    def test_out_of_range(self, tmp_path):
+        path = self.make_file(tmp_path)
+        with MmapPageFile(path, page_size=256) as mm:
+            with pytest.raises(StorageError):
+                mm.read(3)
+
+
+class TestBackendRegistry:
+    def test_names(self):
+        assert set(BACKENDS) == {"memory", "disk", "mmap"}
+
+    def test_open_memory(self):
+        pf = open_pagefile("memory", page_size=256)
+        assert isinstance(pf, InMemoryPageFile)
+
+    def test_open_disk_and_mmap(self, tmp_path):
+        path = tmp_path / "p.bin"
+        with open_pagefile("disk", path, page_size=256) as pf:
+            assert isinstance(pf, DiskPageFile)
+            pf.allocate()
+        with open_pagefile("mmap", path, page_size=256) as pf:
+            assert isinstance(pf, MmapPageFile)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StorageError, match="unknown storage backend"):
+            open_pagefile("floppy")
+
+    def test_path_rules(self, tmp_path):
+        with pytest.raises(StorageError):
+            open_pagefile("memory", tmp_path / "p.bin")
+        with pytest.raises(StorageError):
+            open_pagefile("disk")
+
+
+class TestBufferReadOnlyMode:
+    @staticmethod
+    def make(tmp_path, capacity=2):
+        path = tmp_path / "pages.bin"
+        with DiskPageFile(path, page_size=256) as pf:
+            for i in range(4):
+                pf.allocate()
+                pf.write(i, bytes([i + 1]) * 4)
+        mm = MmapPageFile(path, page_size=256)
+        return mm, LRUBufferManager(mm, capacity=capacity)
+
+    def test_read_only_flag_follows_backend(self, tmp_path):
+        mm, buf = self.make(tmp_path)
+        assert buf.read_only is True
+        rw = LRUBufferManager(InMemoryPageFile(page_size=256), capacity=2)
+        assert rw.read_only is False
+        mm.close()
+
+    def test_get_works_and_evicts_without_writeback(self, tmp_path):
+        mm, buf = self.make(tmp_path, capacity=2)
+        loader = lambda data: bytes(data[:4])
+        for i in range(4):
+            assert buf.get(i, loader) == bytes([i + 1]) * 4
+        assert mm.stats.evictions == 2
+        mm.close()
+
+    def test_dirty_operations_rejected(self, tmp_path):
+        mm, buf = self.make(tmp_path)
+        loader = lambda data: bytes(data[:4])
+        buf.get(0, loader)
+        with pytest.raises(StorageError, match="read-only"):
+            buf.mark_dirty(0)
+        with pytest.raises(StorageError, match="read-only"):
+            buf.put(1, b"obj", lambda o: o, dirty=True)
+        # non-dirty install is fine (pin warm-up uses it)
+        buf.put(1, b"obj", lambda o: o, dirty=False)
+        mm.close()
+
+    def test_flush_is_noop(self, tmp_path):
+        mm, buf = self.make(tmp_path)
+        buf.get(0, lambda data: bytes(data[:4]))
+        assert buf.flush() == 0
+        mm.close()
+
+    def test_checksum_failure_counted(self, tmp_path):
+        """A loader raising ChecksumError bumps the pagefile-local
+        counter and propagates."""
+        mm, buf = self.make(tmp_path)
+
+        def bad_loader(data):
+            raise ChecksumError("page 0: checksum mismatch")
+
+        with pytest.raises(ChecksumError):
+            buf.get(0, bad_loader)
+        assert mm.stats.checksum_failures == 1
+        mm.close()
