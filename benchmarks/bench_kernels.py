@@ -1,0 +1,192 @@
+"""Kernel throughput — vectorised batch kernels vs the scalar loops.
+
+The two hot paths the ``kernels="numpy"`` mode vectorises, measured
+head to head against the always-available scalar reference on the same
+GSTD workload:
+
+* **segment-DISSIM** — every leaf window a BFMST would integrate (each
+  data segment clipped to the query period), evaluated with the scalar
+  :func:`repro.distance.dissim.segment_dissim` loop vs one
+  :func:`repro.distance.kernels.segment_dissim_batch` call.
+* **node-expansion MINDIST** — each tree node's entries scored with the
+  scalar :func:`repro.index.mindist.mindist` loop vs one
+  :func:`repro.index.mindist.mindist_batch` call per node, exactly the
+  shape of a best-first node expansion.
+
+Both sides must return identical values (the batch kernels are
+bit-equal by construction, and tests/test_kernels.py proves it); here
+the acceptance bars are throughput: >= 3x on batched segment-DISSIM
+and >= 2x on node-expansion MINDIST.  The scalar/vector rates land in
+``benchmarks/results/`` and, machine-readable, in ``BENCH_kernels.json``
+at the repo root so perf PRs can diff against a committed baseline.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import RTree3D
+from repro.datagen import generate_gstd, make_workload
+from repro.distance import kernels as dk
+from repro.experiments import format_table
+from repro.index.mindist import mindist_batch, mindist_batch_python
+
+from conftest import emit, scaled
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+K_REPEATS = 5  # timed passes per side; best-of wins (noise floor)
+
+SEGDISSIM_BAR = 3.0
+MINDIST_BAR = 2.0
+
+
+def _window_items(dataset, query, period):
+    """The (segment, lo, hi) leaf windows a BFMST over ``dataset``
+    would integrate — every data segment clipped to the query period
+    and the query lifetime."""
+    items = []
+    for tr in dataset:
+        for seg in tr.segments_overlapping(period[0], period[1]):
+            lo = max(seg.ts, period[0], query.t_start)
+            hi = min(seg.te, period[1], query.t_end)
+            if lo < hi and query.covers(lo, hi):
+                items.append((seg, lo, hi))
+    return items
+
+
+def _node_boxes(index):
+    """Per-node entry MBB lists, the unit of a best-first expansion."""
+    batches = []
+    stack = [index.root_page]
+    while stack:
+        node = index.read_node(stack.pop())
+        batches.append([e.mbr for e in node.entries])
+        if not node.is_leaf:
+            stack.extend(e.child_page for e in node.entries)
+    return batches
+
+
+def _best_of(fn, repeats=K_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_kernel_throughput(benchmark):
+    if not dk.have_numpy():
+        pytest.skip("numpy not installed; nothing to race against")
+
+    dataset = generate_gstd(
+        scaled(60), samples_per_object=scaled(80), seed=23, heading="random"
+    )
+    (query, period), = make_workload(dataset, 1, 0.35, seed=23)
+    items = _window_items(dataset, query, period)
+    index = RTree3D()  # default page size — realistic node fanout
+    index.bulk_insert(dataset)
+    index.finalize()
+    node_boxes = _node_boxes(index)
+    n_boxes = sum(len(b) for b in node_boxes)
+
+    def run_all():
+        # Warm-up: build the memoised columnar views outside the timers
+        # so neither side pays the one-off construction.
+        dk.segment_dissim_batch(query, items[:1])
+        mindist_batch(query, node_boxes[0], period[0], period[1])
+
+        sd_scalar_s, sd_ref = _best_of(
+            lambda: dk.segment_dissim_batch_python(query, items)
+        )
+        sd_vector_s, sd_got = _best_of(
+            lambda: dk.segment_dissim_batch(query, items)
+        )
+
+        md_scalar_s, md_ref = _best_of(
+            lambda: [
+                mindist_batch_python(query, boxes, period[0], period[1])
+                for boxes in node_boxes
+            ]
+        )
+        md_vector_s, md_got = _best_of(
+            lambda: [
+                mindist_batch(query, boxes, period[0], period[1])
+                for boxes in node_boxes
+            ]
+        )
+        return (
+            (sd_scalar_s, sd_vector_s, sd_ref, sd_got),
+            (md_scalar_s, md_vector_s, md_ref, md_got),
+        )
+
+    sd, md = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sd_scalar_s, sd_vector_s, sd_ref, sd_got = sd
+    md_scalar_s, md_vector_s, md_ref, md_got = md
+
+    # Same answers before any timing claim.
+    assert sd_got == sd_ref
+    assert md_got == md_ref
+
+    sd_speedup = sd_scalar_s / sd_vector_s
+    md_speedup = md_scalar_s / md_vector_s
+    rows = [
+        [
+            "segment-DISSIM",
+            len(items),
+            f"{len(items) / sd_scalar_s:,.0f}",
+            f"{len(items) / sd_vector_s:,.0f}",
+            f"{sd_speedup:.1f}x",
+        ],
+        [
+            "node MINDIST",
+            n_boxes,
+            f"{n_boxes / md_scalar_s:,.0f}",
+            f"{n_boxes / md_vector_s:,.0f}",
+            f"{md_speedup:.1f}x",
+        ],
+    ]
+    doc = {
+        "bench": "kernels",
+        "dataset": {
+            "kind": "gstd",
+            "objects": scaled(60),
+            "samples_per_object": scaled(80),
+            "seed": 23,
+        },
+        "segment_dissim": {
+            "windows": len(items),
+            "scalar_s": sd_scalar_s,
+            "vector_s": sd_vector_s,
+            "scalar_per_sec": len(items) / sd_scalar_s,
+            "vector_per_sec": len(items) / sd_vector_s,
+            "speedup": sd_speedup,
+            "bar": SEGDISSIM_BAR,
+        },
+        "mindist": {
+            "node_batches": len(node_boxes),
+            "boxes": n_boxes,
+            "scalar_s": md_scalar_s,
+            "vector_s": md_vector_s,
+            "scalar_per_sec": n_boxes / md_scalar_s,
+            "vector_per_sec": n_boxes / md_vector_s,
+            "speedup": md_speedup,
+            "bar": MINDIST_BAR,
+        },
+    }
+    text = format_table(
+        ["kernel", "units", "scalar units/s", "vector units/s", "speedup"],
+        rows,
+        title="Vectorised kernels vs scalar loops (GSTD, best of "
+        f"{K_REPEATS})",
+    )
+    emit("kernels", text, records=[doc])
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # Acceptance bars from the issue: the batch kernels must not be a
+    # marginal win.
+    assert sd_speedup >= SEGDISSIM_BAR, doc["segment_dissim"]
+    assert md_speedup >= MINDIST_BAR, doc["mindist"]

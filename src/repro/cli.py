@@ -95,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
             "zero-copy)",
         )
 
+    def add_kernels_flag(p):
+        p.add_argument(
+            "--kernels", choices=("auto", "numpy", "python"), default="auto",
+            help="hot-path kernels: 'numpy' forces the vectorised batch "
+            "kernels, 'python' the pure-Python reference, 'auto' "
+            "(default) picks numpy when importable",
+        )
+
     query = sub.add_parser("query", help="run a k-MST query")
     query.add_argument("index", help="index file")
     query.add_argument("dataset", help="dataset the query is drawn from")
@@ -109,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=5)
     query.add_argument("--seed", type=int, default=1)
     add_backend_flag(query)
+    add_kernels_flag(query)
 
     stats = sub.add_parser(
         "stats",
@@ -136,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "per-shard breakdown in the JSON document",
     )
     add_backend_flag(stats)
+    add_kernels_flag(stats)
 
     batch = sub.add_parser(
         "batch",
@@ -163,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-query + batch JSONL rows here",
     )
     add_backend_flag(batch)
+    add_kernels_flag(batch)
 
     shard = sub.add_parser(
         "shard", help="build, query and inspect sharded indexes"
@@ -203,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     squery.add_argument("--workers", type=int, default=None)
     add_backend_flag(squery)
+    add_kernels_flag(squery)
 
     sinspect = shard_sub.add_parser(
         "inspect", help="describe a saved sharded index"
@@ -332,7 +344,8 @@ def _cmd_query(args) -> int:
             return 2
         start = time.perf_counter()
         result = bfmst_search(
-            index, None, query, period=(query.t_start, query.t_end), k=args.k
+            index, None, query, period=(query.t_start, query.t_end),
+            k=args.k, kernels=args.kernels,
         )
         matches, stats = result.matches, result.stats
         elapsed = time.perf_counter() - start
@@ -372,6 +385,7 @@ def _cmd_stats(args) -> int:
             result = bfmst_search(
                 index, None, query,
                 period=(query.t_start, query.t_end), k=args.k,
+                kernels=args.kernels,
             )
         matches, stats = result.matches, result.stats
         doc = {
@@ -413,7 +427,10 @@ def _cmd_batch(args) -> int:
     from .datagen import make_workload
     from .engine import EngineConfig, QueryEngine, QueryRequest
 
-    config = EngineConfig(executor=args.executor, max_workers=args.workers)
+    config = EngineConfig(
+        executor=args.executor, max_workers=args.workers,
+        kernels=args.kernels,
+    )
     engine = QueryEngine.open(
         args.index, args.dataset, config=config, backend=args.backend
     )
@@ -505,7 +522,10 @@ def _cmd_shard_build(args) -> int:
 def _cmd_shard_query(args) -> int:
     from .engine import EngineConfig, QueryRequest, ShardedQueryEngine
 
-    config = EngineConfig(executor=args.executor, max_workers=args.workers)
+    config = EngineConfig(
+        executor=args.executor, max_workers=args.workers,
+        kernels=args.kernels,
+    )
     engine = ShardedQueryEngine.open(
         args.directory, config=config, backend=args.backend
     )

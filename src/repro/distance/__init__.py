@@ -19,6 +19,13 @@ from .edr import edr_distance, edr_i_distance, edr_normalised_distance
 from .erp import erp_distance
 from .euclidean import euclidean_distance, mean_euclidean_distance
 from .frechet import discrete_frechet_distance
+from .kernels import (
+    KERNEL_MODES,
+    make_segment_dissim_batch,
+    resolve_kernels,
+    segment_dissim_batch,
+    segment_dissim_batch_python,
+)
 from .lcss import lcss_distance, lcss_i_distance, lcss_length, lcss_similarity
 from .ldd import ldd
 from .profile import DistanceProfile, ProfilePiece, distance_profile
@@ -33,6 +40,11 @@ __all__ = [
     "merged_timestamps",
     "resolve_period",
     "segment_dissim",
+    "KERNEL_MODES",
+    "resolve_kernels",
+    "segment_dissim_batch",
+    "segment_dissim_batch_python",
+    "make_segment_dissim_batch",
     "ldd",
     "DistanceProfile",
     "ProfilePiece",

@@ -103,7 +103,10 @@ class DistanceTrinomial:
         if disc == 0.0:
             return 0.0
         f = self.squared_value_at(tau)
-        f15 = f**1.5  # underflows to 0 for subnormal distances
+        # f^{3/2} as f * sqrt(f): correctly-rounded primitives, so the
+        # vectorised kernel reproduces it bit for bit (libm pow does
+        # not match numpy's); underflows to 0 for subnormal distances.
+        f15 = f * math.sqrt(f)
         if f15 == 0.0:
             return math.inf
         return disc / (4.0 * f15)
@@ -199,7 +202,7 @@ class DistanceTrinomial:
             curvature = self.second_derivative_at(tau0)
         else:
             curvature = self.second_derivative_at(tau1)
-        bound = dt**3 / 12.0 * curvature
+        bound = dt * dt * dt / 12.0 * curvature
         if not math.isfinite(bound):
             # Objects collide inside the panel: curvature blows up, but
             # the trapezoid value itself (exact >= 0 and trapezoid >=

@@ -179,6 +179,50 @@ class MindistCache:
 
         return cached_mindist
 
+    def wrap_batch(
+        self, base_batch_fn, query, query_key, t_start: float, t_end: float
+    ):
+        """A drop-in for :func:`repro.index.mindist.mindist_batch` over
+        the *same* scope memo as :meth:`wrap` — entries already resolved
+        by a scalar (or earlier batched) evaluation are looked up, and
+        ``base_batch_fn`` only sees the still-missing boxes."""
+        scope_key = (query_key, (t_start, t_end))
+        memo = self.scopes.get(scope_key)
+        if memo is None:
+            memo = {}
+            self.scopes.put(scope_key, memo)
+        _MISS = object()
+
+        def cached_mindist_batch(q, boxes, lo, hi):
+            results = [None] * len(boxes)
+            missing_idx: list[int] = []
+            missing_boxes = []
+            for i, mbr in enumerate(boxes):
+                key = (
+                    mbr.xmin, mbr.ymin, mbr.tmin,
+                    mbr.xmax, mbr.ymax, mbr.tmax,
+                )
+                value = memo.get(key, _MISS)
+                if value is _MISS:
+                    missing_idx.append(i)
+                    missing_boxes.append(mbr)
+                else:
+                    results[i] = value
+            with self._lock:
+                self.hits += len(boxes) - len(missing_idx)
+                self.misses += len(missing_idx)
+            if missing_idx:
+                fresh = base_batch_fn(q, missing_boxes, lo, hi)
+                for i, mbr, value in zip(missing_idx, missing_boxes, fresh):
+                    memo[
+                        (mbr.xmin, mbr.ymin, mbr.tmin,
+                         mbr.xmax, mbr.ymax, mbr.tmax)
+                    ] = value
+                    results[i] = value
+            return results
+
+        return cached_mindist_batch
+
     def clear(self) -> None:
         self.scopes.clear()
 
@@ -235,6 +279,41 @@ class SegmentDissimCache:
             return value
 
         return cached_segment_dissim
+
+    def wrap_batch(self, base_batch_fn, query_key, t_start: float, t_end: float):
+        """A drop-in for :func:`repro.distance.segment_dissim_batch`
+        over the *same* scope memo as :meth:`wrap` — already-integrated
+        windows are looked up and ``base_batch_fn`` only sees the
+        still-missing ``(segment, lo, hi)`` items."""
+        scope_key = (query_key, (t_start, t_end))
+        memo = self.scopes.get(scope_key)
+        if memo is None:
+            memo = {}
+            self.scopes.put(scope_key, memo)
+
+        def cached_segment_dissim_batch(q, items):
+            results = [None] * len(items)
+            missing_idx: list[int] = []
+            missing_items = []
+            for i, item in enumerate(items):
+                key = (item[0], item[1], item[2])
+                value = memo.get(key)
+                if value is None:
+                    missing_idx.append(i)
+                    missing_items.append(item)
+                else:
+                    results[i] = value
+            with self._lock:
+                self.hits += len(items) - len(missing_idx)
+                self.misses += len(missing_idx)
+            if missing_idx:
+                fresh = base_batch_fn(q, missing_items)
+                for i, item, value in zip(missing_idx, missing_items, fresh):
+                    memo[(item[0], item[1], item[2])] = value
+                    results[i] = value
+            return results
+
+        return cached_segment_dissim_batch
 
     def clear(self) -> None:
         self.scopes.clear()

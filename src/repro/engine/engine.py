@@ -47,6 +47,8 @@ from ..search import api as _api
 from ..search.results import SearchResult
 from ..trajectory import Trajectory, TrajectoryDataset, read_csv, read_json
 from ..distance import segment_dissim as _base_segment_dissim
+from ..distance.kernels import make_segment_dissim_batch, resolve_kernels
+from ..index.mindist import make_mindist_batch
 from .cache import DissimRefinementCache, MindistCache, SegmentDissimCache
 from .executor import make_executor
 
@@ -103,7 +105,12 @@ class EngineConfig:
     (2 = root + its children; 0 disables pinning).  Cache sizes of 0
     disable the corresponding level.  ``executor`` is ``"serial"`` or
     ``"thread"``; the threaded executor treats the index as read-only
-    and enables the buffer manager's lock.
+    and enables the buffer manager's lock.  ``kernels`` selects the
+    hot-path implementation for k-MST queries (``"auto"`` picks the
+    vectorised numpy kernels when numpy is importable and the
+    pure-Python reference otherwise; ``"numpy"``/``"python"`` force
+    one; ``None`` keeps the classic per-entry scalar path) — see
+    :mod:`repro.distance.kernels`.
     """
 
     dissim_cache_size: int = 4096
@@ -112,6 +119,7 @@ class EngineConfig:
     pin_upper_levels: int = 2
     executor: str = "serial"
     max_workers: int | None = None
+    kernels: str | None = "auto"
 
 
 @dataclass
@@ -337,6 +345,25 @@ class QueryEngine:
             )
         if self.config.dissim_cache_size > 0:
             hooks["refinement_cache"] = self.dissim_cache.view(key, span)
+        if self.config.kernels is not None:
+            mode = resolve_kernels(self.config.kernels)
+            hooks["kernels"] = mode
+            base_mindist_batch = make_mindist_batch(mode)
+            base_segdissim_batch = make_segment_dissim_batch(mode)
+            if self.config.mindist_cache_scopes > 0:
+                hooks["mindist_batch_fn"] = self.mindist_cache.wrap_batch(
+                    base_mindist_batch, query, key, span[0], span[1]
+                )
+            else:
+                hooks["mindist_batch_fn"] = base_mindist_batch
+            if self.config.segdissim_cache_scopes > 0:
+                hooks["segment_dissim_batch_fn"] = (
+                    self.segdissim_cache.wrap_batch(
+                        base_segdissim_batch, key, span[0], span[1]
+                    )
+                )
+            else:
+                hooks["segment_dissim_batch_fn"] = base_segdissim_batch
         return hooks
 
     def _heap_scratch(self) -> list:

@@ -89,6 +89,7 @@ class ShardedQueryEngine:
             segdissim_cache_scopes=self.config.segdissim_cache_scopes,
             pin_upper_levels=self.config.pin_upper_levels,
             executor="serial",
+            kernels=self.config.kernels,
         )
         self.shard_engines = [
             QueryEngine(shard, None, config=shard_config)
@@ -185,6 +186,11 @@ class ShardedQueryEngine:
             hooks.pop("refinement_cache", None)
             shard_hooks[shard_id] = hooks
         out: dict = {"selected": plan.selected, "shard_hooks": shard_hooks}
+        if self.config.kernels is not None:
+            # Per-shard batch fns are already in shard_hooks; this makes
+            # the mode visible to the cross-shard driver for any shard
+            # hook bundle that lacks them.
+            out["kernels"] = self.config.kernels
         if isinstance(query, Trajectory) and self.config.dissim_cache_size > 0:
             span = tuple(period) if period is not None else (
                 query.t_start,

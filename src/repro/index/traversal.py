@@ -33,6 +33,7 @@ def best_first_nodes(
     t_end: float,
     *,
     mindist_fn=None,
+    mindist_batch_fn=None,
     heap: list | None = None,
 ) -> Iterator[tuple[float, Node]]:
     """Yield ``(mindist, node)`` pairs in increasing MINDIST order.
@@ -44,9 +45,13 @@ def best_first_nodes(
 
     ``mindist_fn`` substitutes the MINDIST evaluation (same signature
     and semantics as :func:`repro.index.mindist.mindist`); the query
-    engine passes a per-query memoising wrapper here.  ``heap`` lets a
-    caller donate a reusable list as the priority-queue scratch buffer
-    (it is cleared first); pass ``None`` for a private one.
+    engine passes a per-query memoising wrapper here.
+    ``mindist_batch_fn`` (signature of
+    :func:`repro.index.mindist.mindist_batch`) evaluates all entries of
+    a dequeued node in one call instead — when given it takes
+    precedence over ``mindist_fn``.  ``heap`` lets a caller donate a
+    reusable list as the priority-queue scratch buffer (it is cleared
+    first); pass ``None`` for a private one.
     """
     if index.root_page == NO_PAGE:
         return
@@ -76,8 +81,17 @@ def best_first_nodes(
             if node.is_leaf:
                 continue
             child_level = node.level - 1
-            for e in node.entries:
-                d = mindist_fn(query, e.mbr, t_start, t_end)
+            if mindist_batch_fn is not None:
+                dists = mindist_batch_fn(
+                    query, [e.mbr for e in node.entries], t_start, t_end
+                )
+            else:
+                dists = None
+            for i, e in enumerate(node.entries):
+                if dists is not None:
+                    d = dists[i]
+                else:
+                    d = mindist_fn(query, e.mbr, t_start, t_end)
                 if reg is not None:
                     reg.inc(f"index.mindist_evaluations.level_{child_level}")
                 if d is None:

@@ -192,8 +192,11 @@ def bfmst_search(
     use_heuristic2: bool = True,
     refine: bool = True,
     exclude_ids=frozenset(),
+    kernels: str | None = None,
     mindist_fn=None,
     segment_dissim_fn=None,
+    mindist_batch_fn=None,
+    segment_dissim_batch_fn=None,
     refinement_cache=None,
     heap_scratch: list | None = None,
     trace=None,
@@ -202,7 +205,10 @@ def bfmst_search(
 
     Unified form: ``bfmst_search(ctx_or_index, dataset, query, *,
     period=None, k=1, ...) -> SearchResult`` (``dataset`` may be
-    ``None`` — BFMST reads only the index).  Legacy form
+    ``None`` — BFMST reads only the index).  ``kernels`` selects the
+    hot-path implementation (``"auto"``/``"numpy"``/``"python"``; see
+    :mod:`repro.distance.kernels`) — ``None`` keeps the classic
+    per-entry scalar path.  Legacy form
     ``bfmst_search(index, query, period, k=...)`` still returns the old
     ``(matches, stats)`` tuple with a :class:`DeprecationWarning`.
     """
@@ -234,6 +240,7 @@ def bfmst_search(
             matches, stats = _bfmst.bfmst_search_sharded(
                 index, query, period, k, vmax,
                 use_heuristic1, use_heuristic2, refine, exclude_ids,
+                kernels=hooks.get("kernels", kernels),
                 selected=hooks.get("selected"),
                 shard_hooks=hooks.get("shard_hooks"),
                 refinement_cache=hooks.get(
@@ -245,9 +252,16 @@ def bfmst_search(
             matches, stats = _bfmst.bfmst_search(
                 index, query, period, k, vmax,
                 use_heuristic1, use_heuristic2, refine, exclude_ids,
+                kernels=hooks.get("kernels", kernels),
                 mindist_fn=hooks.get("mindist_fn", mindist_fn),
                 segment_dissim_fn=hooks.get(
                     "segment_dissim_fn", segment_dissim_fn
+                ),
+                mindist_batch_fn=hooks.get(
+                    "mindist_batch_fn", mindist_batch_fn
+                ),
+                segment_dissim_batch_fn=hooks.get(
+                    "segment_dissim_batch_fn", segment_dissim_batch_fn
                 ),
                 refinement_cache=hooks.get(
                     "refinement_cache", refinement_cache

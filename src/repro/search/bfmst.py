@@ -50,10 +50,12 @@ import threading
 from contextlib import nullcontext
 
 from ..distance import PartialDissim, segment_dissim
+from ..distance.kernels import make_segment_dissim_batch
 from ..distance.trinomial import IntegralResult
 from ..exceptions import QueryError, TemporalCoverageError
 from ..geometry import STSegment
 from ..index import TrajectoryIndex, best_first_nodes
+from ..index.mindist import make_mindist_batch
 from ..obs import state as _obs
 from ..trajectory import Trajectory
 from .results import MSTMatch, SearchStats
@@ -163,6 +165,8 @@ def _search_shard(
     *,
     mindist_fn=None,
     segment_dissim_fn=None,
+    mindist_batch_fn=None,
+    segment_dissim_batch_fn=None,
     heap_scratch: list | None = None,
 ) -> tuple[dict[int, _Candidate], dict[int, _Candidate]]:
     """Advance one tree's best-first traversal to completion under a
@@ -172,6 +176,14 @@ def _search_shard(
     against ``top.threshold``, which — when ``top`` is shared across
     shards — may tighten at any moment from another shard's progress.
     Mutates ``stats`` (one shard's counters) in place.
+
+    The two batch hooks switch the hot path to the vectorised kernels:
+    ``mindist_batch_fn`` scores all entries of a dequeued internal node
+    in one call, ``segment_dissim_batch_fn`` integrates all qualifying
+    windows of a leaf up front; the per-entry state updates then
+    *replay* those precomputed results in the original sequential
+    order, so pruning/completion decisions — and the answer — are
+    exactly those of the scalar path.
     """
     seg_dissim = segment_dissim_fn or segment_dissim
     io_before = index.pagefile.stats.snapshot()
@@ -183,7 +195,13 @@ def _search_shard(
     dequeued = 0
 
     for node_dist, node in best_first_nodes(
-        index, query, t_start, t_end, mindist_fn=mindist_fn, heap=heap_scratch
+        index,
+        query,
+        t_start,
+        t_end,
+        mindist_fn=mindist_fn,
+        mindist_batch_fn=mindist_batch_fn,
+        heap=heap_scratch,
     ):
         dequeued += 1
         # ---- Heuristic 2: MINDISSIMINC early termination -------------
@@ -209,7 +227,32 @@ def _search_shard(
         stats.leaf_accesses += 1
 
         # ---- leaf processing: temporal plane sweep -------------------
-        for entry in sorted(node.entries, key=lambda e: e.segment.ts):
+        entries = sorted(node.entries, key=lambda e: e.segment.ts)
+        if segment_dissim_batch_fn is not None:
+            # Integrate every window qualifying *now* in one batch; the
+            # sequential replay below may skip a few of them (a
+            # candidate completing or being rejected mid-leaf), which
+            # wastes their integrals but changes no decision.
+            batch_pos: dict[int, int] | None = {}
+            batch_items = []
+            for i, entry in enumerate(entries):
+                tid = entry.trajectory_id
+                if tid in rejected or tid in completed:
+                    continue
+                lo = max(entry.segment.ts, t_start)
+                hi = min(entry.segment.te, t_end)
+                if lo >= hi:
+                    continue
+                batch_pos[i] = len(batch_items)
+                batch_items.append((entry.segment, lo, hi))
+            batch_results = (
+                segment_dissim_batch_fn(query, batch_items)
+                if batch_items
+                else []
+            )
+        else:
+            batch_pos = None
+        for i, entry in enumerate(entries):
             tid = entry.trajectory_id
             if tid in rejected or tid in completed:
                 continue
@@ -222,7 +265,10 @@ def _search_shard(
                 cand = _Candidate(tid, t_start, t_end)
                 valid[tid] = cand
                 stats.candidates_created += 1
-            integral, d_lo, d_hi = seg_dissim(query, entry.segment, lo, hi)
+            if batch_pos is not None:
+                integral, d_lo, d_hi = batch_results[batch_pos[i]]
+            else:
+                integral, d_lo, d_hi = seg_dissim(query, entry.segment, lo, hi)
             if cand.partial.add_interval(lo, hi, integral, d_lo, d_hi):
                 cand.windows.append((lo, hi, entry.segment, integral))
             stats.entries_processed += 1
@@ -280,6 +326,9 @@ def _counters_before(trace):
         reg.value("index.mindist_evaluations"),
         reg.value("distance.exact_integrals"),
         reg.value("distance.trapezoid_integrals"),
+        reg.value("distance.kernel_batches"),
+        reg.value("distance.kernel_segments"),
+        reg.value("index.mindist_batched"),
     )
 
 
@@ -294,6 +343,9 @@ def _harvest(trace, stats, before) -> None:
     stats.trapezoid_evals = (
         reg.value("distance.trapezoid_integrals") - before[2]
     )
+    stats.kernel_batches = reg.value("distance.kernel_batches") - before[3]
+    stats.kernel_segments = reg.value("distance.kernel_segments") - before[4]
+    stats.mindist_batched = reg.value("index.mindist_batched") - before[5]
     stats.heap_high_water = int(reg.gauge("index.heap_high_water").value)
     reg.inc("search.bfmst.queries")
     reg.inc("search.bfmst.node_accesses", stats.node_accesses)
@@ -320,8 +372,11 @@ def bfmst_search(
     refine: bool = True,
     exclude_ids: set[int] | frozenset[int] = frozenset(),
     *,
+    kernels: str | None = None,
     mindist_fn=None,
     segment_dissim_fn=None,
+    mindist_batch_fn=None,
+    segment_dissim_batch_fn=None,
     refinement_cache=None,
     heap_scratch: list | None = None,
 ) -> tuple[list[MSTMatch], SearchStats]:
@@ -339,6 +394,13 @@ def bfmst_search(
     for repeated queries, and ``heap_scratch`` donates a reusable
     priority-queue buffer.  None of them changes the answer, only the
     work done.
+
+    ``kernels`` selects the hot-path implementation: ``"numpy"`` (the
+    vectorised kernels), ``"python"`` (the batched call plumbing over
+    the scalar reference code) or ``"auto"`` (numpy when importable).
+    ``None`` — the default — keeps the classic per-entry scalar path.
+    Explicit ``mindist_batch_fn`` / ``segment_dissim_batch_fn`` hooks
+    (the engine's caching wrappers) override the resolved kernels.
 
     A :class:`~repro.sharding.ShardedIndex` is accepted too and
     delegates to :func:`bfmst_search_sharded` (the per-shard hooks are
@@ -383,6 +445,7 @@ def bfmst_search(
             use_heuristic2,
             refine,
             exclude_ids,
+            kernels=kernels,
             refinement_cache=refinement_cache,
         )
     t_start, t_end = _validate(query, period, k)
@@ -390,6 +453,11 @@ def bfmst_search(
         vmax = index.max_speed + query.max_speed()
     if vmax < 0.0:
         raise QueryError(f"negative vmax {vmax}")
+    if kernels is not None:
+        if mindist_batch_fn is None:
+            mindist_batch_fn = make_mindist_batch(kernels)
+        if segment_dissim_batch_fn is None:
+            segment_dissim_batch_fn = make_segment_dissim_batch(kernels)
 
     stats = SearchStats(total_nodes=index.num_nodes)
 
@@ -415,6 +483,8 @@ def bfmst_search(
         stats,
         mindist_fn=mindist_fn,
         segment_dissim_fn=segment_dissim_fn,
+        mindist_batch_fn=mindist_batch_fn,
+        segment_dissim_batch_fn=segment_dissim_batch_fn,
         heap_scratch=heap_scratch,
     )
     matches = _assemble(
@@ -436,6 +506,7 @@ def bfmst_search_sharded(
     refine: bool = True,
     exclude_ids: set[int] | frozenset[int] = frozenset(),
     *,
+    kernels: str | None = None,
     selected: list[int] | None = None,
     shard_hooks: dict[int, dict] | None = None,
     refinement_cache=None,
@@ -460,8 +531,11 @@ def bfmst_search_sharded(
         query period is answer-preserving.
     shard_hooks:
         Optional per-shard-id dict of ``mindist_fn`` /
-        ``segment_dissim_fn`` / ``heap_scratch`` hooks (the sharded
-        engine's caches).
+        ``segment_dissim_fn`` / ``mindist_batch_fn`` /
+        ``segment_dissim_batch_fn`` / ``heap_scratch`` hooks (the
+        sharded engine's caches).  ``kernels`` (same semantics as
+        :func:`bfmst_search`) supplies batch implementations to shards
+        whose hooks leave them unset.
     executor:
         Anything with ``.map(fn, items)`` (e.g. the engine's
         :class:`~repro.engine.executor.ThreadedExecutor`) to advance
@@ -490,6 +564,12 @@ def bfmst_search_sharded(
 
     top: _TopK = _SharedTopK(k) if len(selected) > 1 else _TopK(k)
     hooks_by_shard = shard_hooks or {}
+    if kernels is not None:
+        default_mindist_batch = make_mindist_batch(kernels)
+        default_segdissim_batch = make_segment_dissim_batch(kernels)
+    else:
+        default_mindist_batch = None
+        default_segdissim_batch = None
 
     def run(shard_id: int):
         shard_stats = SearchStats(total_nodes=shards[shard_id].num_nodes)
@@ -507,6 +587,12 @@ def bfmst_search_sharded(
             shard_stats,
             mindist_fn=hooks.get("mindist_fn"),
             segment_dissim_fn=hooks.get("segment_dissim_fn"),
+            mindist_batch_fn=hooks.get(
+                "mindist_batch_fn", default_mindist_batch
+            ),
+            segment_dissim_batch_fn=hooks.get(
+                "segment_dissim_batch_fn", default_segdissim_batch
+            ),
             heap_scratch=hooks.get("heap_scratch"),
         )
         return shard_id, completed, valid, shard_stats

@@ -72,6 +72,13 @@ class SearchStats:
     exact_integral_evals: int = 0
     trapezoid_evals: int = 0
     h2_termination_depth: int = 0
+    # vectorised-kernel usage: how much of the query ran batched.
+    # kernel_batches / kernel_segments count segment-DISSIM batches and
+    # the windows they covered; mindist_batched counts batched node
+    # expansions.  All zero on the scalar (kernels="python"/None) path.
+    kernel_batches: int = 0
+    kernel_segments: int = 0
+    mindist_batched: int = 0
     extra: dict = field(default_factory=dict)
 
     @property

@@ -10,12 +10,15 @@ from .analysis import (
     speed_profile,
     total_turning,
 )
+from .columns import TrajectoryColumns, dataset_columns
 from .dataset import TrajectoryDataset
 from .io import read_csv, read_json, write_csv, write_json
 from .trajectory import Trajectory
 
 __all__ = [
     "Trajectory",
+    "TrajectoryColumns",
+    "dataset_columns",
     "SamplingStats",
     "Stop",
     "speed_profile",

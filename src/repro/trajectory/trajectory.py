@@ -33,7 +33,7 @@ class Trajectory:
         required so that the trajectory spans a positive time interval.
     """
 
-    __slots__ = ("object_id", "_samples", "_times")
+    __slots__ = ("object_id", "_samples", "_times", "_columns")
 
     def __init__(self, object_id, samples: Iterable[STPoint | tuple]) -> None:
         pts: list[STPoint] = []
@@ -61,6 +61,7 @@ class Trajectory:
         self.object_id = object_id
         self._samples: tuple[STPoint, ...] = tuple(pts)
         self._times: tuple[float, ...] = tuple(p.t for p in pts)
+        self._columns = None
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -260,6 +261,15 @@ class Trajectory:
         ys = [p.y for p in self._samples]
         ts = list(self._times)
         return xs, ys, ts
+
+    def columns(self):
+        """Memoised columnar view of the samples (built once; the
+        trajectory is immutable, so it is never invalidated)."""
+        if self._columns is None:
+            from .columns import TrajectoryColumns
+
+            self._columns = TrajectoryColumns(self)
+        return self._columns
 
     def normalised(
         self,

@@ -1,0 +1,515 @@
+"""The vectorised kernel layer: columnar trajectory views, batched
+segment-DISSIM / MINDIST kernels, and end-to-end kernel-dispatch parity
+(numpy vs pure Python) of the BFMST search on both trees and through
+the sharded engine path."""
+
+import builtins
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    RTree3D,
+    TBTree,
+    Trajectory,
+    TrajectoryDataset,
+    generate_gstd,
+    make_workload,
+)
+from repro.distance import fast, kernels
+from repro.distance.dissim import segment_dissim
+from repro.distance.kernels import (
+    make_segment_dissim_batch,
+    resolve_kernels,
+    segment_dissim_batch,
+    segment_dissim_batch_python,
+)
+from repro.distance.trinomial import DistanceTrinomial
+from repro.engine import EngineConfig, QueryEngine, QueryRequest
+from repro.exceptions import QueryError, TemporalCoverageError
+from repro.geometry import MBR3D, STSegment, distance_trinomial_coefficients
+from repro.index.mindist import (
+    make_mindist_batch,
+    mindist,
+    mindist_batch,
+    mindist_batch_python,
+)
+from repro.obs import query_trace
+from repro.search import api as search_api
+from repro.search.bfmst import bfmst_search
+from repro.sharding import (
+    PARTITIONER_KINDS,
+    ShardedDataset,
+    build_sharded_index,
+    make_partitioner,
+)
+from repro.trajectory import columns as columns_mod
+from repro.trajectory import dataset_columns
+
+coord = st.floats(min_value=-50.0, max_value=50.0)
+
+
+# ----------------------------------------------------------------------
+# shared worlds
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def gstd_world():
+    dataset = generate_gstd(30, samples_per_object=25, seed=11)
+    (query, period), = make_workload(dataset, 1, 0.15, seed=11)
+    return dataset, query, period
+
+
+def build_tree(tree_cls, dataset):
+    index = tree_cls(page_size=512)
+    index.bulk_insert(dataset)
+    index.finalize()
+    return index
+
+
+def iter_nodes(index):
+    stack = [index.root_page]
+    while stack:
+        node = index.read_node(stack.pop())
+        yield node
+        if not node.is_leaf:
+            stack.extend(e.child_page for e in node.entries)
+
+
+def window_items(dataset, query, period):
+    """The (segment, lo, hi) leaf windows a BFMST over ``dataset``
+    would integrate — every data segment clipped to the query period
+    and the query lifetime."""
+    items = []
+    for tr in dataset:
+        for seg in tr.segments_overlapping(period[0], period[1]):
+            lo = max(seg.ts, period[0], query.t_start)
+            hi = min(seg.te, period[1], query.t_end)
+            if lo < hi and query.covers(lo, hi):
+                items.append((seg, lo, hi))
+    return items
+
+
+@st.composite
+def trajectories(draw, oid=0):
+    n = draw(st.integers(min_value=2, max_value=8))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    return Trajectory(oid, [(draw(coord), draw(coord), t) for t in times])
+
+
+@st.composite
+def worlds(draw):
+    """A small dataset plus a query slice, as in test_bfmst_property."""
+    total = draw(st.floats(min_value=2.0, max_value=40.0))
+    n_objects = draw(st.integers(min_value=3, max_value=6))
+    dataset = TrajectoryDataset()
+    for oid in range(n_objects):
+        n = draw(st.integers(min_value=2, max_value=6))
+        interior = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.05, max_value=0.95),
+                    min_size=n - 2,
+                    max_size=n - 2,
+                    unique=True,
+                )
+            )
+        )
+        times = sorted({0.0, *[f * total for f in interior], total})
+        dataset.add(
+            Trajectory(oid, [(draw(coord), draw(coord), t) for t in times])
+        )
+    f_lo = draw(st.floats(min_value=0.0, max_value=0.6))
+    f_len = draw(st.floats(min_value=0.2, max_value=0.39))
+    period = (f_lo * total, (f_lo + f_len) * total)
+    source = dataset[draw(st.integers(min_value=0, max_value=n_objects - 1))]
+    query = source.sliced(*period).with_id(-1)
+    return dataset, query, period
+
+
+# ----------------------------------------------------------------------
+# columnar view
+# ----------------------------------------------------------------------
+class TestColumnarView:
+    @given(trajectories())
+    @settings(max_examples=60, deadline=None)
+    def test_columns_round_trip_samples_exactly(self, traj):
+        cols = traj.columns()
+        assert list(cols.t) == [p.t for p in traj.samples]
+        assert list(cols.x) == [p.x for p in traj.samples]
+        assert list(cols.y) == [p.y for p in traj.samples]
+        # memoised: the view is built once per trajectory
+        assert traj.columns() is cols
+
+    @given(trajectories())
+    @settings(max_examples=30, deadline=None)
+    def test_numpy_views_are_zero_copy_and_read_only(self, traj):
+        np = pytest.importorskip("numpy")
+        cols = traj.columns()
+        t = cols.t_view()
+        assert t.dtype == np.float64
+        assert not t.flags.writeable
+        assert cols.t_view() is t  # memoised
+        assert t.tolist() == [p.t for p in traj.samples]
+        xy = cols.xy()
+        assert xy.shape == (len(traj.samples), 2)
+        assert not xy.flags.writeable
+        assert cols.xy() is xy
+        assert xy[:, 0].tolist() == [p.x for p in traj.samples]
+        assert xy[:, 1].tolist() == [p.y for p in traj.samples]
+
+    def test_dataset_columns_cached_until_dataset_changes(self):
+        dataset = TrajectoryDataset()
+        dataset.add(Trajectory(1, [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]))
+        dataset.add(Trajectory(2, [(2.0, 0.0, 0.0), (1.0, 3.0, 2.0)]))
+        first = dataset_columns(dataset)
+        assert set(first) == {1, 2}
+        assert first[1] is dataset.get(1).columns()
+        # same signature -> the cached mapping is returned as-is
+        assert dataset_columns(dataset) is first
+        # structural change -> new signature -> fresh mapping
+        dataset.add(Trajectory(3, [(0.0, 0.0, 0.0), (5.0, 5.0, 5.0)]))
+        second = dataset_columns(dataset)
+        assert second is not first
+        assert set(second) == {1, 2, 3}
+
+    def test_coords_served_from_columns(self):
+        pytest.importorskip("numpy")
+        traj = Trajectory(7, [(0.0, 1.0, 0.0), (2.0, 3.0, 1.0)])
+        arr = fast.coords(traj)
+        assert arr is traj.columns().xy()
+        assert fast.coords(traj) is arr
+
+
+# ----------------------------------------------------------------------
+# batched segment DISSIM
+# ----------------------------------------------------------------------
+class TestSegmentDissimBatch:
+    def test_matches_scalar_on_gstd(self, gstd_world):
+        pytest.importorskip("numpy")
+        dataset, query, period = gstd_world
+        items = window_items(dataset, query, period)
+        assert len(items) > 100
+        got = segment_dissim_batch(query, items)
+        for (seg, lo, hi), (integral, d0, d1) in zip(items, got):
+            w_integral, w_d0, w_d1 = segment_dissim(query, seg, lo, hi)
+            assert integral.approx == w_integral.approx
+            assert integral.error_bound == w_integral.error_bound
+            assert d0 == w_d0
+            assert d1 == w_d1
+
+    @given(worlds())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_numpy_equals_python_batch_on_arbitrary_worlds(self, world):
+        pytest.importorskip("numpy")
+        dataset, query, period = world
+        items = window_items(dataset, query, period)
+        if not items:
+            return
+        got = segment_dissim_batch(query, items)
+        want = segment_dissim_batch_python(query, items)
+        for (g_int, g0, g1), (w_int, w0, w1) in zip(got, want):
+            rel = 1e-9 * max(1.0, abs(w_int.approx))
+            assert abs(g_int.approx - w_int.approx) <= rel
+            assert abs(g_int.error_bound - w_int.error_bound) <= rel
+            assert g0 == pytest.approx(w0, rel=1e-9, abs=1e-12)
+            assert g1 == pytest.approx(w1, rel=1e-9, abs=1e-12)
+
+    @given(
+        qx0=coord, qy0=coord, qx1=coord, qy1=coord,
+        sx0=coord, sy0=coord, sx1=coord, sy1=coord,
+        lo=st.floats(min_value=1.0, max_value=4.0),
+        hi=st.floats(min_value=5.0, max_value=9.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_piece_equals_trinomial_coefficients(
+        self, qx0, qy0, qx1, qy1, sx0, sy0, sx1, sy1, lo, hi
+    ):
+        """One window inside one query segment: the batched result is
+        exactly the trapezoid integral of
+        :func:`distance_trinomial_coefficients` over the clipped pair."""
+        pytest.importorskip("numpy")
+        query = Trajectory(-1, [(qx0, qy0, 0.0), (qx1, qy1, 10.0)])
+        seg = Trajectory(1, [(sx0, sy0, 0.5), (sx1, sy1, 9.5)]).segment_covering(5.0)
+        q_seg = query.segment_covering((lo + hi) / 2.0)
+        a, b, c, t_lo, t_hi = distance_trinomial_coefficients(
+            q_seg.clipped(lo, hi), seg.clipped(lo, hi)
+        )
+        assert (t_lo, t_hi) == (lo, hi)
+        want = DistanceTrinomial(a, b, c).trapezoid_integral(0.0, hi - lo)
+        ((integral, _d0, _d1),) = segment_dissim_batch(query, [(seg, lo, hi)])
+        assert integral.approx == pytest.approx(want.approx, rel=1e-9, abs=1e-12)
+        assert integral.error_bound == pytest.approx(
+            want.error_bound, rel=1e-9, abs=1e-12
+        )
+
+    def test_rejects_bad_windows_like_scalar(self, gstd_world):
+        pytest.importorskip("numpy")
+        _dataset, query, _period = gstd_world
+        seg = query.segment_covering(query.t_start)
+        with pytest.raises(QueryError):
+            segment_dissim_batch(query, [(seg, seg.ts - 1.0, seg.te)])
+        outside = Trajectory(
+            9, [(0.0, 0.0, query.t_end + 1.0), (1.0, 1.0, query.t_end + 2.0)]
+        ).segment_covering(query.t_end + 1.5)
+        with pytest.raises(TemporalCoverageError):
+            segment_dissim_batch(query, [(outside, outside.ts, outside.te)])
+
+
+# ----------------------------------------------------------------------
+# batched MINDIST
+# ----------------------------------------------------------------------
+class TestMindistBatch:
+    @pytest.mark.parametrize(
+        "tree_cls", (RTree3D, TBTree), ids=lambda c: c.__name__
+    )
+    def test_matches_scalar_on_every_tree_node(self, tree_cls, gstd_world):
+        pytest.importorskip("numpy")
+        dataset, query, period = gstd_world
+        index = build_tree(tree_cls, dataset)
+        checked = 0
+        for node in iter_nodes(index):
+            boxes = [e.mbr for e in node.entries]
+            if not boxes:
+                continue
+            got = mindist_batch(query, boxes, *period)
+            want = mindist_batch_python(query, boxes, *period)
+            assert got == want
+            checked += len(boxes)
+        assert checked > 50
+
+    @given(
+        data=st.data(),
+        traj=trajectories(oid=-1),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_matches_scalar_on_random_boxes(self, data, traj):
+        pytest.importorskip("numpy")
+        n = data.draw(st.integers(min_value=1, max_value=8))
+        boxes = []
+        tspan = st.floats(
+            min_value=traj.t_start - 5.0, max_value=traj.t_end + 5.0
+        )
+        for _ in range(n):
+            x1, x2 = sorted((data.draw(coord), data.draw(coord)))
+            y1, y2 = sorted((data.draw(coord), data.draw(coord)))
+            t1, t2 = sorted((data.draw(tspan), data.draw(tspan)))
+            boxes.append(MBR3D(x1, y1, t1, x2, y2, t2))
+        period = (traj.t_start, traj.t_end)
+        got = mindist_batch(traj, boxes, *period)
+        want = [mindist(traj, box, *period) for box in boxes]
+        for g, w in zip(got, want):
+            if w is None:
+                assert g is None
+            else:
+                assert g == pytest.approx(w, rel=1e-9, abs=1e-12)
+
+    def test_instant_window_and_disjoint_boxes(self):
+        pytest.importorskip("numpy")
+        traj = Trajectory(-1, [(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)])
+        instant = MBR3D(2.0, 1.0, 5.0, 3.0, 2.0, 5.0)  # tmin == tmax
+        disjoint = MBR3D(0.0, 0.0, 20.0, 1.0, 1.0, 30.0)  # after lifetime
+        got = mindist_batch(traj, [instant, disjoint], 0.0, 10.0)
+        assert got[0] == mindist(traj, instant, 0.0, 10.0)
+        assert got[1] is None
+
+
+# ----------------------------------------------------------------------
+# BFMST parity: kernels="python" vs kernels="numpy"
+# ----------------------------------------------------------------------
+def assert_same_answers(got, want):
+    assert [m.trajectory_id for m in got] == [m.trajectory_id for m in want]
+    for g, w in zip(got, want):
+        assert g.dissim == pytest.approx(w.dissim, rel=1e-9, abs=1e-12)
+        assert g.error_bound == pytest.approx(
+            w.error_bound, rel=1e-9, abs=1e-12
+        )
+        assert g.exact == w.exact
+
+
+class TestBFMSTKernelParity:
+    @pytest.mark.parametrize(
+        "tree_cls", (RTree3D, TBTree), ids=lambda c: c.__name__
+    )
+    def test_single_tree_identical_rankings(self, tree_cls, gstd_world):
+        pytest.importorskip("numpy")
+        dataset, query, period = gstd_world
+        index = build_tree(tree_cls, dataset)
+        for k in (1, 5, 10):
+            scalar, s_stats = bfmst_search(
+                index, query, period, k, kernels="python"
+            )
+            vector, v_stats = bfmst_search(
+                index, query, period, k, kernels="numpy"
+            )
+            classic, _ = bfmst_search(index, query, period, k)
+            assert_same_answers(vector, scalar)
+            assert_same_answers(vector, classic)
+            assert v_stats.candidates_rejected == s_stats.candidates_rejected
+            assert v_stats.node_accesses == s_stats.node_accesses
+
+    @pytest.mark.parametrize("partitioner_kind", PARTITIONER_KINDS)
+    def test_sharded_identical_rankings(self, partitioner_kind, gstd_world):
+        pytest.importorskip("numpy")
+        dataset, query, period = gstd_world
+        sharded_ds = ShardedDataset.partition(
+            dataset, make_partitioner(partitioner_kind, 3)
+        )
+        sharded = build_sharded_index(sharded_ds, RTree3D, page_size=512)
+        try:
+            scalar = search_api.bfmst_search(
+                sharded, None, query, period=period, k=5, kernels="python"
+            )
+            vector = search_api.bfmst_search(
+                sharded, None, query, period=period, k=5, kernels="numpy"
+            )
+            assert_same_answers(vector.matches, scalar.matches)
+        finally:
+            sharded.close()
+
+    @given(worlds())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_parity_on_arbitrary_worlds(self, world):
+        pytest.importorskip("numpy")
+        dataset, query, period = world
+        for tree_cls in (RTree3D, TBTree):
+            index = build_tree(tree_cls, dataset)
+            scalar, _ = bfmst_search(index, query, period, 3, kernels="python")
+            vector, _ = bfmst_search(index, query, period, 3, kernels="numpy")
+            assert_same_answers(vector, scalar)
+
+    def test_engine_dispatch_and_batch_caches(self, gstd_world):
+        pytest.importorskip("numpy")
+        dataset, query, period = gstd_world
+        answers = {}
+        for mode in ("numpy", "python", None):
+            index = build_tree(RTree3D, dataset)
+            with QueryEngine(
+                index, dataset, config=EngineConfig(kernels=mode)
+            ) as engine:
+                request = QueryRequest("mst", query, period, k=5)
+                first = engine.execute(request)
+                # the second run must be answered from the batch-aware
+                # per-query memos, not recomputed
+                second = engine.execute(request)
+                assert [m.trajectory_id for m in first.matches] == [
+                    m.trajectory_id for m in second.matches
+                ]
+                if mode is not None:
+                    assert engine.mindist_cache.hits > 0
+                    assert engine.segdissim_cache.hits > 0
+                answers[mode] = first.matches
+        assert_same_answers(answers["numpy"], answers["python"])
+        assert_same_answers(answers["numpy"], answers[None])
+
+
+# ----------------------------------------------------------------------
+# observability counters
+# ----------------------------------------------------------------------
+class TestKernelCounters:
+    def test_numpy_path_reports_kernel_usage(self, gstd_world):
+        pytest.importorskip("numpy")
+        dataset, query, period = gstd_world
+        index = build_tree(RTree3D, dataset)
+        with query_trace(index, name="kernels-numpy") as trace:
+            _matches, stats = bfmst_search(
+                index, query, period, 5, kernels="numpy"
+            )
+        assert stats.kernel_batches > 0
+        assert stats.kernel_segments > 0
+        assert stats.mindist_batched > 0
+        doc = stats.as_dict()
+        assert doc["kernel_batches"] == stats.kernel_batches
+        assert trace.registry.value("distance.kernel_batches") > 0
+        assert trace.registry.value("index.mindist_batched") > 0
+
+    def test_scalar_paths_report_zero(self, gstd_world):
+        dataset, query, period = gstd_world
+        index = build_tree(RTree3D, dataset)
+        for mode in ("python", None):
+            with query_trace(index, name=f"kernels-{mode}"):
+                _matches, stats = bfmst_search(
+                    index, query, period, 5, kernels=mode
+                )
+            assert stats.kernel_batches == 0
+            assert stats.kernel_segments == 0
+            assert stats.mindist_batched == 0
+
+
+# ----------------------------------------------------------------------
+# numpy-less fallback
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def no_numpy(monkeypatch):
+    """Make ``import numpy`` fail and clear every module's memo."""
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy is not installed (simulated)")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(fast, "_np", None)
+    monkeypatch.setattr(kernels, "_np", None)
+    monkeypatch.setattr(columns_mod, "_np", None)
+    monkeypatch.setattr(builtins, "__import__", blocked)
+    yield
+    fast._np = None
+    kernels._np = None
+    columns_mod._np = None
+
+
+class TestPythonFallback:
+    def test_resolution_without_numpy(self, no_numpy):
+        assert not kernels.have_numpy()
+        assert resolve_kernels("auto") == "python"
+        assert resolve_kernels("python") == "python"
+        with pytest.raises(ImportError, match="optional extra"):
+            resolve_kernels("numpy")
+        assert make_segment_dissim_batch("auto") is segment_dissim_batch_python
+        assert make_mindist_batch("auto") is mindist_batch_python
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernels mode"):
+            resolve_kernels("fortran")
+
+    def test_columns_build_without_numpy_views_raise(self, no_numpy):
+        traj = Trajectory(1, [(0.0, 1.0, 0.0), (2.0, 3.0, 1.0)])
+        cols = traj.columns()
+        assert list(cols.t) == [0.0, 1.0]
+        with pytest.raises(ImportError, match="optional"):
+            cols.t_view()
+
+    def test_bfmst_auto_matches_classic_without_numpy(self, no_numpy):
+        dataset = generate_gstd(8, samples_per_object=10, seed=3)
+        (query, period), = make_workload(dataset, 1, 0.2, seed=3)
+        index = build_tree(RTree3D, dataset)
+        classic, _ = bfmst_search(index, query, period, 3)
+        auto, stats = bfmst_search(index, query, period, 3, kernels="auto")
+        assert [m.trajectory_id for m in auto] == [
+            m.trajectory_id for m in classic
+        ]
+        for g, w in zip(auto, classic):
+            assert g.dissim == w.dissim
+        assert stats.kernel_batches == 0  # python path counts nothing

@@ -6,7 +6,10 @@ import math
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from scipy.integrate import quad
+
+quad = pytest.importorskip(
+    "scipy.integrate", reason="quadrature oracle needs scipy"
+).quad
 
 from repro.distance import DistanceTrinomial, IntegralResult
 
