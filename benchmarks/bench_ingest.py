@@ -1,0 +1,154 @@
+"""Live ingestion throughput — points/sec absorbed while querying.
+
+Feeds a GSTD event stream into an :class:`repro.IngestStore`
+(WAL + memtable + generation compaction) while a reader thread runs
+k-MST queries against live views the whole time.  Reports sustained
+ingest throughput and concurrent query throughput; the run is **gated
+on zero answer drift**: at three checkpoints mid-stream and once at the
+end, the live merged answer must be byte-identical to a from-scratch
+rebuild of the store's current state.
+
+Human-readable table lands in ``benchmarks/results/``; the
+machine-readable document in ``BENCH_ingest.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit, scaled
+
+from repro import IngestStore
+from repro.datagen import generate_gstd, make_workload
+from repro.experiments import format_table
+from repro.search.api import bfmst_search
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+K = 5
+SYNC_EVERY = 64
+
+
+def _events(dataset):
+    return sorted(
+        ((tr.object_id, p.x, p.y, p.t) for tr in dataset for p in tr),
+        key=lambda e: (e[3], e[0]),
+    )
+
+
+def _oracle(dataset, query, period, k):
+    from repro.index import TBTree
+
+    index = TBTree()
+    for tr in dataset:
+        index.insert(tr)
+    index.finalize()
+    if index.num_entries == 0:
+        return []
+    result = bfmst_search(index, None, query, period=period, k=k)
+    return [(m.trajectory_id, m.dissim) for m in result.matches]
+
+
+def _live(store, query, period, k):
+    matches, _ = store.kmst(query, period, k)
+    return [(m.trajectory_id, m.dissim) for m in matches]
+
+
+def test_ingest_throughput(benchmark, tmp_path):
+    dataset = generate_gstd(
+        scaled(40), samples_per_object=scaled(60), seed=19
+    )
+    events = _events(dataset)
+    (query, period), = make_workload(dataset, 1, 0.3, seed=19)
+    checkpoints = [len(events) // 4, len(events) // 2, (3 * len(events)) // 4]
+
+    def run():
+        store = IngestStore.create(
+            tmp_path / "store",
+            sync_every=SYNC_EVERY,
+            auto_compact_points=max(500, len(events) // 6),
+        )
+        stop = threading.Event()
+        reader_stats = {"queries": 0, "errors": []}
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    store.kmst(query, period, K)
+                    reader_stats["queries"] += 1
+            except Exception as exc:
+                reader_stats["errors"].append(repr(exc))
+
+        thread = threading.Thread(target=reader, name="bench-reader")
+        drift_checks = 0
+        try:
+            thread.start()
+            t0 = time.perf_counter()
+            for i, (oid, x, y, t) in enumerate(events):
+                store.append(oid, x, y, t)
+                if i + 1 in checkpoints:
+                    want = _oracle(store.current_dataset(), query, period, K)
+                    got = _live(store, query, period, K)
+                    assert got == want, f"answer drift at checkpoint {i + 1}"
+                    drift_checks += 1
+            store.sync()
+            elapsed = time.perf_counter() - t0
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+
+        assert not reader_stats["errors"], reader_stats["errors"]
+
+        # the gate: final live answers byte-identical to a rebuild
+        final = store.current_dataset()
+        for k in (1, K, 10):
+            assert _live(store, query, period, k) == _oracle(
+                final, query, period, k
+            ), f"answer drift at k={k}"
+            drift_checks += 1
+
+        counters = dict(store.metrics.counters)
+        doc = {
+            "bench": "ingest",
+            "objects": len(dataset),
+            "points": len(events),
+            "sync_every": SYNC_EVERY,
+            "elapsed_s": elapsed,
+            "points_per_sec": len(events) / elapsed,
+            "queries_during_ingest": reader_stats["queries"],
+            "queries_per_sec": reader_stats["queries"] / elapsed,
+            "compactions": counters.get("ingest.compactions", 0),
+            "generation": store.generation_number,
+            "wal_syncs": counters.get("ingest.wal_syncs", 0),
+            "generation_pins": counters.get("ingest.generation_pins", 0),
+            "generation_unpins": counters.get("ingest.generation_unpins", 0),
+            "drift_checks": drift_checks,
+            "answer_drift": 0,
+        }
+        store.close()
+        return doc
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # pin leaks would show up here as a counter imbalance
+    assert doc["generation_pins"] == doc["generation_unpins"]
+    assert doc["drift_checks"] >= 6
+
+    text = format_table(
+        ["metric", "value"],
+        [
+            ["points absorbed", f"{doc['points']}"],
+            ["ingest points/s", f"{doc['points_per_sec']:.0f}"],
+            ["concurrent queries", f"{doc['queries_during_ingest']}"],
+            ["queries/s while ingesting", f"{doc['queries_per_sec']:.1f}"],
+            ["compactions", f"{doc['compactions']}"],
+            ["final generation", f"{doc['generation']}"],
+            ["drift checks (all clean)", f"{doc['drift_checks']}"],
+        ],
+        title="Live ingestion under concurrent k-MST queries (GSTD)",
+    )
+    emit("ingest", text, records=[doc])
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

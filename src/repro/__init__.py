@@ -71,6 +71,7 @@ from .distance import (
 from .engine import (
     BatchResult,
     EngineConfig,
+    LiveQueryEngine,
     QueryEngine,
     QueryRequest,
 )
@@ -85,6 +86,7 @@ from .exceptions import (
 )
 from .geometry import MBR2D, MBR3D, Point, STPoint, STSegment
 from .index import RStarTree, RTree3D, STRTree, TBTree, load_index, mindist, save_index
+from .ingest import IngestStore, LiveView, WriteAheadLog
 from .mod import MovingObjectDatabase
 from .obs import (
     MetricsRegistry,
@@ -185,6 +187,11 @@ __all__ = [
     "EngineConfig",
     "QueryRequest",
     "BatchResult",
+    # live ingestion
+    "IngestStore",
+    "LiveView",
+    "LiveQueryEngine",
+    "WriteAheadLog",
     # observability
     "MetricsRegistry",
     "NoopRegistry",

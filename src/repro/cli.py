@@ -15,6 +15,10 @@ Python::
     python -m repro shard query shards/ out.csv --k 5 --executor thread
     python -m repro shard inspect shards/
     python -m repro stats shards/ out.csv --k 5 --per-shard
+    python -m repro ingest init store/ --tree tbtree
+    python -m repro ingest feed store/ out.csv --compact-every 5000
+    python -m repro ingest query store/ --object 3 --k 5
+    python -m repro ingest info store/
     python -m repro experiment table2
     python -m repro experiment quality --trucks 20 --queries 10
 
@@ -220,6 +224,55 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="describe a saved sharded index"
     )
     sinspect.add_argument("directory", help="sharded manifest directory")
+
+    ingest = sub.add_parser(
+        "ingest", help="live ingestion: WAL, memtable, generations"
+    )
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+
+    iinit = ingest_sub.add_parser("init", help="initialise a store directory")
+    iinit.add_argument("directory", help="store directory to create")
+    iinit.add_argument("--tree", choices=_TREE_CHOICES, default="tbtree")
+    iinit.add_argument("--page-size", type=int, default=4096)
+
+    ifeed = ingest_sub.add_parser(
+        "feed",
+        help="stream a dataset's points into the store in time order",
+    )
+    ifeed.add_argument("directory", help="store directory")
+    ifeed.add_argument("dataset", help="dataset file (.csv or .json)")
+    ifeed.add_argument(
+        "--sync-every", type=int, default=64,
+        help="fsync the WAL every N appends (1 = per-point durability)",
+    )
+    ifeed.add_argument(
+        "--compact-every", type=int, default=None,
+        help="compact after absorbing this many memtable points",
+    )
+
+    iquery = ingest_sub.add_parser(
+        "query", help="run a k-MST query against the live store"
+    )
+    iquery.add_argument("directory", help="store directory")
+    iquery.add_argument(
+        "--object", type=int, default=None,
+        help="source object id for the query slice (default: random)",
+    )
+    iquery.add_argument(
+        "--window", type=float, default=0.1,
+        help="query length as a fraction of the source lifetime",
+    )
+    iquery.add_argument("--k", type=int, default=5)
+    iquery.add_argument("--seed", type=int, default=1)
+    add_kernels_flag(iquery)
+
+    icompact = ingest_sub.add_parser(
+        "compact", help="flush the memtable into a new generation"
+    )
+    icompact.add_argument("directory", help="store directory")
+
+    iinfo = ingest_sub.add_parser("info", help="describe a live store")
+    iinfo.add_argument("directory", help="store directory")
 
     exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     exp.add_argument(
@@ -607,6 +660,112 @@ def _cmd_shard_inspect(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    return {
+        "init": _cmd_ingest_init,
+        "feed": _cmd_ingest_feed,
+        "query": _cmd_ingest_query,
+        "compact": _cmd_ingest_compact,
+        "info": _cmd_ingest_info,
+    }[args.ingest_command](args)
+
+
+def _cmd_ingest_init(args) -> int:
+    from .ingest import IngestStore
+
+    with IngestStore.create(
+        args.directory, tree=args.tree, page_size=args.page_size
+    ) as store:
+        print(
+            f"initialised {args.directory} "
+            f"(tree={store.tree}, page_size={store.page_size})"
+        )
+    return 0
+
+
+def _cmd_ingest_feed(args) -> int:
+    from .ingest import IngestStore
+
+    dataset = _coerce_int_ids(_read_dataset(args.dataset))
+    events = sorted(
+        (p.t, tr.object_id, p.x, p.y) for tr in dataset for p in tr
+    )
+    with IngestStore.open(
+        args.directory,
+        sync_every=args.sync_every,
+        auto_compact_points=args.compact_every,
+    ) as store:
+        start = time.perf_counter()
+        for t, oid, x, y in events:
+            store.append(oid, x, y, t)
+        store.sync()
+        elapsed = time.perf_counter() - start
+        rate = len(events) / elapsed if elapsed > 0 else 0.0
+        print(
+            f"absorbed {len(events)} points of {len(dataset)} objects "
+            f"in {elapsed:.2f}s ({rate:.0f} points/s); "
+            f"generation {store.generation_number}, "
+            f"{store.memtable_points} memtable points"
+        )
+    return 0
+
+
+def _cmd_ingest_query(args) -> int:
+    from .ingest import IngestStore
+
+    with IngestStore.open(args.directory) as store:
+        dataset = store.current_dataset()
+        if len(dataset) == 0:
+            print("error: the store holds no queryable trajectories",
+                  file=sys.stderr)
+            return 2
+        source_id, query = _pick_query(args, dataset)
+        if query is None:
+            print(f"error: no object {source_id!r} in the store",
+                  file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        matches, stats = store.kmst(
+            query, (query.t_start, query.t_end), k=args.k,
+            kernels=args.kernels,
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"query from object {source_id} over "
+            f"[{query.t_start:.1f}, {query.t_end:.1f}] "
+            f"(generation {store.generation_number}, "
+            f"{store.memtable_points} memtable points)"
+        )
+        for rank, m in enumerate(matches, start=1):
+            print(f"  {rank}. object {m.trajectory_id}  "
+                  f"dissim={m.dissim:.4f}")
+        print(
+            f"{elapsed * 1000.0:.1f} ms, {stats.node_accesses} node "
+            f"accesses, pruning power {stats.pruning_power:.3f}"
+        )
+    return 0
+
+
+def _cmd_ingest_compact(args) -> int:
+    from .ingest import IngestStore
+
+    with IngestStore.open(args.directory) as store:
+        number = store.compact()
+        if number is None:
+            print("memtable empty; nothing to compact")
+        else:
+            print(f"published generation {number}")
+    return 0
+
+
+def _cmd_ingest_info(args) -> int:
+    from .ingest import IngestStore
+
+    with IngestStore.open(args.directory) as store:
+        print(json.dumps(store.info(), indent=2))
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     if args.which == "table2":
         rows = table2(scaled_specs(0.05 * args.scale))
@@ -668,6 +827,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "batch": _cmd_batch,
         "shard": _cmd_shard,
+        "ingest": _cmd_ingest,
         "experiment": _cmd_experiment,
     }[args.command]
     try:

@@ -17,12 +17,14 @@ from .engine import (
     query_key,
 )
 from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .live import LiveQueryEngine
 from .planner import QueryPlanner, ShardPlan, budget_buffers
 from .sharded import ShardedQueryEngine
 
 __all__ = [
     "QueryEngine",
     "ShardedQueryEngine",
+    "LiveQueryEngine",
     "EngineConfig",
     "QueryRequest",
     "BatchResult",

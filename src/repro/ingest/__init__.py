@@ -1,0 +1,32 @@
+"""repro.ingest — the live ingestion subsystem.
+
+Crash-safe online writes layered on the durable-storage machinery: a
+CRC-framed write-ahead log (:mod:`repro.ingest.wal`), a mutable
+TB-tree memtable (:mod:`repro.ingest.memtable`) and generation-based
+immutable serving with pinned, refcounted snapshots
+(:mod:`repro.ingest.store`).  See ``docs/INGEST.md`` for the formats
+and the recovery semantics.
+"""
+
+from .memtable import Memtable
+from .store import Generation, IngestStore, LiveView, merged_kmst
+from .wal import (
+    WAL_RECORD_BYTES,
+    WalRecord,
+    WriteAheadLog,
+    recover_wal,
+    replay_wal,
+)
+
+__all__ = [
+    "IngestStore",
+    "LiveView",
+    "Generation",
+    "Memtable",
+    "merged_kmst",
+    "WriteAheadLog",
+    "WalRecord",
+    "WAL_RECORD_BYTES",
+    "replay_wal",
+    "recover_wal",
+]

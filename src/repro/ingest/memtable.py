@@ -1,0 +1,135 @@
+"""The mutable in-memory index absorbing live appends.
+
+The memtable is a TB-tree — the one structure in the codebase built
+for this access pattern: a new point of an object appends one segment
+to the object's *active leaf* (``TBTree.insert_entry``), an O(1)
+amortised chained-leaf append, exactly the insertion path the original
+TB-tree paper designed for trajectory growth.
+
+An object lives in the memtable with its **entire** point history
+("dirty-set" semantics): the first post-compaction point of an object
+adopts the full history from the store, so the merged query path can
+search the memtable for dirty objects and the immutable generation for
+everything else — two disjoint sets whose union is exactly the
+from-scratch dataset, which is what makes live answers byte-identical
+to a rebuild.
+
+:meth:`Memtable.snapshot` freezes the current tree for lock-free
+querying: the build buffer is flushed and the in-memory page list is
+shallow-copied (pages are immutable ``bytes``), so a snapshot costs
+O(pages) pointer copies and shares all page data with the live tree.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import TrajectoryError
+from ..geometry import STPoint, STSegment
+from ..index import LeafEntry, TBTree
+from ..storage import InMemoryPageFile
+from ..trajectory import Trajectory
+
+__all__ = ["Memtable"]
+
+
+class Memtable:
+    """Mutable TB-tree plus the point buffers feeding it."""
+
+    def __init__(self, page_size: int = 4096, *, registry=None) -> None:
+        self.page_size = page_size
+        self._registry = registry
+        self._tree = TBTree(page_size=page_size)
+        #: object id -> full point history (``(x, y, t)`` tuples) of
+        #: every object that has received a point since the last
+        #: compaction (the dirty set), including single-point objects
+        #: whose first segment has not materialised yet.
+        self._points: dict[int, list[tuple[float, float, float]]] = {}
+        #: every point the memtable holds, seeded history included
+        self.num_points = 0
+        #: only the points that arrived since this memtable was born —
+        #: the compaction-threshold measure (seeding an object's history
+        #: re-counts old points in ``num_points`` but not here)
+        self.new_points = 0
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        if self._registry is not None:
+            self._registry.inc(name, n)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def adopt(self, object_id: int, history: list[tuple[float, float, float]]) -> None:
+        """Bring a (possibly pre-existing) object into the dirty set
+        with its full history; further points go through :meth:`append`.
+        """
+        if object_id in self._points:
+            raise TrajectoryError(f"object {object_id} already in memtable")
+        self._points[object_id] = pts = list(history)
+        self.num_points += len(pts)
+        self.new_points += 1  # the point that made the object dirty
+        if len(pts) >= 2:
+            self._tree.insert(Trajectory(object_id, pts))
+        if len(pts) > 1:
+            self._inc("ingest.memtable_seeds")
+
+    def append(self, object_id: int, x: float, y: float, t: float) -> None:
+        """Absorb one more point of an already-dirty object."""
+        pts = self._points[object_id]
+        prev = pts[-1]
+        pts.append((x, y, t))
+        self.num_points += 1
+        self.new_points += 1
+        if object_id in self._tree.trajectory_ids:
+            seg = STSegment(STPoint(*prev), STPoint(x, y, t))
+            if seg.speed > self._tree.max_speed:
+                self._tree.max_speed = seg.speed
+            self._tree.insert_entry(LeafEntry(object_id, seg))
+        elif len(pts) >= 2:
+            # second point of a brand-new object: its first segment(s)
+            self._tree.insert(Trajectory(object_id, pts))
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def dirty_ids(self) -> set[int]:
+        return set(self._points)
+
+    @property
+    def num_entries(self) -> int:
+        return self._tree.num_entries
+
+    @property
+    def max_speed(self) -> float:
+        return self._tree.max_speed
+
+    def points_of(self, object_id: int) -> list[tuple[float, float, float]]:
+        return list(self._points[object_id])
+
+    def snapshot(self) -> TBTree | None:
+        """A frozen copy of the current tree (``None`` when empty).
+
+        The snapshot owns a shallow copy of the page list, so later
+        appends to the live tree never touch it; it is finalized
+        (read-only) and safe to search from another thread.
+        """
+        if self._tree.num_entries == 0:
+            return None
+        live = self._tree
+        live.buffer.flush(live._serializer)
+        pagefile = InMemoryPageFile(self.page_size)
+        pagefile._pages = list(live.pagefile._pages)
+        frozen = TBTree(pagefile=pagefile)
+        frozen.root_page = live.root_page
+        frozen.num_nodes = live.num_nodes
+        frozen.num_entries = live.num_entries
+        frozen.max_speed = live.max_speed
+        frozen.trajectory_ids = set(live.trajectory_ids)
+        frozen._active_leaf = dict(live._active_leaf)
+        frozen._finalized = True
+        return frozen

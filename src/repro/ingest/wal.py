@@ -1,0 +1,156 @@
+"""The write-ahead log of the live ingestion path.
+
+One WAL file is an append-only sequence of CRC-framed point records —
+the same 16-byte v2 frame the page format uses (``repro.storage.format``),
+packed back-to-back with no padding.  The payload of every record is a
+fixed ``<qddd`` quad: ``(object_id, x, y, t)``.
+
+Durability contract: :meth:`WriteAheadLog.append` hands the framed
+record to the OS; :meth:`WriteAheadLog.sync` flushes and fsyncs, so a
+point is durable once the ``sync`` that follows it returns.  Recovery
+(:func:`recover_wal`) scans the log front to back, replays the longest
+clean prefix and truncates everything from the first framing/CRC
+violation onwards — a torn tail disappears, a bit-flip in the middle
+fences off the records behind it.  Either way the surviving state is a
+prefix of what was acknowledged; the log never yields a record that
+was not written exactly as it is returned.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import NamedTuple
+
+from ..exceptions import StorageError
+from ..storage import RECORD_HEADER_BYTES, frame_record, fsync_directory, parse_record
+from ..storage.format import KIND_WAL
+
+__all__ = [
+    "WAL_RECORD_BYTES",
+    "WalRecord",
+    "WriteAheadLog",
+    "replay_wal",
+    "recover_wal",
+]
+
+_POINT_FMT = struct.Struct("<qddd")  # object_id, x, y, t
+
+#: On-disk size of one point record (16-byte frame + 32-byte payload).
+WAL_RECORD_BYTES = RECORD_HEADER_BYTES + _POINT_FMT.size
+
+
+class WalRecord(NamedTuple):
+    """One replayed WAL entry: a single GPS point of one object."""
+
+    object_id: int
+    x: float
+    y: float
+    t: float
+
+
+class WriteAheadLog:
+    """Append-only framed point log over one file."""
+
+    def __init__(self, path: str | Path, *, registry=None) -> None:
+        self.path = Path(path)
+        self._registry = registry
+        self._fh = open(self.path, "ab")
+        self._unsynced = 0
+
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, n: int = 1) -> None:
+        if self._registry is not None:
+            self._registry.inc(name, n)
+
+    def append(self, object_id: int, x: float, y: float, t: float) -> None:
+        """Frame one point and hand it to the OS (durable after
+        :meth:`sync`)."""
+        payload = _POINT_FMT.pack(object_id, x, y, t)
+        self._fh.write(frame_record(payload, KIND_WAL))
+        self._unsynced += 1
+        self._inc("ingest.wal_appends")
+
+    def sync(self) -> None:
+        """Flush and fsync: every appended record is durable on return."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._unsynced = 0
+        self._inc("ingest.wal_syncs")
+
+    @property
+    def unsynced_appends(self) -> int:
+        return self._unsynced
+
+    def size_bytes(self) -> int:
+        self._fh.flush()
+        return self.path.stat().st_size
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def replay_wal(path: str | Path) -> tuple[list[WalRecord], int, str | None]:
+    """Scan a WAL file and return ``(records, clean_bytes, damage)``.
+
+    ``records`` is the longest clean prefix; ``clean_bytes`` is its
+    length on disk; ``damage`` is ``None`` for a fully clean log, else
+    the error message of the first bad frame.  Never raises for a
+    damaged log — the caller decides whether a damaged tail is a crash
+    artefact to truncate (:func:`recover_wal`) or a reason to refuse.
+    """
+    data = Path(path).read_bytes()
+    records: list[WalRecord] = []
+    offset = 0
+    while offset < len(data):
+        try:
+            kind, payload, end = parse_record(
+                data, offset, where=f"{path}: record {len(records)}"
+            )
+        except StorageError as exc:
+            return records, offset, str(exc)
+        if len(payload) != _POINT_FMT.size:
+            return (
+                records,
+                offset,
+                f"{path}: record {len(records)} carries {len(payload)} "
+                f"payload bytes, point records carry {_POINT_FMT.size}",
+            )
+        oid, x, y, t = _POINT_FMT.unpack(payload)
+        records.append(WalRecord(oid, x, y, t))
+        offset = end
+    return records, offset, None
+
+
+def recover_wal(path: str | Path, *, registry=None) -> list[WalRecord]:
+    """Replay the clean prefix of a WAL and truncate any damaged tail.
+
+    Returns the surviving records.  After this call the file on disk
+    contains exactly the returned records (fsynced), so a second
+    recovery is a no-op.
+    """
+    path = Path(path)
+    records, clean_bytes, damage = replay_wal(path)
+    if damage is not None:
+        dropped = path.stat().st_size - clean_bytes
+        with open(path, "r+b") as fh:
+            fh.truncate(clean_bytes)
+            fh.flush()
+            os.fsync(fh.fileno())
+        fsync_directory(path.parent)
+        if registry is not None:
+            registry.inc("ingest.wal_truncations")
+            registry.inc("ingest.wal_truncated_bytes", dropped)
+    if registry is not None:
+        registry.inc("ingest.wal_replayed_records", len(records))
+    return records

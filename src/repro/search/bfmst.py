@@ -535,7 +535,10 @@ def bfmst_search_sharded(
         ``segment_dissim_batch_fn`` / ``heap_scratch`` hooks (the
         sharded engine's caches).  ``kernels`` (same semantics as
         :func:`bfmst_search`) supplies batch implementations to shards
-        whose hooks leave them unset.
+        whose hooks leave them unset.  An ``exclude_ids`` hook unions
+        extra per-shard exclusions onto the global set — the live
+        ingestion path uses it to mask dirty objects out of an
+        immutable generation while the memtable serves them.
     executor:
         Anything with ``.map(fn, items)`` (e.g. the engine's
         :class:`~repro.engine.executor.ThreadedExecutor`) to advance
@@ -574,6 +577,12 @@ def bfmst_search_sharded(
     def run(shard_id: int):
         shard_stats = SearchStats(total_nodes=shards[shard_id].num_nodes)
         hooks = hooks_by_shard.get(shard_id, {})
+        extra_excludes = hooks.get("exclude_ids")
+        shard_excludes = (
+            exclude_ids
+            if not extra_excludes
+            else frozenset(exclude_ids) | frozenset(extra_excludes)
+        )
         completed, valid = _search_shard(
             shards[shard_id],
             query,
@@ -583,7 +592,7 @@ def bfmst_search_sharded(
             use_heuristic1,
             use_heuristic2,
             top,
-            exclude_ids,
+            shard_excludes,
             shard_stats,
             mindist_fn=hooks.get("mindist_fn"),
             segment_dissim_fn=hooks.get("segment_dissim_fn"),

@@ -7,9 +7,13 @@ from .buffer import LRUBufferManager
 from .format import (
     FORMAT_VERSION,
     KIND_NODE,
+    KIND_WAL,
     PAGE_HEADER_BYTES,
+    RECORD_HEADER_BYTES,
     frame_page,
+    frame_record,
     page_payload_capacity,
+    parse_record,
     unframe_page,
     verify_page,
 )
@@ -37,9 +41,13 @@ __all__ = [
     "FORMAT_VERSION",
     "PAGE_HEADER_BYTES",
     "KIND_NODE",
+    "KIND_WAL",
+    "RECORD_HEADER_BYTES",
     "frame_page",
     "unframe_page",
     "verify_page",
+    "frame_record",
+    "parse_record",
     "page_payload_capacity",
     "atomic_write_bytes",
     "commit_file",

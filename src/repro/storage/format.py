@@ -46,10 +46,14 @@ __all__ = [
     "PAGE_HEADER_BYTES",
     "PAGE_MAGIC",
     "KIND_NODE",
+    "KIND_WAL",
+    "RECORD_HEADER_BYTES",
     "page_payload_capacity",
     "frame_page",
     "unframe_page",
     "verify_page",
+    "frame_record",
+    "parse_record",
 ]
 
 FORMAT_VERSION = 2
@@ -64,7 +68,16 @@ assert PAGE_HEADER_BYTES == 16
 #: (and covered by the CRC) so future page kinds can share one file.
 KIND_NODE = 1
 
+#: Record kinds (the same frame layout carried in append-only logs —
+#: tightly packed, no padding).  Pages and records share the kind
+#: namespace so a misdirected read fails the kind check immediately.
+KIND_WAL = 2
+
 _KNOWN_KINDS = frozenset({KIND_NODE})
+_KNOWN_RECORD_KINDS = frozenset({KIND_WAL})
+
+#: Records reuse the 16-byte page frame header verbatim.
+RECORD_HEADER_BYTES = PAGE_HEADER_BYTES
 
 
 def page_payload_capacity(page_size: int) -> int:
@@ -142,6 +155,64 @@ def unframe_page(data, page_id: int | None = None):
             checksum=True,
         )
     return kind, payload
+
+
+def frame_record(payload: bytes, kind: int = KIND_WAL) -> bytes:
+    """Wrap ``payload`` in a v2 frame for an append-only log.
+
+    Identical layout to :func:`frame_page`, but records are packed
+    back-to-back with no padding: the ``payload_len`` field is what
+    delimits one record from the next.
+    """
+    prefix = _PREFIX_FMT.pack(PAGE_MAGIC, FORMAT_VERSION, kind, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(prefix))
+    return b"".join((prefix, _TRAILER_FMT.pack(crc, 0), payload))
+
+
+def parse_record(data, offset: int = 0, *, where: str = "record"):
+    """Verify one framed record at ``offset`` inside ``data``.
+
+    Returns ``(kind, payload, next_offset)``.  Raises
+    :class:`~repro.exceptions.ChecksumError` on CRC mismatch and
+    :class:`~repro.exceptions.StorageError` for truncation/framing/
+    version violations — a torn tail (fewer bytes than the header
+    announces) is a :class:`StorageError`, so log recovery can treat
+    *any* of these as "the clean prefix ends here".
+    """
+    if len(data) - offset < RECORD_HEADER_BYTES:
+        _fail(
+            f"{where}: {len(data) - offset} bytes is too short for a "
+            f"record frame"
+        )
+    magic, version, kind, payload_len = _PREFIX_FMT.unpack_from(data, offset)
+    if magic != PAGE_MAGIC:
+        _fail(f"{where}: bad magic 0x{magic:04x} (expected 0x{PAGE_MAGIC:04x})")
+    if version != FORMAT_VERSION:
+        _fail(
+            f"{where}: record format version {version}, this build reads "
+            f"version {FORMAT_VERSION}"
+        )
+    if kind not in _KNOWN_RECORD_KINDS:
+        _fail(f"{where}: unknown record kind {kind}")
+    end = offset + RECORD_HEADER_BYTES + payload_len
+    if end > len(data):
+        _fail(
+            f"{where}: payload length {payload_len} overruns the "
+            f"{len(data) - offset - RECORD_HEADER_BYTES} bytes left in "
+            f"the log — torn tail"
+        )
+    crc, reserved = _TRAILER_FMT.unpack_from(data, offset + _PREFIX_FMT.size)
+    if reserved != 0:
+        _fail(f"{where}: reserved header word is 0x{reserved:08x}, not zero")
+    payload = bytes(data[offset + RECORD_HEADER_BYTES : end])
+    want = zlib.crc32(payload, zlib.crc32(data[offset : offset + _PREFIX_FMT.size]))
+    if crc != want:
+        _fail(
+            f"{where}: checksum mismatch (stored 0x{crc:08x}, computed "
+            f"0x{want:08x}) — the record is corrupt",
+            checksum=True,
+        )
+    return kind, payload, end
 
 
 def verify_page(data, page_id: int | None = None) -> str | None:

@@ -1,0 +1,179 @@
+"""Randomized-interleaving property test for the live ingestion path.
+
+A seeded RNG drives arbitrary interleavings of *append batch / query /
+compact / reopen* against one store (both tree kinds, both kernel
+modes) and against a multi-store fleet split by every partitioner.
+After every query op the live answer — generation + memtable merged
+under one shared bound — must be **byte-identical** (same ids, same
+float dissims) to a from-scratch rebuild of the store's current state.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro import IngestStore
+from repro.datagen import generate_gstd, make_query
+from repro.distance.kernels import have_numpy
+from repro.engine import LiveQueryEngine, QueryRequest
+from repro.search.api import bfmst_search
+from repro.sharding import make_partitioner
+from repro.trajectory import Trajectory, TrajectoryDataset
+
+KERNEL_MODES = ["python"] + (["numpy"] if have_numpy() else [])
+K_CHOICES = (1, 5, 10)
+
+
+def _events(dataset):
+    return sorted(
+        ((tr.object_id, p.x, p.y, p.t) for tr in dataset for p in tr),
+        key=lambda e: (e[3], e[0]),
+    )
+
+
+def _oracle(dataset, query, period, k, *, tree, kernels):
+    from repro.index.persistence import _KINDS
+
+    index = _KINDS[tree](page_size=4096)
+    for tr in dataset:
+        index.insert(tr)
+    index.finalize()
+    if index.num_entries == 0:
+        return []
+    result = bfmst_search(
+        index, None, query, period=period, k=k, kernels=kernels
+    )
+    return [(m.trajectory_id, m.dissim) for m in result.matches]
+
+
+# ----------------------------------------------------------------------
+# single store
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kernels", KERNEL_MODES)
+@pytest.mark.parametrize("tree", ["tbtree", "rtree"])
+def test_random_interleavings_single_store(tmp_path, tree, kernels):
+    dataset = generate_gstd(10, samples_per_object=16, seed=29)
+    events = _events(dataset)
+    rng = random.Random(zlib.crc32(f"{tree}/{kernels}".encode()))
+    queries = [make_query(dataset, 0.4, rng) for _ in range(4)]
+
+    store = IngestStore.create(tmp_path / "s", tree=tree, sync_every=4)
+    cursor = 0
+    checked = 0
+    try:
+        for _step in range(60):
+            op = rng.choice(("append", "append", "append", "query", "compact", "reopen"))
+            if op == "append" and cursor < len(events):
+                for oid, x, y, t in events[cursor : cursor + rng.randint(1, 12)]:
+                    store.append(oid, x, y, t)
+                    cursor += 1
+            elif op == "query":
+                query, period = rng.choice(queries)
+                k = rng.choice(K_CHOICES)
+                matches, _ = store.kmst(query, period, k, kernels=kernels)
+                got = [(m.trajectory_id, m.dissim) for m in matches]
+                want = _oracle(
+                    store.current_dataset(), query, period, k,
+                    tree=tree, kernels=kernels,
+                )
+                assert got == want, f"drift at step {_step} ({op})"
+                checked += 1
+            elif op == "compact":
+                store.compact()
+            elif op == "reopen":
+                store.close()
+                store = IngestStore.open(tmp_path / "s", sync_every=4)
+
+        # drain the stream, then a final exhaustive check
+        for oid, x, y, t in events[cursor:]:
+            store.append(oid, x, y, t)
+        for query, period in queries:
+            for k in K_CHOICES:
+                matches, _ = store.kmst(query, period, k, kernels=kernels)
+                got = [(m.trajectory_id, m.dissim) for m in matches]
+                assert got == _oracle(
+                    store.current_dataset(), query, period, k,
+                    tree=tree, kernels=kernels,
+                )
+                checked += 1
+        assert checked >= len(queries) * len(K_CHOICES)
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# multi-store fleet, one store per partition
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "partitioner", ["round_robin", "hash", "spatial", "temporal"]
+)
+def test_random_interleavings_partitioned_fleet(tmp_path, partitioner):
+    dataset = generate_gstd(12, samples_per_object=14, seed=31)
+    num_shards = 3
+    part = make_partitioner(partitioner, num_shards)
+    part.fit(dataset)
+    shard_of = {tr.object_id: part.shard_of(tr) for tr in dataset}
+
+    events = _events(dataset)
+    rng = random.Random(zlib.crc32(partitioner.encode()))
+    queries = [make_query(dataset, 0.4, rng) for _ in range(3)]
+
+    stores = [
+        IngestStore.create(tmp_path / f"shard-{i}", sync_every=4)
+        for i in range(num_shards)
+    ]
+    try:
+        cursor = 0
+        for _step in range(40):
+            op = rng.choice(("append", "append", "query", "compact", "reopen"))
+            if op == "append" and cursor < len(events):
+                for oid, x, y, t in events[cursor : cursor + rng.randint(1, 10)]:
+                    stores[shard_of[oid]].append(oid, x, y, t)
+                    cursor += 1
+            elif op == "query":
+                query, period = rng.choice(queries)
+                k = rng.choice(K_CHOICES)
+                with LiveQueryEngine(stores) as engine:
+                    result = engine.execute(
+                        QueryRequest("mst", query, period, k=k)
+                    )
+                got = [(m.trajectory_id, m.dissim) for m in result.matches]
+                merged = TrajectoryDataset(
+                    tr
+                    for store in stores
+                    for tr in store.current_dataset()
+                )
+                want = _oracle(
+                    merged, query, period, k, tree="tbtree", kernels="auto"
+                )
+                assert got == want, f"drift at step {_step} ({partitioner})"
+            elif op == "compact":
+                rng.choice(stores).compact()
+            elif op == "reopen":
+                i = rng.randrange(num_shards)
+                stores[i].close()
+                stores[i] = IngestStore.open(
+                    tmp_path / f"shard-{i}", sync_every=4
+                )
+
+        for oid, x, y, t in events[cursor:]:
+            stores[shard_of[oid]].append(oid, x, y, t)
+        merged = TrajectoryDataset(
+            tr for store in stores for tr in store.current_dataset()
+        )
+        for query, period in queries:
+            for k in K_CHOICES:
+                with LiveQueryEngine(stores) as engine:
+                    result = engine.execute(
+                        QueryRequest("mst", query, period, k=k)
+                    )
+                got = [(m.trajectory_id, m.dissim) for m in result.matches]
+                assert got == _oracle(
+                    merged, query, period, k, tree="tbtree", kernels="auto"
+                )
+    finally:
+        for store in stores:
+            store.close()
