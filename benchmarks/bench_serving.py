@@ -1,0 +1,209 @@
+"""Serving tier — throughput/latency vs concurrency, plus overload.
+
+A real :class:`~repro.serve.BackgroundServer` fronts a thread-pooled
+:class:`~repro.engine.QueryEngine`; threaded clients (one keep-alive
+connection each) replay a GSTD k-MST workload at 1, 4 and 16
+concurrent clients, recording queries/sec and p50/p99 round-trip
+latency.  Two gates:
+
+* **fidelity** — every served answer must be byte-identical
+  (``answer_json``) to the in-process ``engine.execute`` answer for
+  the same spec; the result cache is disabled so every request runs
+  the real search path;
+* **overload** — a burst at ``max_inflight=1`` must produce immediate
+  ``429`` rejections (never hangs, never queues): every response is
+  200 or 429, rejections answer in well under the query service time,
+  and the server's high-water inflight gauge stays at the bound.
+
+Results land in ``benchmarks/results/`` and, machine-readable, in
+``BENCH_serving.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.datagen import generate_gstd, make_workload
+from repro.engine import EngineConfig, QueryEngine
+from repro.experiments import build_index, format_table
+from repro.search.spec import QuerySpec
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+from repro.serve.client import ServeRejected
+
+from conftest import emit, scaled
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+K = 5
+CLIENT_COUNTS = (1, 4, 16)
+PASSES = 3  # each client replays the workload this many times
+OVERLOAD_REQUESTS_PER_CLIENT = 8
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[idx]
+
+
+def test_serving_throughput_and_overload(benchmark):
+    dataset = generate_gstd(
+        scaled(60), samples_per_object=scaled(40), seed=19, heading="random"
+    )
+    index = build_index(dataset, "rtree", page_size=1024)
+    engine = QueryEngine(
+        index, dataset, config=EngineConfig(executor="thread", max_workers=4)
+    )
+    workload = list(make_workload(dataset, scaled(12), 0.1, seed=19))
+    specs = [QuerySpec("mst", q, p, k=K) for q, p in workload]
+    # the fidelity oracle: in-process answers, computed once up front
+    oracle = {s.cache_key(): engine.execute(s).answer_json() for s in specs}
+
+    def run():
+        doc = {"bench": "serving", "k": K, "workload_queries": len(specs),
+               "passes": PASSES, "sweep": [], "drift_checks": 0,
+               "answer_drift": 0}
+
+        # -- phase 1: throughput/latency sweep (cache off = real work) --
+        config = ServeConfig(port=0, workers=4, cache_entries=0)
+        with BackgroundServer(engine, config) as bg:
+            host, port = bg.address
+            for clients in CLIENT_COUNTS:
+                latencies: list[list[float]] = [[] for _ in range(clients)]
+                drift = [0] * clients
+                checks = [0] * clients
+
+                def worker(tid: int) -> None:
+                    with ServeClient(
+                        host, port, client_id=f"w{tid}"
+                    ) as client:
+                        for p in range(PASSES):
+                            # rotate so clients don't move in lockstep
+                            offset = (tid + p) % len(specs)
+                            for spec in specs[offset:] + specs[:offset]:
+                                t0 = time.perf_counter()
+                                result = client.query(spec)
+                                latencies[tid].append(
+                                    time.perf_counter() - t0
+                                )
+                                checks[tid] += 1
+                                if (result.answer_json()
+                                        != oracle[spec.cache_key()]):
+                                    drift[tid] += 1
+
+                threads = [
+                    threading.Thread(target=worker, args=(tid,))
+                    for tid in range(clients)
+                ]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                elapsed = time.perf_counter() - t0
+                flat = sorted(x for per in latencies for x in per)
+                doc["drift_checks"] += sum(checks)
+                doc["answer_drift"] += sum(drift)
+                doc["sweep"].append({
+                    "clients": clients,
+                    "requests": len(flat),
+                    "queries_per_sec": len(flat) / elapsed,
+                    "p50_ms": 1000.0 * _percentile(flat, 0.50),
+                    "p99_ms": 1000.0 * _percentile(flat, 0.99),
+                })
+
+        # -- phase 2: overload burst against max_inflight=1 ------------
+        config = ServeConfig(
+            port=0, workers=1, max_inflight=1, cache_entries=0
+        )
+        with BackgroundServer(engine, config) as bg:
+            host, port = bg.address
+            served, rejected, other = [], [], []
+            lock = threading.Lock()
+
+            def flood(tid: int) -> None:
+                with ServeClient(
+                    host, port, client_id=f"f{tid}"
+                ) as client:
+                    for i in range(OVERLOAD_REQUESTS_PER_CLIENT):
+                        spec = specs[(tid + i) % len(specs)]
+                        t0 = time.perf_counter()
+                        try:
+                            client.query(spec)
+                            bucket = served
+                        except ServeRejected as exc:
+                            bucket = (
+                                rejected if exc.status == 429 else other
+                            )
+                        dt = time.perf_counter() - t0
+                        with lock:
+                            bucket.append(dt)
+
+            threads = [
+                threading.Thread(target=flood, args=(tid,))
+                for tid in range(16)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            overload_elapsed = time.perf_counter() - t0
+            with ServeClient(host, port) as client:
+                stats = client.stats()
+            doc["overload"] = {
+                "offered": 16 * OVERLOAD_REQUESTS_PER_CLIENT,
+                "served": len(served),
+                "rejected_429": len(rejected),
+                "unexpected": len(other),
+                "elapsed_s": overload_elapsed,
+                "served_p50_ms": 1000.0 * _percentile(sorted(served), 0.5),
+                "rejection_p99_ms":
+                    1000.0 * _percentile(sorted(rejected), 0.99),
+                "inflight_high_water":
+                    stats["serve"]["gauges"].get("serve.queue_depth", 0),
+                "counters": stats["serve"]["counters"],
+            }
+        return doc
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # fidelity gate: zero served-vs-in-process drift over the sweep
+    assert doc["drift_checks"] >= PASSES * len(specs) * sum(CLIENT_COUNTS)
+    assert doc["answer_drift"] == 0, f"{doc['answer_drift']} drifted answers"
+
+    # overload gate: rejections happened, immediately, nothing hung,
+    # and admitted work never exceeded the configured bound
+    ov = doc["overload"]
+    assert ov["served"] + ov["rejected_429"] == ov["offered"]
+    assert ov["unexpected"] == 0
+    assert ov["rejected_429"] > 0, "burst never tripped admission control"
+    assert ov["inflight_high_water"] <= 1
+    if ov["served"]:
+        assert ov["rejection_p99_ms"] < max(50.0, ov["served_p50_ms"])
+
+    rows = [
+        [s["clients"], s["requests"], f"{s['queries_per_sec']:.1f}",
+         f"{s['p50_ms']:.1f}", f"{s['p99_ms']:.1f}"]
+        for s in doc["sweep"]
+    ]
+    rows.append([
+        "overload", ov["offered"],
+        f"{ov['served']} served / {ov['rejected_429']} x429",
+        f"{ov['served_p50_ms']:.1f}",
+        f"rej p99 {ov['rejection_p99_ms']:.1f}",
+    ])
+    text = format_table(
+        ["clients", "requests", "q/s", "p50 ms", "p99 ms"],
+        rows,
+        title=(
+            f"HTTP serving tier: k-MST k={K}, 4 workers, cache off "
+            f"({doc['drift_checks']} fidelity checks, 0 drift)"
+        ),
+    )
+    emit("serving", text, records=[doc])
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

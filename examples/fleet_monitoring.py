@@ -39,27 +39,30 @@ def main() -> None:
     print("1) range query: trucks in the depot district, 08:00-09:00")
     district = MBR2D(45.0, 45.0, 55.0, 55.0)  # around the depot
     window = (t0 + day / 3, t0 + day / 3 + day / 24)
-    hits = range_query(index, district, *window)
+    hits = set(range_query(index, None, district, period=window).ids)
     print(f"   {len(hits)} trucks: {sorted(hits)[:12]}{' ...' if len(hits) > 12 else ''}\n")
 
     # ------------------------------------------------------------------
     print("2) nearest neighbour: closest trucks to an incident at (20, 80)")
     incident = Point(20.0, 80.0)
     around_ten = (t0 + 0.40 * day, t0 + 0.45 * day)
-    for tid, dist in nearest_neighbours(index, incident, *around_ten, k=3):
+    nn = nearest_neighbours(index, None, incident, period=around_ten, k=3)
+    for tid, dist in ((m.trajectory_id, m.dissim) for m in nn):
         print(f"   truck {tid:3d} came within {dist:7.2f} units")
     print()
 
     # ------------------------------------------------------------------
     print("3) k-MST: trucks whose day most resembles truck 0's route")
     reference = dataset[0]
-    matches, stats = bfmst_search(
+    result = bfmst_search(
         index,
+        None,
         reference,
-        (reference.t_start, reference.t_end),
+        period=(reference.t_start, reference.t_end),
         k=4,
         exclude_ids={0},  # don't report the truck itself
     )
+    matches, stats = result.matches, result.stats
     for rank, m in enumerate(matches, start=1):
         print(f"   {rank}. truck {m.trajectory_id:3d}  DISSIM = {m.dissim:10.1f}")
     print(

@@ -52,7 +52,8 @@ def kmst_search_example() -> None:
 
     # A Table 3-style query: 10 % of a random trajectory's lifetime.
     ((query, period),) = make_workload(dataset, 1, query_length=0.10, seed=3)
-    matches, stats = bfmst_search(index, query, period, k=5)
+    result = bfmst_search(index, None, query, period=period, k=5)
+    matches, stats = result.matches, result.stats
 
     print(f"query period: [{period[0]:.1f}, {period[1]:.1f}]")
     print("top-5 most similar trajectories:")

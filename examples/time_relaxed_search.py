@@ -84,7 +84,8 @@ def main() -> None:
     )
 
     print("\n=== time-relaxed k-MST ===")
-    results = time_relaxed_kmst(archive, today, k=3)
+    relaxed = time_relaxed_kmst(None, archive, today, k=3)
+    results = [(m, relaxed.extras["shifts"][m.trajectory_id]) for m in relaxed.matches]
     for rank, (m, shift) in enumerate(results, start=1):
         print(
             f"  {rank}. object {m.trajectory_id:2d}  "

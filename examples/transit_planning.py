@@ -80,9 +80,10 @@ def main() -> None:
     index.bulk_insert(dataset)
     index.finalize()
 
-    matches, stats = bfmst_search(
-        index, query, (query.t_start, query.t_end), k=8
+    result = bfmst_search(
+        index, None, query, period=(query.t_start, query.t_end), k=8
     )
+    matches, stats = result.matches, result.stats
 
     print("=== Bus routes most similar to the new metro run ===")
     print(

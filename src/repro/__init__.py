@@ -99,11 +99,13 @@ from .selectivity import MSTCostEstimate, SpatioTemporalHistogram
 from .search import (
     MSTMatch,
     NNInterval,
+    QuerySpec,
     SearchResult,
     SearchStats,
     bfmst_browse,
     bfmst_search,
     continuous_nearest_neighbour,
+    execute_spec,
     linear_scan_kmst,
     nearest_neighbours,
     range_query,
@@ -182,6 +184,8 @@ __all__ = [
     "MSTMatch",
     "SearchStats",
     "SearchResult",
+    "QuerySpec",
+    "execute_spec",
     # batched query engine
     "QueryEngine",
     "EngineConfig",

@@ -179,6 +179,61 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_flag(batch)
     add_kernels_flag(batch)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP with admission control "
+        "(POST /v1/query, GET /stats)",
+    )
+    serve.add_argument(
+        "target",
+        help="index file, sharded manifest directory, or live ingest "
+        "store directory (auto-detected)",
+    )
+    serve.add_argument(
+        "--dataset", default=None,
+        help="dataset file; required for the scan-based query kinds "
+        "(linear_scan, continuous_nn, time_relaxed)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8723,
+        help="listening port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="query execution threads",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admitted-request bound; the next request gets 429",
+    )
+    serve.add_argument(
+        "--quota-rps", type=float, default=0.0,
+        help="per-client sustained requests/second (0 disables quotas)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=int, default=20,
+        help="per-client burst allowance",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=10_000.0,
+        help="default per-query deadline budget",
+    )
+    serve.add_argument(
+        "--max-deadline-ms", type=float, default=60_000.0,
+        help="hard cap on any requested deadline budget",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="hot-query result cache size (0 disables)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds to let admitted requests finish on SIGTERM",
+    )
+    add_backend_flag(serve)
+    add_kernels_flag(serve)
+
     shard = sub.add_parser(
         "shard", help="build, query and inspect sharded indexes"
     )
@@ -529,6 +584,106 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _open_serving_engine(args):
+    """Open the right engine for ``repro serve``'s target: a sharded
+    manifest directory, a live ingest store, or a single index file.
+    Returns ``(engine, cleanup)``."""
+    from pathlib import Path
+
+    from .engine import (
+        EngineConfig,
+        LiveQueryEngine,
+        QueryEngine,
+        ShardedQueryEngine,
+    )
+
+    config = EngineConfig(
+        executor="thread", max_workers=args.workers, kernels=args.kernels
+    )
+    target = Path(args.target)
+    if target.is_dir():
+        from .ingest.store import MANIFEST_NAME as INGEST_MANIFEST
+        from .sharding import MANIFEST_NAME as SHARD_MANIFEST
+
+        if (target / SHARD_MANIFEST).exists():
+            engine = ShardedQueryEngine.open(
+                target, args.dataset, config=config, backend=args.backend
+            )
+
+            def cleanup():
+                engine.close()
+                engine.index.close()
+
+            return engine, cleanup
+        if (target / INGEST_MANIFEST).exists():
+            from .ingest import IngestStore
+
+            store = IngestStore.open(target)
+            engine = LiveQueryEngine(store, config=config)
+
+            def cleanup():
+                engine.close()
+                store.close()
+
+            return engine, cleanup
+        raise ReproError(
+            f"{target} is a directory but holds neither a sharded "
+            f"manifest ({SHARD_MANIFEST}) nor an ingest store "
+            f"({INGEST_MANIFEST})"
+        )
+    engine = QueryEngine.open(
+        target, args.dataset, config=config, backend=args.backend
+    )
+
+    def cleanup():
+        engine.close()
+        engine.index.pagefile.close()
+
+    return engine, cleanup
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ReproServer, ServeConfig
+
+    engine, cleanup = _open_serving_engine(args)
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        default_deadline_ms=args.deadline_ms,
+        max_deadline_ms=args.max_deadline_ms,
+        cache_entries=args.cache_entries,
+        drain_grace_s=args.drain_grace,
+    )
+
+    async def run() -> None:
+        server = ReproServer(engine, serve_config)
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {type(engine).__name__} on http://{host}:{port} "
+            f"({serve_config.workers} workers, "
+            f"{serve_config.max_inflight} max inflight, "
+            f"quota {serve_config.quota_rps or 'off'} rps); "
+            "SIGTERM/Ctrl-C drains"
+        )
+        await server.serve_until_drained()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cleanup()
+    print("drained; all admitted requests finished")
+    return 0
+
+
 def _cmd_shard(args) -> int:
     return {
         "build": _cmd_shard_build,
@@ -826,6 +981,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "stats": _cmd_stats,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "shard": _cmd_shard,
         "ingest": _cmd_ingest,
         "experiment": _cmd_experiment,

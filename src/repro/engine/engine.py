@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from threading import local as _thread_local
 
-from ..exceptions import QueryError
+from ..exceptions import DeadlineExceeded, QueryError
 from ..geometry import MBR2D, Point
 from ..index import NO_PAGE, TrajectoryIndex, load_index
 from ..index.mindist import mindist as _base_mindist
@@ -45,6 +45,7 @@ from ..obs import MetricsRegistry
 from ..obs import state as _obs
 from ..search import api as _api
 from ..search.results import SearchResult
+from ..search.spec import QuerySpec
 from ..trajectory import Trajectory, TrajectoryDataset, read_csv, read_json
 from ..distance import segment_dissim as _base_segment_dissim
 from ..distance.kernels import make_segment_dissim_batch, resolve_kernels
@@ -68,20 +69,6 @@ __all__ = [
 #: it at 25 % (still capped at ``buffer_max_pages``).
 SESSION_BUFFER_FRACTION = 0.25
 
-_KIND_ALIASES = {
-    "mst": "mst",
-    "bfmst": "mst",
-    "kmst": "mst",
-    "linear_scan": "linear_scan",
-    "scan": "linear_scan",
-    "nn": "nn",
-    "range": "range",
-    "continuous_nn": "continuous_nn",
-    "cnn": "continuous_nn",
-    "time_relaxed": "time_relaxed",
-}
-
-
 def query_key(query):
     """A hashable identity for a query object (cache scope key)."""
     if isinstance(query, Trajectory):
@@ -95,6 +82,19 @@ def query_key(query):
     if isinstance(query, MBR2D):
         return ("window", query.xmin, query.ymin, query.xmax, query.ymax)
     raise QueryError(f"unsupported query object {type(query).__name__}")
+
+
+def _deadline_guard(fn, deadline: float):
+    """Wrap a search hook so it aborts the query once the absolute
+    ``time.monotonic()`` deadline passes (the wrapped hook is hot —
+    one branch and one clock read per call)."""
+
+    def guarded(*args, **kwargs):
+        if time.monotonic() >= deadline:
+            raise DeadlineExceeded("query exceeded its deadline budget")
+        return fn(*args, **kwargs)
+
+    return guarded
 
 
 @dataclass
@@ -122,32 +122,12 @@ class EngineConfig:
     kernels: str | None = "auto"
 
 
-@dataclass
-class QueryRequest:
-    """One query of a batch.
-
-    ``kind`` selects the algorithm (``"mst"``, ``"linear_scan"``,
-    ``"nn"``, ``"range"``, ``"continuous_nn"``, ``"time_relaxed"``);
-    ``query`` is the matching query object (trajectory, point or
-    window); ``options`` passes algorithm-specific keywords through to
-    the unified API (``vmax``, ``exact``, ``grid``, ``exclude_ids``,
-    ...).
-    """
-
-    kind: str
-    query: object
-    period: tuple[float, float] | None = None
-    k: int = 1
-    options: dict = field(default_factory=dict)
-
-    def canonical_kind(self) -> str:
-        try:
-            return _KIND_ALIASES[self.kind]
-        except KeyError:
-            raise QueryError(
-                f"unknown query kind {self.kind!r}; expected one of "
-                f"{sorted(set(_KIND_ALIASES.values()))}"
-            ) from None
+#: ``QueryRequest`` was promoted to the public, wire-serializable
+#: :class:`repro.search.spec.QuerySpec` (same fields, same positional
+#: order, plus ``kernels``/``deadline_ms`` and a JSON round-trip).  The
+#: engine keeps the old name as an alias so every existing call site —
+#: ``QueryRequest("mst", query, period, k=5)`` — keeps working.
+QueryRequest = QuerySpec
 
 
 @dataclass
@@ -218,6 +198,8 @@ class QueryEngine:
         self.executor = make_executor(
             self.config.executor, self.config.max_workers
         )
+        if self.executor.kind == "thread":
+            self.enable_thread_safety()
         self._refresh_session()
 
     # ------------------------------------------------------------------
@@ -279,6 +261,12 @@ class QueryEngine:
             self.index.root_page,
         )
 
+    def enable_thread_safety(self) -> None:
+        """Lock the buffer manager — required before concurrent
+        :meth:`execute` calls from multiple threads (the threaded
+        batch executor and the serving tier both do this)."""
+        self.index.buffer.enable_thread_safety()
+
     def _refresh_session(self) -> None:
         self._signature = self._index_signature()
         self.dissim_cache.clear()
@@ -287,6 +275,13 @@ class QueryEngine:
         pinned = self.pin_upper_levels()
         self.metrics.inc("engine.sessions")
         self.metrics.inc("engine.pinned_pages", pinned)
+
+    def signature(self) -> tuple:
+        """The index's current structural signature — the same value
+        cache invalidation keys on.  The serving tier's result cache
+        compares signatures across requests: a changed signature means
+        previously cached answers may be stale."""
+        return self._index_signature()
 
     def check_signature(self) -> bool:
         """Invalidate every cache level if the index changed shape
@@ -364,6 +359,19 @@ class QueryEngine:
                 )
             else:
                 hooks["segment_dissim_batch_fn"] = base_segdissim_batch
+        deadline = getattr(self._local, "deadline", None)
+        if deadline is not None:
+            # MINDIST runs once per dequeued node — the natural
+            # mid-query cancellation point.  The guard closes over the
+            # absolute deadline at hook-build time, so it works
+            # unchanged when the hooks run on a pool thread.
+            hooks["mindist_fn"] = _deadline_guard(
+                hooks.get("mindist_fn", _base_mindist), deadline
+            )
+            if "mindist_batch_fn" in hooks:
+                hooks["mindist_batch_fn"] = _deadline_guard(
+                    hooks["mindist_batch_fn"], deadline
+                )
         return hooks
 
     def _heap_scratch(self) -> list:
@@ -376,44 +384,41 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, request: QueryRequest) -> SearchResult:
-        """Run one request through the shared context."""
+    def execute(
+        self, request: QueryRequest, *, deadline: float | None = None
+    ) -> SearchResult:
+        """Run one request through the shared context.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; if
+        omitted, the request's own ``deadline_ms`` budget (if any)
+        starts counting now.  A query past its deadline raises
+        :class:`~repro.exceptions.DeadlineExceeded` — checked up front
+        and (for k-MST) at every node MINDIST evaluation, so runaway
+        queries stop consuming their worker promptly.
+        """
         if self._closed:
             raise QueryError("engine is closed")
         kind = request.canonical_kind()
+        if deadline is None and request.deadline_ms is not None:
+            deadline = time.monotonic() + request.deadline_ms / 1000.0
+        if deadline is not None and time.monotonic() >= deadline:
+            self.metrics.inc("engine.deadline_misses")
+            raise DeadlineExceeded(
+                f"deadline expired before the {kind} query started"
+            )
         self.check_signature()
         self.metrics.inc("engine.queries")
         self.metrics.inc(f"engine.queries.{kind}")
-        opts = request.options
-        if kind == "mst":
-            return _api.bfmst_search(
-                self, None, request.query,
-                period=request.period, k=request.k, **opts,
-            )
-        if kind == "linear_scan":
-            return _api.linear_scan_kmst(
-                None, self._require_dataset(kind), request.query,
-                period=request.period, k=request.k, **opts,
-            )
-        if kind == "nn":
-            return _api.nearest_neighbours(
-                self, None, request.query,
-                period=request.period, k=request.k, **opts,
-            )
-        if kind == "range":
-            return _api.range_query(
-                self, None, request.query, period=request.period, **opts,
-            )
-        if kind == "continuous_nn":
-            return _api.continuous_nearest_neighbour(
-                self, self._require_dataset(kind), request.query,
-                period=request.period, **opts,
-            )
-        # time_relaxed
-        return _api.time_relaxed_kmst(
-            None, self._require_dataset(kind), request.query,
-            k=request.k, **opts,
-        )
+        if kind in ("linear_scan", "continuous_nn", "time_relaxed"):
+            self._require_dataset(kind)
+        self._local.deadline = deadline
+        try:
+            return _api.execute_spec(self, None, request)
+        except DeadlineExceeded:
+            self.metrics.inc("engine.deadline_misses")
+            raise
+        finally:
+            self._local.deadline = None
 
     def run_batch(
         self, requests: list[QueryRequest], *, executor=None
@@ -431,7 +436,7 @@ class QueryEngine:
         else:
             ex = executor
         if getattr(ex, "kind", "serial") == "thread":
-            self.index.buffer.enable_thread_safety()
+            self.enable_thread_safety()
         before = self.cache_counters()
         t0 = time.perf_counter()
         try:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from ..exceptions import QueryError
+from ..exceptions import DeadlineExceeded, QueryError
 from ..ingest import IngestStore, merged_kmst
 from ..search.results import SearchResult
 from .engine import BatchResult, EngineConfig, QueryRequest
@@ -49,14 +49,36 @@ class LiveQueryEngine:
         self._closed = False
 
     # ------------------------------------------------------------------
-    def execute(self, request: QueryRequest) -> SearchResult:
-        """Run one request against a freshly pinned snapshot."""
+    def signature(self) -> tuple:
+        """Freshness signature of the stores' *visible* contents — the
+        per-store ``(generation, memtable_points)`` pairs.  Every
+        append or compaction changes it, so a serving-tier result
+        cache over a live engine invalidates on any write."""
+        return tuple(
+            (s.generation_number, s.memtable_points) for s in self.stores
+        )
+
+    def execute(
+        self, request: QueryRequest, *, deadline: float | None = None
+    ) -> SearchResult:
+        """Run one request against a freshly pinned snapshot.
+
+        ``deadline`` (absolute ``time.monotonic()``) or the request's
+        ``deadline_ms`` budget is checked before the snapshot is
+        pinned; the merged search itself is not interrupted mid-flight.
+        """
         if self._closed:
             raise QueryError("engine is closed")
         if request.canonical_kind() != "mst":
             raise QueryError(
                 f"LiveQueryEngine serves k-MST queries only, got "
                 f"{request.kind!r}"
+            )
+        if deadline is None and request.deadline_ms is not None:
+            deadline = time.monotonic() + request.deadline_ms / 1000.0
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded(
+                "deadline expired before the mst query started"
             )
         opts = dict(request.options)
         opts.setdefault("kernels", self.config.kernels)
@@ -70,7 +92,9 @@ class LiveQueryEngine:
         finally:
             for view in views:
                 view.close()
-        return SearchResult(algorithm="bfmst", matches=matches, stats=stats)
+        return SearchResult(
+            algorithm="bfmst", matches=matches, stats=stats, spec=request
+        )
 
     def run_batch(
         self, requests: list[QueryRequest], *, executor=None

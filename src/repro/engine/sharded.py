@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from pathlib import Path
 
-from ..exceptions import QueryError
+from ..exceptions import DeadlineExceeded, QueryError
 from ..obs import MetricsRegistry
 from ..obs import state as _obs
 from ..search import api as _api
@@ -203,48 +203,58 @@ class ShardedQueryEngine:
             out["shard_executor"] = self.executor
         return out
 
+    def signature(self) -> tuple:
+        """Structural signature of the whole sharded collection — the
+        tuple of per-shard engine signatures.  Any shard changing shape
+        changes the collection signature, so serving-tier result caches
+        invalidate collection-wide."""
+        return tuple(engine.signature() for engine in self.shard_engines)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, request: QueryRequest) -> SearchResult:
-        """Run one request through the planner + shard contexts."""
+    def execute(
+        self, request: QueryRequest, *, deadline: float | None = None
+    ) -> SearchResult:
+        """Run one request through the planner + shard contexts.
+
+        ``deadline`` (absolute ``time.monotonic()``) or the request's
+        own ``deadline_ms`` budget bounds execution; the per-shard
+        engines' MINDIST guards enforce it mid-query on whichever
+        thread each shard runs (see
+        :meth:`QueryEngine.execute <repro.engine.QueryEngine.execute>`).
+        """
         if self._closed:
             raise QueryError("engine is closed")
         kind = request.canonical_kind()
+        if deadline is None and request.deadline_ms is not None:
+            deadline = time.monotonic() + request.deadline_ms / 1000.0
+        if deadline is not None and time.monotonic() >= deadline:
+            self.metrics.inc("engine.deadline_misses")
+            raise DeadlineExceeded(
+                f"deadline expired before the {kind} query started"
+            )
         self.metrics.inc("engine.queries")
         self.metrics.inc(f"engine.queries.{kind}")
-        opts = request.options
+        if kind in ("linear_scan", "continuous_nn", "time_relaxed"):
+            self._require_dataset(kind)
+        # Shard hooks are built on the calling thread (inside
+        # search_hooks), so setting the shard engines' thread-local
+        # deadline here lets the guard closures capture it even though
+        # the hooks later run on pool threads.
+        for engine in self.shard_engines:
+            engine._local.deadline = deadline
+        try:
+            result = _api.execute_spec(self, None, request)
+        except DeadlineExceeded:
+            self.metrics.inc("engine.deadline_misses")
+            raise
+        finally:
+            for engine in self.shard_engines:
+                engine._local.deadline = None
         if kind == "mst":
-            result = _api.bfmst_search(
-                self, None, request.query,
-                period=request.period, k=request.k, **opts,
-            )
             self._record_shard_stats(result)
-            return result
-        if kind == "linear_scan":
-            return _api.linear_scan_kmst(
-                None, self._require_dataset(kind), request.query,
-                period=request.period, k=request.k, **opts,
-            )
-        if kind == "nn":
-            return _api.nearest_neighbours(
-                self, None, request.query,
-                period=request.period, k=request.k, **opts,
-            )
-        if kind == "range":
-            return _api.range_query(
-                self, None, request.query, period=request.period, **opts,
-            )
-        if kind == "continuous_nn":
-            return _api.continuous_nearest_neighbour(
-                self, self._require_dataset(kind), request.query,
-                period=request.period, **opts,
-            )
-        # time_relaxed
-        return _api.time_relaxed_kmst(
-            None, self._require_dataset(kind), request.query,
-            k=request.k, **opts,
-        )
+        return result
 
     def run_batch(self, requests: list[QueryRequest]) -> BatchResult:
         """Execute the batch and return answers in request order.

@@ -43,3 +43,15 @@ class IndexError_(ReproError):
 class QueryError(ReproError):
     """Raised for invalid query specifications (k < 1, empty or inverted
     time periods, query trajectory not covering the period, ...)."""
+
+
+class DeadlineExceeded(QueryError):
+    """Raised when a query's deadline budget expires before (or while)
+    it executes — see ``QueryEngine.execute(..., deadline=...)`` and the
+    ``deadline_ms`` field of :class:`repro.search.spec.QuerySpec`.  The
+    serving tier maps this to HTTP 504."""
+
+
+class ServeError(ReproError):
+    """Raised by the :mod:`repro.serve` front-end for serving-layer
+    failures (bad configuration, startup/shutdown problems)."""

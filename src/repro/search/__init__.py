@@ -9,15 +9,20 @@ The canonical entry points — :func:`bfmst_search`,
 :mod:`repro.search.api`: one shared signature
 ``fn(ctx_or_index, dataset, query, *, period=..., k=..., trace=None)``
 returning a :class:`SearchResult`.  The pre-unification positional
-forms still work through the same names (with a
-:class:`DeprecationWarning`); the raw algorithm implementations
-remain importable from their own modules
-(e.g. :func:`repro.search.bfmst.bfmst_search`).
+forms were removed (they raise :class:`TypeError` with a migration
+hint); the raw algorithm implementations remain importable from their
+own modules (e.g. :func:`repro.search.bfmst.bfmst_search`).
+
+:class:`QuerySpec` is the wire-serializable description of any of the
+six calls — the same schema in process, in ``repro batch`` files, and
+on the ``repro serve`` socket — and :func:`execute_spec` dispatches
+one against any context.
 """
 
 from .api import (
     bfmst_search,
     continuous_nearest_neighbour,
+    execute_spec,
     linear_scan_kmst,
     nearest_neighbours,
     range_query,
@@ -29,7 +34,8 @@ from .continuous_nn import NNInterval, continuous_nn_with_stats
 from .linear_scan import linear_scan_with_stats
 from .nn import nearest_neighbours_brute_force, nearest_neighbours_with_stats
 from .range_query import range_query_brute_force, range_query_with_stats
-from .results import MSTMatch, SearchResult, SearchStats
+from .results import ENVELOPE_VERSION, MSTMatch, SearchResult, SearchStats
+from .spec import SPEC_VERSION, QuerySpec
 from .time_relaxed import time_relaxed_dissim, time_relaxed_with_stats
 
 __all__ = [
@@ -41,7 +47,11 @@ __all__ = [
     "continuous_nearest_neighbour",
     "time_relaxed_kmst",
     "resolve_context",
-    # result types
+    "execute_spec",
+    # wire schema & result types
+    "QuerySpec",
+    "SPEC_VERSION",
+    "ENVELOPE_VERSION",
     "MSTMatch",
     "SearchStats",
     "SearchResult",

@@ -18,20 +18,21 @@ Every entry point accepts the same three leading arguments::
   :class:`~repro.geometry.MBR2D` window for range queries.
 
 All entry points return a :class:`~repro.search.results.SearchResult`
-whose ``stats`` block has the same field set regardless of algorithm.
+whose ``stats`` block has the same field set regardless of algorithm;
+the result carries the :class:`~repro.search.spec.QuerySpec` the call
+was built from (``result.spec``), so any answer can be re-asked —
+in-process, from a batch file, or over the ``repro serve`` wire.
+:func:`execute_spec` is the inverse: it dispatches a spec against any
+context.
 
-**Legacy forms.**  Each function still accepts its pre-unification
-positional form (discriminated by the type of the second positional
-argument) and returns the old result shape, but emits a
-:class:`DeprecationWarning`; see the deprecation table in the README.
-The repro package itself never uses the legacy forms — CI runs the
-engine smoke test with ``-W error::DeprecationWarning`` to keep it
-that way.
+**Legacy forms.**  The pre-unification positional forms (discriminated
+by the type of the second positional argument) were deprecated in the
+engine PR and are now **removed**: they raise :class:`TypeError` with
+a migration hint.  See the migration table in the README.
 """
 
 from __future__ import annotations
 
-import warnings
 from contextlib import contextmanager, nullcontext
 
 from ..exceptions import QueryError
@@ -45,6 +46,7 @@ from . import nn as _nn
 from . import range_query as _range
 from . import time_relaxed as _trx
 from .results import MSTMatch, SearchResult, SearchStats
+from .spec import QuerySpec
 
 __all__ = [
     "bfmst_search",
@@ -54,6 +56,7 @@ __all__ = [
     "continuous_nearest_neighbour",
     "time_relaxed_kmst",
     "resolve_context",
+    "execute_spec",
 ]
 
 
@@ -85,12 +88,15 @@ def resolve_context(ctx_or_index, dataset):
     return ctx_or_index, dataset, None
 
 
-def _warn_legacy(name: str, hint: str) -> None:
-    warnings.warn(
-        f"the positional {name} form is deprecated; call the unified "
-        f"form {hint} (returns SearchResult)",
-        DeprecationWarning,
-        stacklevel=3,
+def _legacy_error(name: str, hint: str) -> TypeError:
+    """The pre-unification positional forms went through a deprecation
+    cycle (DeprecationWarning since the engine PR) and are now removed;
+    point the caller at the replacement instead of failing obscurely
+    inside argument binding."""
+    return TypeError(
+        f"the positional {name} form was removed; call the unified form "
+        f"{hint} (returns SearchResult) — see the migration table in the "
+        f"README"
     )
 
 
@@ -115,17 +121,6 @@ def _tracing(trace):
     return _installed(trace) if trace is not None else nullcontext()
 
 
-def _fill_positional(legacy: list, extra: tuple, name: str) -> list:
-    if len(extra) > len(legacy):
-        raise TypeError(
-            f"{name}() takes at most {len(legacy) + 2} positional "
-            f"arguments ({len(extra) + 2} given)"
-        )
-    for i, value in enumerate(extra):
-        legacy[i] = value
-    return legacy
-
-
 def _new_form_args(args: tuple, dataset, query, name: str):
     """Bind the new form's trailing positionals ``(dataset, query)``."""
     if len(args) > 2:
@@ -144,6 +139,14 @@ def _new_form_args(args: tuple, dataset, query, name: str):
     if query is None:
         raise TypeError(f"{name}() missing required argument: 'query'")
     return dataset, query
+
+
+def _attach(result: SearchResult, spec: QuerySpec, trace) -> SearchResult:
+    """Stamp the result envelope with the spec it answers and the trace
+    it ran under, so serialised results are self-describing."""
+    result.spec = spec
+    result.trace_id = getattr(trace, "name", None) if trace is not None else None
+    return result
 
 
 def _require_index(index, name: str):
@@ -208,30 +211,28 @@ def bfmst_search(
     ``None`` — BFMST reads only the index).  ``kernels`` selects the
     hot-path implementation (``"auto"``/``"numpy"``/``"python"``; see
     :mod:`repro.distance.kernels`) — ``None`` keeps the classic
-    per-entry scalar path.  Legacy form
-    ``bfmst_search(index, query, period, k=...)`` still returns the old
-    ``(matches, stats)`` tuple with a :class:`DeprecationWarning`.
+    per-entry scalar path.  The removed legacy form
+    ``bfmst_search(index, query, period, k=...)`` raises
+    :class:`TypeError`.
     """
     if args and isinstance(args[0], Trajectory):
-        _warn_legacy(
+        raise _legacy_error(
             "bfmst_search(index, query, ...)",
             "bfmst_search(index, None, query, k=...)",
         )
-        period, k, vmax, use_heuristic1, use_heuristic2, refine, exclude_ids = (
-            _fill_positional(
-                [period, k, vmax, use_heuristic1, use_heuristic2, refine,
-                 exclude_ids],
-                args[1:],
-                "bfmst_search",
-            )
-        )
-        return _bfmst.bfmst_search(
-            ctx_or_index, args[0], period, k, vmax,
-            use_heuristic1, use_heuristic2, refine, exclude_ids,
-            mindist_fn=mindist_fn, segment_dissim_fn=segment_dissim_fn,
-            refinement_cache=refinement_cache, heap_scratch=heap_scratch,
-        )
     dataset, query, = _new_form_args(args, dataset, query, "bfmst_search")
+    options = {}
+    if vmax is not None:
+        options["vmax"] = vmax
+    if not use_heuristic1:
+        options["use_heuristic1"] = False
+    if not use_heuristic2:
+        options["use_heuristic2"] = False
+    if not refine:
+        options["refine"] = False
+    if exclude_ids:
+        options["exclude_ids"] = frozenset(exclude_ids)
+    spec = QuerySpec("mst", query, period, k, options, kernels=kernels)
     index, dataset, ctx = resolve_context(ctx_or_index, dataset)
     _require_index(index, "bfmst_search")
     hooks = ctx.search_hooks(query, period) if ctx is not None else {}
@@ -268,7 +269,7 @@ def bfmst_search(
                 ),
                 heap_scratch=hooks.get("heap_scratch", heap_scratch),
             )
-    return SearchResult("bfmst", matches, stats)
+    return _attach(SearchResult("bfmst", matches, stats), spec, trace)
 
 
 # ----------------------------------------------------------------------
@@ -283,27 +284,30 @@ def linear_scan_kmst(
     k: int = 1,
     exact: bool = False,
     exclude_ids=frozenset(),
+    kernels: str | None = None,
     trace=None,
 ) -> SearchResult:
     """Exhaustive k-MST — the index-free ground truth.
 
     Unified form: ``linear_scan_kmst(None, dataset, query, *, k=1,
-    exact=False, ...) -> SearchResult``.  Legacy form
-    ``linear_scan_kmst(dataset, query, period, k, ...)`` still returns
-    the bare match list with a :class:`DeprecationWarning`.
+    exact=False, ...) -> SearchResult``.  ``kernels`` is accepted for
+    schema uniformity (every entry point shares the QuerySpec field
+    set) but the scan has no vectorised path yet.  The removed legacy
+    form ``linear_scan_kmst(dataset, query, period, k, ...)`` raises
+    :class:`TypeError`.
     """
     if args and isinstance(args[0], Trajectory):
-        _warn_legacy(
+        raise _legacy_error(
             "linear_scan_kmst(dataset, query, ...)",
             "linear_scan_kmst(None, dataset, query, k=...)",
         )
-        period, k, exact, exclude_ids = _fill_positional(
-            [period, k, exact, exclude_ids], args[1:], "linear_scan_kmst"
-        )
-        return _scan.linear_scan_kmst(
-            ctx_or_index, args[0], period, k, exact, exclude_ids
-        )
     dataset, query = _new_form_args(args, dataset, query, "linear_scan_kmst")
+    options = {}
+    if exact:
+        options["exact"] = True
+    if exclude_ids:
+        options["exclude_ids"] = frozenset(exclude_ids)
+    spec = QuerySpec("linear_scan", query, period, k, options, kernels=kernels)
     _index, dataset, _ctx = resolve_context(ctx_or_index, dataset)
     if dataset is None:
         raise QueryError("linear_scan_kmst requires a dataset")
@@ -311,7 +315,7 @@ def linear_scan_kmst(
         matches, stats = _scan.linear_scan_with_stats(
             dataset, query, period, k, exact, exclude_ids
         )
-    return SearchResult("linear_scan", matches, stats)
+    return _attach(SearchResult("linear_scan", matches, stats), spec, trace)
 
 
 # ----------------------------------------------------------------------
@@ -324,31 +328,26 @@ def nearest_neighbours(
     query=None,
     period: tuple[float, float] | None = None,
     k: int = 1,
+    kernels: str | None = None,
     trace=None,
 ) -> SearchResult:
     """Historical point-NN: the k objects passing closest to a location.
 
     Unified form: ``nearest_neighbours(ctx_or_index, dataset, point, *,
     period=(t_start, t_end), k=1, ...) -> SearchResult`` — the match
-    ``dissim`` slot carries the point distance.  Legacy form
-    ``nearest_neighbours(index, point, t_start, t_end, k)`` still
-    returns the ``(trajectory_id, distance)`` list with a
-    :class:`DeprecationWarning`.
+    ``dissim`` slot carries the point distance.  ``kernels`` is
+    accepted for schema uniformity (no vectorised path yet).  The
+    removed legacy form
+    ``nearest_neighbours(index, point, t_start, t_end, k)`` raises
+    :class:`TypeError`.
     """
     if args and isinstance(args[0], Point):
-        _warn_legacy(
+        raise _legacy_error(
             "nearest_neighbours(index, point, t_start, t_end, ...)",
             "nearest_neighbours(index, None, point, period=(t_start, t_end))",
         )
-        t_start, t_end, k = _fill_positional(
-            [None, None, k], args[1:], "nearest_neighbours"
-        )
-        if t_start is None or t_end is None:
-            raise TypeError(
-                "legacy nearest_neighbours() requires t_start and t_end"
-            )
-        return _nn.nearest_neighbours(ctx_or_index, args[0], t_start, t_end, k)
     dataset, point = _new_form_args(args, dataset, query, "nearest_neighbours")
+    spec = QuerySpec("nn", point, period, k, kernels=kernels)
     index, _dataset, _ctx = resolve_context(ctx_or_index, dataset)
     _require_index(index, "nearest_neighbours")
     if period is None:
@@ -375,7 +374,7 @@ def nearest_neighbours(
                 index, point, t_start, t_end, k
             )
     matches = [MSTMatch(tid, dist, 0.0, True) for tid, dist in pairs]
-    return SearchResult("nn", matches, stats)
+    return _attach(SearchResult("nn", matches, stats), spec, trace)
 
 
 # ----------------------------------------------------------------------
@@ -387,26 +386,25 @@ def range_query(
     dataset=None,
     query=None,
     period: tuple[float, float] | None = None,
+    kernels: str | None = None,
     trace=None,
 ) -> SearchResult:
     """Objects whose path enters a spatial window during an interval.
 
     Unified form: ``range_query(ctx_or_index, dataset, window, *,
     period=(t_start, t_end), ...) -> SearchResult`` — hits are unranked
-    :class:`MSTMatch` rows (``dissim`` 0) sorted by id.  Legacy form
-    ``range_query(index, window, t_start, t_end)`` still returns the
-    bare id set with a :class:`DeprecationWarning`.
+    :class:`MSTMatch` rows (``dissim`` 0) sorted by id.  ``kernels`` is
+    accepted for schema uniformity (no vectorised path yet).  The
+    removed legacy form ``range_query(index, window, t_start, t_end)``
+    raises :class:`TypeError`.
     """
     if args and isinstance(args[0], MBR2D):
-        _warn_legacy(
+        raise _legacy_error(
             "range_query(index, window, t_start, t_end)",
             "range_query(index, None, window, period=(t_start, t_end))",
         )
-        t_start, t_end = _fill_positional([None, None], args[1:], "range_query")
-        if t_start is None or t_end is None:
-            raise TypeError("legacy range_query() requires t_start and t_end")
-        return _range.range_query(ctx_or_index, args[0], t_start, t_end)
     dataset, window = _new_form_args(args, dataset, query, "range_query")
+    spec = QuerySpec("range", window, period, kernels=kernels)
     index, _dataset, _ctx = resolve_context(ctx_or_index, dataset)
     _require_index(index, "range_query")
     if period is None:
@@ -417,7 +415,11 @@ def range_query(
             index, window, t_start, t_end
         )
     matches = [MSTMatch(tid, 0.0, 0.0, True) for tid in sorted(hits)]
-    return SearchResult("range", matches, stats, extras={"hit_ids": sorted(hits)})
+    return _attach(
+        SearchResult("range", matches, stats, extras={"hit_ids": sorted(hits)}),
+        spec,
+        trace,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -431,6 +433,7 @@ def continuous_nearest_neighbour(
     period: tuple[float, float] | None = None,
     exclude_ids=frozenset(),
     index=None,
+    kernels: str | None = None,
     trace=None,
 ) -> SearchResult:
     """Nearest object at every instant of the period.
@@ -440,29 +443,16 @@ def continuous_nearest_neighbour(
     interval partition is in ``result.extras["intervals"]`` (also via
     ``result.intervals``); ``matches`` lists the distinct winners in
     order of first appearance.  An index in the context slot enables
-    candidate pruning.  Legacy form
+    candidate pruning.  ``kernels`` is accepted for schema uniformity
+    (no vectorised path yet).  The removed legacy form
     ``continuous_nearest_neighbour(dataset, query, t_start, t_end,
-    index=...)`` still returns the bare interval list with a
-    :class:`DeprecationWarning`.
+    index=...)`` raises :class:`TypeError`.
     """
     if args and isinstance(args[0], Trajectory):
-        _warn_legacy(
+        raise _legacy_error(
             "continuous_nearest_neighbour(dataset, query, t_start, t_end, ...)",
             "continuous_nearest_neighbour(index, dataset, query, "
             "period=(t_start, t_end))",
-        )
-        t_start, t_end, legacy_index, exclude_ids = _fill_positional(
-            [None, None, index, exclude_ids],
-            args[1:],
-            "continuous_nearest_neighbour",
-        )
-        if t_start is None or t_end is None:
-            raise TypeError(
-                "legacy continuous_nearest_neighbour() requires "
-                "t_start and t_end"
-            )
-        return _cnn.continuous_nearest_neighbour(
-            ctx_or_index, args[0], t_start, t_end, legacy_index, exclude_ids
         )
     if index is not None:
         raise TypeError(
@@ -472,6 +462,10 @@ def continuous_nearest_neighbour(
     dataset, q = _new_form_args(
         args, dataset, query, "continuous_nearest_neighbour"
     )
+    options = {}
+    if exclude_ids:
+        options["exclude_ids"] = frozenset(exclude_ids)
+    spec = QuerySpec("continuous_nn", q, period, options=options, kernels=kernels)
     index, dataset, _ctx = resolve_context(ctx_or_index, dataset)
     if dataset is None:
         raise QueryError("continuous_nearest_neighbour requires a dataset")
@@ -489,8 +483,12 @@ def continuous_nearest_neighbour(
         if piece.object_id not in winners:
             winners.append(piece.object_id)
     matches = [MSTMatch(oid, 0.0, 0.0, True) for oid in winners]
-    return SearchResult(
-        "continuous_nn", matches, stats, extras={"intervals": intervals}
+    return _attach(
+        SearchResult(
+            "continuous_nn", matches, stats, extras={"intervals": intervals}
+        ),
+        spec,
+        trace,
     )
 
 
@@ -505,6 +503,7 @@ def time_relaxed_kmst(
     k: int = 1,
     grid: int = 64,
     exclude_ids=frozenset(),
+    kernels: str | None = None,
     trace=None,
 ) -> SearchResult:
     """k-MST minimised over all admissible query time shifts.
@@ -512,22 +511,23 @@ def time_relaxed_kmst(
     Unified form: ``time_relaxed_kmst(None, dataset, query, *, k=1,
     grid=64, ...) -> SearchResult`` — the optimal shift per answer is
     in ``result.extras["shifts"]`` (a ``{trajectory_id: shift}``
-    mapping).  Legacy form ``time_relaxed_kmst(dataset, query, k,
-    grid)`` still returns the ``(match, shift)`` pair list with a
-    :class:`DeprecationWarning`.
+    mapping).  ``kernels`` is accepted for schema uniformity (no
+    vectorised path yet).  The removed legacy form
+    ``time_relaxed_kmst(dataset, query, k, grid)`` raises
+    :class:`TypeError`.
     """
     if args and isinstance(args[0], Trajectory):
-        _warn_legacy(
+        raise _legacy_error(
             "time_relaxed_kmst(dataset, query, ...)",
             "time_relaxed_kmst(None, dataset, query, k=...)",
         )
-        k, grid, exclude_ids = _fill_positional(
-            [k, grid, exclude_ids], args[1:], "time_relaxed_kmst"
-        )
-        return _trx.time_relaxed_kmst(
-            ctx_or_index, args[0], k, grid, exclude_ids
-        )
     dataset, q = _new_form_args(args, dataset, query, "time_relaxed_kmst")
+    options = {}
+    if grid != 64:
+        options["grid"] = grid
+    if exclude_ids:
+        options["exclude_ids"] = frozenset(exclude_ids)
+    spec = QuerySpec("time_relaxed", q, None, k, options, kernels=kernels)
     _index, dataset, _ctx = resolve_context(ctx_or_index, dataset)
     if dataset is None:
         raise QueryError("time_relaxed_kmst requires a dataset")
@@ -537,4 +537,49 @@ def time_relaxed_kmst(
         )
     matches = [m for m, _shift in pairs]
     shifts = {m.trajectory_id: shift for m, shift in pairs}
-    return SearchResult("time_relaxed", matches, stats, extras={"shifts": shifts})
+    return _attach(
+        SearchResult("time_relaxed", matches, stats, extras={"shifts": shifts}),
+        spec,
+        trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# spec dispatch
+# ----------------------------------------------------------------------
+#: canonical kind -> (entry point, takes period, takes k)
+_DISPATCH = {
+    "mst": (bfmst_search, True, True),
+    "linear_scan": (linear_scan_kmst, True, True),
+    "nn": (nearest_neighbours, True, True),
+    "range": (range_query, True, False),
+    "continuous_nn": (continuous_nearest_neighbour, True, False),
+    "time_relaxed": (time_relaxed_kmst, False, True),
+}
+
+
+def execute_spec(ctx_or_index, dataset, spec: QuerySpec, *, trace=None) -> SearchResult:
+    """Dispatch a :class:`~repro.search.spec.QuerySpec` against any
+    context — the single execution path shared by the unified API's
+    callers, the batched engines and ``repro serve``.
+
+    ``spec.options`` are forwarded as keyword arguments to the entry
+    point (unknown options therefore raise ``TypeError`` — the serving
+    layer maps both that and :class:`QueryError` to a 400).
+    ``spec.deadline_ms`` is *not* enforced here: deadline budgets are
+    the executing engine's job (:meth:`repro.engine.QueryEngine.execute`).
+    """
+    kind = spec.canonical_kind()
+    fn, takes_period, takes_k = _DISPATCH[kind]
+    kwargs = dict(spec.options)
+    if spec.kernels is not None:
+        kwargs.setdefault("kernels", spec.kernels)
+    if takes_period:
+        kwargs["period"] = spec.period
+    elif spec.period is not None:
+        raise QueryError(f"{kind} queries do not take a period")
+    if takes_k:
+        kwargs["k"] = spec.k
+    elif spec.k != 1:
+        raise QueryError(f"{kind} queries do not take k")
+    return fn(ctx_or_index, dataset, spec.query, trace=trace, **kwargs)

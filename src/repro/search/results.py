@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Iterator
 
-__all__ = ["MSTMatch", "SearchStats", "SearchResult"]
+__all__ = ["ENVELOPE_VERSION", "MSTMatch", "SearchStats", "SearchResult"]
+
+#: Version tag of the SearchResult JSON envelope shared by
+#: ``repro batch``, ``repro serve`` and the bench harnesses.
+ENVELOPE_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +109,15 @@ class SearchStats:
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SearchStats":
+        """Inverse of :meth:`as_dict`.  Derived ratios
+        (``pruning_power``, ``buffer_hit_ratio``) and unknown keys from
+        newer writers are ignored; missing fields keep their defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
 
 @dataclass
 class SearchResult:
@@ -124,15 +137,29 @@ class SearchResult:
     * ``stats`` — a :class:`SearchStats` with the *same field set* for
       every algorithm (fields an algorithm cannot measure stay 0),
     * ``extras`` — algorithm-specific payload (``"intervals"`` for
-      continuous NN, ``"shifts"`` for time-relaxed).
+      continuous NN, ``"shifts"`` for time-relaxed),
+    * ``trace_id`` — name of the :class:`~repro.obs.QueryTrace` the
+      query ran under, if any,
+    * ``spec`` — the :class:`~repro.search.spec.QuerySpec` the unified
+      API built for this call (``None`` for results constructed by the
+      raw algorithm functions).
 
     Iterating the result iterates ``matches``.
+
+    The JSON envelope (:meth:`to_json`/:meth:`from_json`) is versioned
+    (``"envelope": 1``) and shared verbatim by ``repro batch``,
+    ``repro serve`` and the serving bench.  ``stats`` is telemetry —
+    buffer hit counts vary with cache warmth — so answer identity is
+    defined by :meth:`answer_json` (algorithm + matches + extras),
+    which byte-compares stably across runs.
     """
 
     algorithm: str
     matches: list[MSTMatch] = field(default_factory=list)
     stats: SearchStats = field(default_factory=SearchStats)
     extras: dict = field(default_factory=dict)
+    trace_id: str | None = None
+    spec: object | None = None
 
     def __iter__(self) -> Iterator[MSTMatch]:
         return iter(self.matches)
@@ -152,6 +179,7 @@ class SearchResult:
 
     def as_dict(self) -> dict:
         return {
+            "envelope": ENVELOPE_VERSION,
             "algorithm": self.algorithm,
             "matches": [
                 {
@@ -166,10 +194,76 @@ class SearchResult:
             "extras": {
                 k: v for k, v in self.extras.items() if _jsonable(v)
             },
+            "trace_id": self.trace_id,
+            "spec": self.spec.as_dict() if self.spec is not None else None,
         }
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def answer_dict(self) -> dict:
+        """The *answer* section only: algorithm, ranked matches and
+        algorithm-specific extras.  Excludes ``stats`` (telemetry that
+        varies with buffer warmth) and ``trace_id``, so two runs of the
+        same spec against the same index compare byte-identical."""
+        doc = self.as_dict()
+        return {
+            "algorithm": doc["algorithm"],
+            "matches": doc["matches"],
+            "extras": doc["extras"],
+        }
+
+    def answer_json(self) -> str:
+        return json.dumps(self.answer_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SearchResult":
+        """Validating inverse of :meth:`as_dict` (tuples inside extras
+        come back as lists — JSON has no tuple)."""
+        from ..exceptions import QueryError
+        from .spec import QuerySpec
+
+        if not isinstance(doc, dict):
+            raise QueryError(
+                f"result envelope must be an object, got {type(doc).__name__}"
+            )
+        version = doc.get("envelope", ENVELOPE_VERSION)
+        if version != ENVELOPE_VERSION:
+            raise QueryError(
+                f"unsupported result envelope version {version!r} (this "
+                f"build speaks version {ENVELOPE_VERSION})"
+            )
+        try:
+            matches = [
+                MSTMatch(
+                    m["trajectory_id"],
+                    m["dissim"],
+                    m.get("error_bound", 0.0),
+                    m.get("exact", True),
+                )
+                for m in doc.get("matches", [])
+            ]
+        except (TypeError, KeyError) as exc:
+            raise QueryError(f"malformed matches in result envelope: {exc}") from exc
+        spec_doc = doc.get("spec")
+        return cls(
+            algorithm=doc.get("algorithm", ""),
+            matches=matches,
+            stats=SearchStats.from_dict(doc.get("stats") or {}),
+            extras=dict(doc.get("extras") or {}),
+            trace_id=doc.get("trace_id"),
+            spec=QuerySpec.from_dict(spec_doc) if spec_doc is not None else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "SearchResult":
+        from ..exceptions import QueryError
+
+        try:
+            doc = json.loads(text)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise QueryError(f"result envelope is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)
 
 
 def _jsonable(value) -> bool:

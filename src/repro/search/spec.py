@@ -1,0 +1,298 @@
+"""The canonical, wire-serializable query description.
+
+A :class:`QuerySpec` is the *one* request shape shared by every caller
+of the search stack: the six unified :mod:`repro.search.api` entry
+points construct one for each call, the batched engines
+(:class:`~repro.engine.QueryEngine`,
+:class:`~repro.engine.ShardedQueryEngine`,
+:class:`~repro.engine.LiveQueryEngine`) execute them directly, the
+``repro batch`` / ``repro serve`` CLIs read them from files and
+sockets, and :mod:`repro.serve` uses the JSON form verbatim as its
+wire format.  ``engine.QueryRequest`` is the same class under its
+pre-promotion name.
+
+The JSON envelope is versioned (``"spec": 1``) and uses stable field
+names::
+
+    {"spec": 1, "kind": "mst", "k": 5,
+     "query": {"type": "trajectory", "id": -1, "samples": [[x, y, t], ...]},
+     "period": [t_lo, t_hi] | null,
+     "kernels": "auto" | "numpy" | "python" | null,
+     "deadline_ms": 250.0 | null,
+     "options": {...}}
+
+``query`` is a tagged union over the three query object types
+(``trajectory`` / ``point`` / ``window``).  ``deadline_ms`` is a
+*budget*: admission control turns it into an absolute deadline and the
+engines abort work past it (see :mod:`repro.serve`); it is therefore
+excluded from :meth:`cache_key`, which identifies the *answer* a spec
+determines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..exceptions import QueryError
+from ..geometry import MBR2D, Point
+from ..trajectory import Trajectory
+
+__all__ = [
+    "SPEC_VERSION",
+    "QuerySpec",
+    "encode_query",
+    "decode_query",
+]
+
+SPEC_VERSION = 1
+
+#: Accepted ``kind`` spellings -> canonical algorithm name.
+KIND_ALIASES = {
+    "mst": "mst",
+    "bfmst": "mst",
+    "kmst": "mst",
+    "linear_scan": "linear_scan",
+    "scan": "linear_scan",
+    "nn": "nn",
+    "range": "range",
+    "continuous_nn": "continuous_nn",
+    "cnn": "continuous_nn",
+    "time_relaxed": "time_relaxed",
+}
+
+#: Spec fields that ``options`` must never shadow (they would turn
+#: into duplicate keyword arguments at dispatch time).
+_RESERVED_OPTION_KEYS = frozenset(
+    {"kind", "query", "period", "k", "kernels", "deadline_ms", "trace"}
+)
+
+
+def encode_query(query) -> dict:
+    """Tagged JSON-ready encoding of a query object."""
+    if isinstance(query, Trajectory):
+        return {
+            "type": "trajectory",
+            "id": query.object_id,
+            "samples": [
+                [float(p.x), float(p.y), float(p.t)] for p in query.samples
+            ],
+        }
+    if isinstance(query, Point):
+        return {"type": "point", "x": float(query.x), "y": float(query.y)}
+    if isinstance(query, MBR2D):
+        return {
+            "type": "window",
+            "xmin": float(query.xmin),
+            "ymin": float(query.ymin),
+            "xmax": float(query.xmax),
+            "ymax": float(query.ymax),
+        }
+    raise QueryError(
+        f"unsupported query object {type(query).__name__}; expected "
+        f"Trajectory, Point or MBR2D"
+    )
+
+
+def decode_query(doc):
+    """Inverse of :func:`encode_query`; raises :class:`QueryError` on
+    malformed documents (bad tag, missing fields, invalid geometry)."""
+    if not isinstance(doc, dict):
+        raise QueryError(f"query must be a tagged object, got {type(doc).__name__}")
+    tag = doc.get("type")
+    try:
+        if tag == "trajectory":
+            return Trajectory(
+                doc["id"],
+                [(float(x), float(y), float(t)) for x, y, t in doc["samples"]],
+            )
+        if tag == "point":
+            return Point(float(doc["x"]), float(doc["y"]))
+        if tag == "window":
+            return MBR2D(
+                float(doc["xmin"]),
+                float(doc["ymin"]),
+                float(doc["xmax"]),
+                float(doc["ymax"]),
+            )
+    except QueryError:
+        raise
+    except Exception as exc:  # malformed coordinates, short samples, ...
+        raise QueryError(f"malformed {tag!r} query object: {exc}") from exc
+    raise QueryError(
+        f"unknown query type {tag!r}; expected trajectory, point or window"
+    )
+
+
+def _jsonable_option(value):
+    """Options travel on the wire: coerce the containers the in-process
+    API accepts (frozenset exclude_ids, tuples) into JSON equivalents."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+@dataclass
+class QuerySpec:
+    """One query, fully described — in process and on the wire.
+
+    ``kind`` selects the algorithm (``"mst"``, ``"linear_scan"``,
+    ``"nn"``, ``"range"``, ``"continuous_nn"``, ``"time_relaxed"``,
+    plus the aliases in :data:`KIND_ALIASES`); ``query`` is the
+    matching query object (trajectory, point or window); ``options``
+    passes algorithm-specific keywords through to the unified API
+    (``vmax``, ``exact``, ``grid``, ``exclude_ids``, ...).
+    ``kernels`` picks the hot-path implementation when the executing
+    context does not impose its own; ``deadline_ms`` is the caller's
+    latency budget, enforced by deadline-aware executors.
+    """
+
+    kind: str
+    query: object
+    period: tuple[float, float] | None = None
+    k: int = 1
+    options: dict = field(default_factory=dict)
+    kernels: str | None = None
+    deadline_ms: float | None = None
+
+    def canonical_kind(self) -> str:
+        try:
+            return KIND_ALIASES[self.kind]
+        except (KeyError, TypeError):
+            raise QueryError(
+                f"unknown query kind {self.kind!r}; expected one of "
+                f"{sorted(set(KIND_ALIASES.values()))}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "spec": SPEC_VERSION,
+            "kind": self.canonical_kind(),
+            "k": self.k,
+            "query": encode_query(self.query),
+            "period": (
+                [float(self.period[0]), float(self.period[1])]
+                if self.period is not None
+                else None
+            ),
+            "kernels": self.kernels,
+            "deadline_ms": (
+                float(self.deadline_ms) if self.deadline_ms is not None else None
+            ),
+            "options": {
+                name: _jsonable_option(value)
+                for name, value in sorted(self.options.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc) -> "QuerySpec":
+        """Validating inverse of :meth:`as_dict`.
+
+        Raises :class:`QueryError` on anything malformed — unknown
+        version or kind, bad ``k``/``period``/``deadline_ms``, options
+        that would shadow spec fields — so wire-facing callers can map
+        it straight to a 400.
+        """
+        if not isinstance(doc, dict):
+            raise QueryError(
+                f"query spec must be an object, got {type(doc).__name__}"
+            )
+        version = doc.get("spec", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise QueryError(
+                f"unsupported spec version {version!r} (this build speaks "
+                f"version {SPEC_VERSION})"
+            )
+        unknown = set(doc) - {
+            "spec", "kind", "k", "query", "period", "kernels",
+            "deadline_ms", "options",
+        }
+        if unknown:
+            raise QueryError(f"unknown spec fields {sorted(unknown)}")
+        if "kind" not in doc or "query" not in doc:
+            raise QueryError("query spec requires 'kind' and 'query'")
+        k = doc.get("k", 1)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise QueryError(f"k must be a positive integer, got {k!r}")
+        period = doc.get("period")
+        if period is not None:
+            if (
+                not isinstance(period, (list, tuple))
+                or len(period) != 2
+                or not all(isinstance(v, (int, float)) for v in period)
+            ):
+                raise QueryError(
+                    f"period must be [t_start, t_end] or null, got {period!r}"
+                )
+            period = (float(period[0]), float(period[1]))
+            if period[0] > period[1]:
+                raise QueryError(f"inverted period {period!r}")
+        kernels = doc.get("kernels")
+        if kernels not in (None, "auto", "numpy", "python"):
+            raise QueryError(
+                f"kernels must be auto|numpy|python or null, got {kernels!r}"
+            )
+        deadline_ms = doc.get("deadline_ms")
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                raise QueryError(
+                    f"deadline_ms must be a positive number, got {deadline_ms!r}"
+                )
+            deadline_ms = float(deadline_ms)
+        options = doc.get("options") or {}
+        if not isinstance(options, dict):
+            raise QueryError(f"options must be an object, got {options!r}")
+        shadowed = set(options) & _RESERVED_OPTION_KEYS
+        if shadowed:
+            raise QueryError(
+                f"options {sorted(shadowed)} shadow spec fields; set them "
+                f"as top-level spec fields instead"
+            )
+        options = dict(options)
+        if "exclude_ids" in options:
+            try:
+                options["exclude_ids"] = frozenset(options["exclude_ids"])
+            except TypeError:
+                raise QueryError(
+                    f"exclude_ids must be a list of ids, got "
+                    f"{options['exclude_ids']!r}"
+                ) from None
+        spec = cls(
+            kind=doc["kind"],
+            query=decode_query(doc["query"]),
+            period=period,
+            k=k,
+            options=options,
+            kernels=kernels,
+            deadline_ms=deadline_ms,
+        )
+        spec.canonical_kind()  # validates the kind eagerly
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "QuerySpec":
+        try:
+            doc = json.loads(text)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise QueryError(f"query spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str:
+        """Canonical identity of the *answer* this spec determines:
+        the wire form minus the deadline budget (two calls that differ
+        only in latency budget return the same result)."""
+        doc = self.as_dict()
+        del doc["deadline_ms"]
+        return json.dumps(doc, sort_keys=True)

@@ -1,0 +1,50 @@
+"""repro.serve — asyncio serving tier with admission control.
+
+A stdlib-only HTTP/1.1 front-end that multiplexes concurrent clients
+onto the blocking query engines (:class:`~repro.engine.QueryEngine`,
+:class:`~repro.engine.ShardedQueryEngine`,
+:class:`~repro.engine.LiveQueryEngine`) through a bounded thread pool.
+The wire format is the library's own
+:class:`~repro.search.spec.QuerySpec` / :class:`~repro.search.results
+.SearchResult` JSON envelopes — what a client POSTs to ``/v1/query``
+is byte-for-byte what :func:`repro.search.execute_spec` consumes
+in-process, so served answers carry no translation layer that could
+drift.
+
+Admission control is explicit and load-shedding, never queueing
+without bound:
+
+* at most ``max_inflight`` requests are admitted at once; the next
+  one is rejected immediately with ``429`` (``reason: overload``),
+* per-client token buckets (``quota_rps``/``quota_burst``) meter
+  sustained rates and answer ``429`` with ``Retry-After``,
+* every admitted request carries a deadline budget (its own
+  ``deadline_ms``, clamped to ``max_deadline_ms``) that the engine
+  enforces *inside* query execution — an expired budget surfaces as
+  ``504`` instead of a stuck worker,
+* a small LRU result cache keyed on the engine's freshness
+  :meth:`signature` serves repeated hot queries without touching the
+  pool, and invalidates the moment the index changes,
+* ``SIGTERM``/``SIGINT`` drain gracefully: stop accepting, finish the
+  admitted work, then exit.
+
+``GET /stats`` exposes the ``serve.*`` counters (see
+``docs/OBSERVABILITY.md``) together with the engine's own metrics.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .background import BackgroundServer
+from .cache import ResultCache
+from .client import ServeClient
+from .config import ServeConfig
+from .server import ReproServer
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundServer",
+    "ReproServer",
+    "ResultCache",
+    "ServeClient",
+    "ServeConfig",
+    "TokenBucket",
+]

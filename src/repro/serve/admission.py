@@ -1,0 +1,90 @@
+"""Admission control: bounded inflight slots and per-client quotas.
+
+Both mechanisms *shed* load instead of queueing it.  The inflight
+counter is the serving tier's only queue — when it is full the caller
+answers ``429`` immediately, so a burst of N requests costs O(N)
+rejection responses, never O(N) buffered bodies.  Token buckets meter
+sustained per-client rates; the bucket table is itself LRU-bounded so
+an adversarial spread of client ids cannot grow it without limit.
+
+Everything here runs on the event-loop thread, so plain integers and
+dicts suffice — no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` cap."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def acquire(self, now: float) -> float:
+        """Take one token.  Returns 0.0 on success, otherwise the
+        seconds to wait until a token will be available."""
+        elapsed = max(0.0, now - self.stamp)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Inflight slots plus an LRU table of per-client token buckets."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        quota_rps: float = 0.0,
+        quota_burst: int = 20,
+        max_clients: int = 1024,
+        clock=time.monotonic,
+    ) -> None:
+        self.max_inflight = max_inflight
+        self.quota_rps = quota_rps
+        self.quota_burst = quota_burst
+        self.max_clients = max_clients
+        self.clock = clock
+        self.inflight = 0
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    # -- inflight slots ------------------------------------------------
+    def try_admit(self) -> bool:
+        """Claim an execution slot; ``False`` means reject *now*."""
+        if self.inflight >= self.max_inflight:
+            return False
+        self.inflight += 1
+        return True
+
+    def release(self) -> None:
+        self.inflight -= 1
+
+    # -- per-client quotas ---------------------------------------------
+    def check_quota(self, client_id: str) -> float:
+        """Charge one request to ``client_id``.  Returns 0.0 when
+        admitted, otherwise the suggested ``Retry-After`` seconds."""
+        if self.quota_rps <= 0:
+            return 0.0
+        now = self.clock()
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.quota_rps, self.quota_burst, now)
+            self._buckets[client_id] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client_id)
+        return bucket.acquire(now)

@@ -1,0 +1,117 @@
+"""Blocking HTTP client for the serving tier.
+
+A thin wrapper over :mod:`http.client` keep-alive connections that
+speaks the tier's wire format: :class:`~repro.search.spec.QuerySpec`
+out, :class:`~repro.search.results.SearchResult` back.  One
+:class:`ServeClient` owns one connection — use one per thread (the
+load generator in ``benchmarks/bench_serving.py`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from ..exceptions import ServeError
+from ..search.results import SearchResult
+from ..search.spec import QuerySpec
+
+__all__ = ["ServeClient", "ServeRejected"]
+
+
+class ServeRejected(ServeError):
+    """A non-200 answer; carries the status and decoded error body."""
+
+    def __init__(self, status: int, doc: dict, retry_after: float | None):
+        self.status = status
+        self.reason = doc.get("error", "unknown")
+        self.detail = doc.get("detail", "")
+        self.retry_after = retry_after
+        super().__init__(f"HTTP {status} {self.reason}: {self.detail}")
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`~repro.serve.ReproServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.client_id = client_id
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict, bytes]:
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            payload = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            self._conn.close()
+            raise ServeError(f"transport failure: {exc!r}") from exc
+        return response.status, dict(response.headers), payload
+
+    @staticmethod
+    def _raise_for_status(status: int, headers: dict, payload: bytes) -> None:
+        if status == 200:
+            return
+        try:
+            doc = json.loads(payload.decode() or "{}")
+        except (ValueError, UnicodeDecodeError):
+            doc = {"error": "unknown", "detail": payload[:200].decode("latin-1")}
+        retry_after = None
+        raw = headers.get("Retry-After")
+        if raw is not None:
+            try:
+                retry_after = float(raw)
+            except ValueError:
+                pass
+        raise ServeRejected(status, doc, retry_after)
+
+    # ------------------------------------------------------------------
+    def query(self, spec: QuerySpec) -> SearchResult:
+        """POST the spec; returns the decoded result envelope.  Raises
+        :class:`ServeRejected` on any non-200 answer."""
+        status, headers, payload = self._request(
+            "POST", "/v1/query", spec.to_json().encode()
+        )
+        self._raise_for_status(status, headers, payload)
+        result = SearchResult.from_json(payload)
+        # annotation only — kept out of extras so answer_json() stays
+        # byte-identical to the in-process result
+        result.served_from_cache = headers.get("X-Repro-Cache") == "hit"
+        return result
+
+    def query_raw(self, body: bytes) -> tuple[int, dict, bytes]:
+        """POST raw bytes; returns ``(status, headers, payload)``
+        without interpretation — the rejection-path test hook."""
+        return self._request("POST", "/v1/query", body)
+
+    def stats(self) -> dict:
+        status, headers, payload = self._request("GET", "/stats")
+        self._raise_for_status(status, headers, payload)
+        return json.loads(payload.decode())
+
+    def health(self) -> bool:
+        status, _headers, _payload = self._request("GET", "/healthz")
+        return status == 200
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -11,7 +11,9 @@ import random
 
 import pytest
 
-from repro import RStarTree, RTree3D, STRTree, TBTree, Trajectory, bfmst_search, generate_gstd, linear_scan_kmst
+from repro import RStarTree, RTree3D, STRTree, TBTree, Trajectory, generate_gstd
+from repro.search.bfmst import bfmst_search
+from repro.search.linear_scan import linear_scan_kmst
 from repro.datagen import make_query
 from repro.exceptions import QueryError, TemporalCoverageError
 

@@ -17,11 +17,11 @@ from repro import (
     TBTree,
     Trajectory,
     TrajectoryDataset,
-    bfmst_search,
     generate_gstd,
-    linear_scan_kmst,
     make_workload,
 )
+from repro.search.bfmst import bfmst_search
+from repro.search.linear_scan import linear_scan_kmst
 
 coord = st.floats(min_value=-50.0, max_value=50.0)
 

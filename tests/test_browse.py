@@ -5,7 +5,8 @@ import random
 
 import pytest
 
-from repro import RTree3D, TBTree, bfmst_browse, generate_gstd, linear_scan_kmst
+from repro import RTree3D, TBTree, bfmst_browse, generate_gstd
+from repro.search.linear_scan import linear_scan_kmst
 from repro.datagen import make_query
 from repro.exceptions import QueryError, TemporalCoverageError
 from repro.trajectory import TrajectoryDataset

@@ -13,10 +13,10 @@ from repro import (
     RTree3D,
     Trajectory,
     TrajectoryDataset,
-    continuous_nearest_neighbour,
     distance_at,
     generate_gstd,
 )
+from repro.search.continuous_nn import continuous_nearest_neighbour
 from repro.exceptions import QueryError, TemporalCoverageError
 
 from conftest import straight_line

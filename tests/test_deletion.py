@@ -15,10 +15,10 @@ from repro import (
     RTree3D,
     STRTree,
     TBTree,
-    bfmst_search,
     generate_gstd,
-    linear_scan_kmst,
 )
+from repro.search.bfmst import bfmst_search
+from repro.search.linear_scan import linear_scan_kmst
 from repro.datagen import make_query
 from repro.exceptions import IndexError_, TrajectoryError
 from repro.index import NO_PAGE

@@ -7,7 +7,9 @@ import random
 
 import pytest
 
-from repro import RTree3D, TBTree, Trajectory, bfmst_search, generate_gstd, linear_scan_kmst
+from repro import RTree3D, TBTree, Trajectory, generate_gstd
+from repro.search.bfmst import bfmst_search
+from repro.search.linear_scan import linear_scan_kmst
 from repro.datagen import make_query
 from repro.exceptions import IndexError_, ReproError, StorageError
 from repro.storage import DiskPageFile, InMemoryPageFile, LRUBufferManager

@@ -143,7 +143,7 @@ class TestRangeQueryExactness:
     def test_exact_range_query_agrees_with_brute_force(
         self, built_index, small_dataset
     ):
-        from repro.search import range_query
+        from repro.search.range_query import range_query
 
         rng = random.Random(3)
         t0, t1 = small_dataset.time_span()

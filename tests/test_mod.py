@@ -4,11 +4,12 @@ import random
 
 import pytest
 
-from repro import MovingObjectDatabase, Trajectory, generate_gstd, linear_scan_kmst
+from repro import MovingObjectDatabase, Trajectory, generate_gstd
 from repro.datagen import make_query
 from repro.exceptions import QueryError
 from repro.geometry import MBR2D, Point
 from repro.search import nearest_neighbours_brute_force, range_query_brute_force
+from repro.search.linear_scan import linear_scan_kmst
 
 
 @pytest.fixture(scope="module")

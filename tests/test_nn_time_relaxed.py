@@ -8,10 +8,10 @@ from repro import (
     RTree3D,
     Trajectory,
     TrajectoryDataset,
-    nearest_neighbours,
     time_relaxed_dissim,
-    time_relaxed_kmst,
 )
+from repro.search.nn import nearest_neighbours
+from repro.search.time_relaxed import time_relaxed_kmst
 from repro.exceptions import QueryError
 from repro.geometry import Point
 from repro.search import nearest_neighbours_brute_force

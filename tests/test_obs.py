@@ -13,12 +13,12 @@ from repro import (
     NoopRegistry,
     QueryTrace,
     RTree3D,
-    bfmst_search,
     generate_gstd,
     make_workload,
     query_trace,
 )
 from repro.obs import DEFAULT_HISTOGRAM_BOUNDS, Histogram, state
+from repro.search.bfmst import bfmst_search
 from repro.obs.trace import _resolve_io
 
 

@@ -52,8 +52,8 @@ class TestRoundTrip:
         rng = random.Random(4)
         for _ in range(3):
             query, period = make_query(dataset, 0.2, rng)
-            got, _ = bfmst_search(loaded, query, period, k=3)
-            want, _ = bfmst_search(index, query, period, k=3)
+            got = bfmst_search(loaded, None, query, period=period, k=3).matches
+            want = bfmst_search(index, None, query, period=period, k=3).matches
             assert [m.trajectory_id for m in got] == [
                 m.trajectory_id for m in want
             ]
@@ -343,8 +343,8 @@ class TestDurability:
         loaded = load_index(path, verify=True)
         rng = random.Random(11)
         query, period = make_query(dataset, 0.2, rng)
-        got, _ = bfmst_search(loaded, query, period, k=3)
-        want, _ = bfmst_search(index, query, period, k=3)
+        got = bfmst_search(loaded, None, query, period=period, k=3).matches
+        want = bfmst_search(index, None, query, period=period, k=3).matches
         assert [m.trajectory_id for m in got] == [
             m.trajectory_id for m in want
         ]
@@ -384,7 +384,7 @@ class TestBackendIdentity:
                 query, period = make_query(dataset, 0.2, rng)
                 answers = []
                 for idx in (index, disk, mm):
-                    matches, _ = bfmst_search(idx, query, period, k=5)
+                    matches = bfmst_search(idx, None, query, period=period, k=5).matches
                     answers.append(
                         [
                             (m.trajectory_id, m.dissim, m.error_bound, m.exact)
@@ -484,8 +484,8 @@ class TestV1Migration:
             rng = random.Random(5)
             for _ in range(3):
                 query, period = make_query(dataset, 0.2, rng)
-                got, _ = bfmst_search(loaded, query, period, k=3)
-                want, _ = bfmst_search(index, query, period, k=3)
+                got = bfmst_search(loaded, None, query, period=period, k=3).matches
+                want = bfmst_search(index, None, query, period=period, k=3).matches
                 assert [
                     (m.trajectory_id, m.dissim) for m in got
                 ] == [(m.trajectory_id, m.dissim) for m in want]

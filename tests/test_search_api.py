@@ -1,5 +1,5 @@
-"""The unified search API: dual-form dispatch, deprecation warnings,
-SearchResult envelopes and cross-algorithm stats parity."""
+"""The unified search API: single-form dispatch, removed-legacy-form
+errors, SearchResult envelopes and cross-algorithm stats parity."""
 
 from __future__ import annotations
 
@@ -12,10 +12,12 @@ from repro.exceptions import QueryError
 from repro.geometry import MBR2D, Point
 from repro.index import RTree3D
 from repro.search import (
+    QuerySpec,
     SearchResult,
     SearchStats,
     bfmst_search,
     continuous_nearest_neighbour,
+    execute_spec,
     linear_scan_kmst,
     nearest_neighbours,
     range_query,
@@ -50,98 +52,87 @@ def qp(dataset):
     return q, p
 
 
-def _legacy(call):
-    """Run a legacy-form call asserting it warns exactly once."""
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        out = call()
-    deps = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-    assert len(deps) == 1, f"expected 1 DeprecationWarning, got {len(deps)}"
-    assert "unified form" in str(deps[0].message)
-    return out
-
-
 def _new(call):
-    """Run a new-form call asserting it does NOT warn."""
+    """Run a unified-form call asserting it does NOT warn."""
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
         return call()
 
 
-class TestDualFormDispatch:
-    def test_bfmst_both_forms_agree(self, index, qp):
+class TestUnifiedFormMatchesRaw:
+    """The unified dispatchers return exactly what the raw algorithm
+    implementations compute."""
+
+    def test_bfmst(self, index, qp):
         q, p = qp
-        legacy_matches, legacy_stats = _legacy(
-            lambda: bfmst_search(index, q, p, k=3)
-        )
+        raw_matches, raw_stats = raw_bfmst(index, q, p, 3)
         result = _new(lambda: bfmst_search(index, None, q, period=p, k=3))
         assert isinstance(result, SearchResult)
         assert result.algorithm == "bfmst"
-        assert result.ids == [m.trajectory_id for m in legacy_matches]
-        assert result.stats.node_accesses == legacy_stats.node_accesses
+        assert result.matches == raw_matches
+        assert result.stats.node_accesses == raw_stats.node_accesses
 
-    def test_linear_scan_both_forms_agree(self, dataset, qp):
+    def test_linear_scan(self, dataset, qp):
         q, p = qp
-        legacy = _legacy(lambda: linear_scan_kmst(dataset, q, p, 3, True))
+        raw = raw_scan(dataset, q, p, 3, True)
         result = _new(
             lambda: linear_scan_kmst(
                 None, dataset, q, period=p, k=3, exact=True
             )
         )
         assert result.algorithm == "linear_scan"
-        assert result.ids == [m.trajectory_id for m in legacy]
+        assert result.matches == raw
 
     def test_dataset_accepted_in_context_slot(self, dataset, qp):
         q, p = qp
         result = _new(lambda: linear_scan_kmst(dataset, None, q, period=p, k=2))
         assert result.algorithm == "linear_scan" and len(result) == 2
 
-    def test_nn_both_forms_agree(self, index, qp):
+    def test_nn(self, index, qp):
         _q, (lo, hi) = qp
         point = Point(0.5, 0.5)
-        legacy = _legacy(lambda: nearest_neighbours(index, point, lo, hi, 2))
+        raw = raw_nn(index, point, lo, hi, 2)
         result = _new(
             lambda: nearest_neighbours(
                 index, None, point, period=(lo, hi), k=2
             )
         )
         assert result.algorithm == "nn"
-        assert [(m.trajectory_id, m.dissim) for m in result.matches] == legacy
+        assert [(m.trajectory_id, m.dissim) for m in result.matches] == raw
 
-    def test_range_both_forms_agree(self, index, qp):
+    def test_range(self, index, qp):
         _q, (lo, hi) = qp
         window = MBR2D(0.25, 0.25, 0.75, 0.75)
-        legacy = _legacy(lambda: range_query(index, window, lo, hi))
+        raw = raw_range(index, window, lo, hi)
         result = _new(
             lambda: range_query(index, None, window, period=(lo, hi))
         )
         assert result.algorithm == "range"
-        assert set(result.ids) == legacy
-        assert result.extras["hit_ids"] == sorted(legacy)
+        assert set(result.ids) == raw
+        assert result.extras["hit_ids"] == sorted(raw)
 
-    def test_continuous_nn_both_forms_agree(self, index, dataset, qp):
+    def test_continuous_nn(self, index, dataset, qp):
         q, (lo, hi) = qp
-        legacy = _legacy(
-            lambda: continuous_nearest_neighbour(dataset, q, lo, hi)
-        )
+        raw = raw_cnn(dataset, q, lo, hi)
         result = _new(
             lambda: continuous_nearest_neighbour(
                 index, dataset, q, period=(lo, hi)
             )
         )
         assert result.algorithm == "continuous_nn"
-        assert result.intervals == legacy
+        # the index prunes candidates but must not change the partition
+        assert result.intervals == raw
         assert result.ids  # winners listed
 
-    def test_time_relaxed_both_forms_agree(self, dataset, qp):
+    def test_time_relaxed(self, dataset, qp):
         q, (lo, hi) = qp
         short = q.sliced(lo, lo + (hi - lo) * 0.5)
-        legacy = _legacy(lambda: time_relaxed_kmst(dataset, short, 2))
+        raw = raw_trx(dataset, short, 2)
         result = _new(lambda: time_relaxed_kmst(None, dataset, short, k=2))
         assert result.algorithm == "time_relaxed"
-        assert result.ids == [m.trajectory_id for m, _s in legacy]
+        assert result.ids == [m.trajectory_id for m, _s in raw]
         assert result.extras["shifts"] == {
-            m.trajectory_id: s for m, s in legacy
+            m.trajectory_id: s for m, s in raw
         }
 
     def test_new_form_requires_query(self, index):
@@ -276,24 +267,71 @@ class TestInternalCodeIsWarningClean:
             )
 
 
-class TestLegacyShapesPreserved:
-    """The deprecated forms return exactly the historical shapes."""
+class TestLegacyFormsRemoved:
+    """The pre-unification positional forms raise a clear TypeError
+    pointing at the unified replacement (they went through a full
+    DeprecationWarning cycle first)."""
 
-    def test_shapes(self, index, dataset, qp):
+    def test_every_legacy_form_raises(self, index, dataset, qp):
         q, p = qp
         lo, hi = p
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            matches, stats = bfmst_search(index, q, p, k=2)
-            assert matches == raw_bfmst(index, q, p, 2)[0]
-            assert isinstance(stats, SearchStats)
-            scan = linear_scan_kmst(dataset, q, p, 2)
-            assert scan == raw_scan(dataset, q, p, 2)
-            nn = nearest_neighbours(index, Point(0.5, 0.5), lo, hi, 2)
-            assert nn == raw_nn(index, Point(0.5, 0.5), lo, hi, 2)
-            hits = range_query(index, MBR2D(0.2, 0.2, 0.8, 0.8), lo, hi)
-            assert hits == raw_range(index, MBR2D(0.2, 0.2, 0.8, 0.8), lo, hi)
-            cnn = continuous_nearest_neighbour(dataset, q, lo, hi)
-            assert cnn == raw_cnn(dataset, q, lo, hi)
-            trx = time_relaxed_kmst(dataset, q.sliced(lo, (lo + hi) / 2), 1)
-            assert trx == raw_trx(dataset, q.sliced(lo, (lo + hi) / 2), 1)
+        calls = [
+            lambda: bfmst_search(index, q, p, k=2),
+            lambda: linear_scan_kmst(dataset, q, p, 2),
+            lambda: nearest_neighbours(index, Point(0.5, 0.5), lo, hi, 2),
+            lambda: range_query(index, MBR2D(0.2, 0.2, 0.8, 0.8), lo, hi),
+            lambda: continuous_nearest_neighbour(dataset, q, lo, hi),
+            lambda: time_relaxed_kmst(dataset, q.sliced(lo, (lo + hi) / 2), 1),
+        ]
+        for call in calls:
+            with pytest.raises(TypeError, match="was removed"):
+                call()
+
+    def test_error_carries_migration_hint(self, index, qp):
+        q, p = qp
+        with pytest.raises(TypeError) as err:
+            bfmst_search(index, q, p, k=2)
+        message = str(err.value)
+        assert "bfmst_search(index, None, query, k=...)" in message
+        assert "migration table" in message
+
+    def test_raw_implementations_stay_importable(self, index, qp):
+        q, p = qp
+        matches, stats = raw_bfmst(index, q, p, 2)
+        assert isinstance(stats, SearchStats)
+        assert matches
+
+
+class TestSpecAttachment:
+    """Every unified call stamps its QuerySpec on the result, and
+    re-executing that spec reproduces the answer."""
+
+    def test_all_entry_points_attach_a_spec(self, index, dataset, qp):
+        q, p = qp
+        results = [
+            bfmst_search(index, None, q, period=p, k=2),
+            linear_scan_kmst(None, dataset, q, period=p, k=2, exact=True),
+            nearest_neighbours(index, None, Point(0.5, 0.5), period=p, k=2),
+            range_query(index, None, MBR2D(0.2, 0.2, 0.8, 0.8), period=p),
+            continuous_nearest_neighbour(index, dataset, q, period=p),
+            time_relaxed_kmst(
+                None, dataset, q.sliced(p[0], (p[0] + p[1]) / 2), k=1
+            ),
+        ]
+        for result in results:
+            assert isinstance(result.spec, QuerySpec), result.algorithm
+            wire = result.spec.to_json()
+            again = execute_spec(
+                index, dataset, QuerySpec.from_json(wire)
+            )
+            assert again.answer_json() == result.answer_json(), result.algorithm
+
+    def test_spec_options_survive_the_wire(self, index, qp):
+        q, p = qp
+        result = bfmst_search(
+            index, None, q, period=p, k=3, exclude_ids={q.object_id},
+        )
+        spec = QuerySpec.from_json(result.spec.to_json())
+        assert spec.options["exclude_ids"] == frozenset({q.object_id})
+        again = execute_spec(index, None, spec)
+        assert again.answer_json() == result.answer_json()
