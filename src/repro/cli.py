@@ -269,7 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
     squery.add_argument("--k", type=int, default=5)
     squery.add_argument("--seed", type=int, default=1)
     squery.add_argument(
-        "--executor", choices=("serial", "thread"), default="serial"
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="shard fan-out: in-process serial/threaded, or one worker "
+        "process per shard over shared mmap pages",
     )
     squery.add_argument("--workers", type=int, default=None)
     add_backend_flag(squery)

@@ -16,9 +16,20 @@ from .engine import (
     QueryRequest,
     query_key,
 )
-from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .executor import (
+    ProcessPoolShardExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
 from .live import LiveQueryEngine
-from .planner import QueryPlanner, ShardPlan, budget_buffers
+from .planner import (
+    QueryPlanner,
+    ShardAnswer,
+    ShardPlan,
+    ShardSelection,
+    budget_buffers,
+)
 from .sharded import ShardedQueryEngine
 
 __all__ = [
@@ -35,8 +46,11 @@ __all__ = [
     "MindistCache",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessPoolShardExecutor",
     "make_executor",
     "QueryPlanner",
+    "ShardSelection",
     "ShardPlan",
+    "ShardAnswer",
     "budget_buffers",
 ]

@@ -1,4 +1,4 @@
-"""Batch executors: serial loop and thread pool over a read-only index.
+"""Batch executors: serial loop, thread pool, and process pool.
 
 The threaded executor exists because a k-MST batch is dominated by
 pure-Python geometry (MINDIST, trapezoid integrals) interleaved with
@@ -7,20 +7,36 @@ builds, the former.  The index must be treated as read-only for the
 duration — the engine enables the buffer manager's lock before
 spawning workers.  Request order is always preserved in the results.
 
-Executors are session objects: a :class:`ThreadedExecutor` creates its
-pool lazily on first use and **reuses it across batches** until
-:meth:`~ThreadedExecutor.close` (the engine owns one executor per
-session and closes it with the session).  Both kinds are context
-managers.
+The **process-pool executor** is the multicore path: each worker
+process opens the shard's page file itself (mmap pages are shared by
+the OS across workers, so resident memory stays flat) and communicates
+only through the picklable work-unit messages of
+:mod:`repro.engine.planner` — a :class:`~repro.engine.planner.ShardPlan`
+in, a :class:`~repro.engine.planner.ShardAnswer` out.  Workers are
+spawned once (forkserver where available, spawn otherwise) and keep a
+warm per-process index cache keyed by shard path + generation
+signature, so steady-state queries pay no open/teardown cost.
+
+Executors are session objects: the pooled kinds create their pool
+lazily on first use and **reuse it across batches** until ``close``
+(the engine owns one executor per session and closes it with the
+session).  All kinds are context managers.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
-__all__ = ["SerialExecutor", "ThreadedExecutor", "make_executor"]
+__all__ = [
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessPoolShardExecutor",
+    "make_executor",
+]
 
 
 class SerialExecutor:
@@ -84,10 +100,187 @@ class ThreadedExecutor:
         self.close()
 
 
+#: Per-worker-process warm index cache: ``shard_path -> (index,
+#: signature)``.  Lives in the *worker's* module globals — the parent
+#: process never populates it.  A plan whose signature no longer
+#: matches the cached store forces a reopen; a mismatch against the
+#: freshly opened file is a stale plan and an error.
+_WORKER_INDEXES: dict = {}
+
+
+def _worker_index(plan):
+    """Open (or reuse) the shard index named by ``plan`` in this
+    worker, validating the generation signature either way."""
+    from ..exceptions import QueryError
+    from ..index import load_index
+
+    cached = _WORKER_INDEXES.get(plan.shard_path)
+    if cached is not None:
+        index, signature = cached
+        if signature == plan.signature:
+            return index
+        # The store was rebuilt: drop the stale mapping and reopen.
+        del _WORKER_INDEXES[plan.shard_path]
+        index.pagefile.close()
+    index = load_index(
+        plan.shard_path,
+        plan.buffer_fraction,
+        plan.buffer_max_pages,
+        backend=plan.backend,
+    )
+    signature = (index.num_nodes, index.num_entries, index.root_page)
+    if signature != plan.signature:
+        index.pagefile.close()
+        raise QueryError(
+            f"shard {plan.shard_id} at {plan.shard_path} has signature "
+            f"{signature}, plan expected {plan.signature} — the store "
+            f"changed since the plan was built"
+        )
+    _WORKER_INDEXES[plan.shard_path] = (index, signature)
+    return index
+
+
+def _execute_shard_plan(plan):
+    """Search one shard in a worker process.
+
+    This is the module-level function the process pool imports by
+    reference.  It starts from a **fresh** :class:`MetricsRegistry`
+    (nothing inherited from the parent), so the counters it ships back
+    are per-call deltas by construction; the absolute
+    ``time.monotonic()`` deadline in the plan is checked up front and
+    enforced on the MINDIST hot path (the monotonic clock is
+    system-wide on Linux, so the parent's deadline is meaningful
+    here).  Returns a :class:`~repro.engine.planner.ShardAnswer`.
+    """
+    from ..distance.kernels import make_segment_dissim_batch
+    from ..exceptions import DeadlineExceeded
+    from ..index.mindist import make_mindist_batch, mindist
+    from ..obs import MetricsRegistry, query_trace
+    from ..search.bfmst import _TopK, _search_shard, _validate, candidate_records
+    from ..search.results import SearchStats
+    from .engine import _deadline_guard
+    from .planner import ShardAnswer
+
+    if plan.deadline is not None and time.monotonic() >= plan.deadline:
+        raise DeadlineExceeded(
+            f"deadline expired before shard {plan.shard_id} started"
+        )
+    index = _worker_index(plan)
+    spec = plan.spec
+    t_start, t_end = _validate(spec.query, spec.period, spec.k)
+    opts = spec.options
+    exclude_ids = frozenset(opts.get("exclude_ids") or ())
+
+    mindist_fn = None
+    mindist_batch_fn = None
+    segment_dissim_batch_fn = None
+    if plan.kernels is not None:
+        mindist_batch_fn = make_mindist_batch(plan.kernels)
+        segment_dissim_batch_fn = make_segment_dissim_batch(plan.kernels)
+    if plan.deadline is not None:
+        mindist_fn = _deadline_guard(mindist, plan.deadline)
+        if mindist_batch_fn is not None:
+            mindist_batch_fn = _deadline_guard(mindist_batch_fn, plan.deadline)
+
+    registry = MetricsRegistry()
+    stats = SearchStats(total_nodes=index.num_nodes)
+    with query_trace(
+        index, name=f"shard-{plan.shard_id}", registry=registry
+    ):
+        completed, valid = _search_shard(
+            index,
+            spec.query,
+            t_start,
+            t_end,
+            plan.vmax,
+            opts.get("use_heuristic1", True),
+            opts.get("use_heuristic2", True),
+            _TopK(spec.k),
+            exclude_ids,
+            stats,
+            mindist_fn=mindist_fn,
+            mindist_batch_fn=mindist_batch_fn,
+            segment_dissim_batch_fn=segment_dissim_batch_fn,
+        )
+        records = candidate_records(completed, valid, plan.vmax)
+    # The traversal's heap high-water lives in a worker-side gauge;
+    # carry it in the stats dict so the parent can surface it.
+    stats.heap_high_water = int(registry.gauge("index.heap_high_water").value)
+    return ShardAnswer.from_records(
+        plan.shard_id,
+        plan.signature,
+        records,
+        stats.as_dict(),
+        dict(registry.counters),
+    )
+
+
+class ProcessPoolShardExecutor:
+    """Run :class:`~repro.engine.planner.ShardPlan` work units on a
+    persistent pool of worker processes.
+
+    ``max_workers=None`` picks ``min(8, cpu_count)``.  Workers are
+    created lazily on the first :meth:`run_plans` with the forkserver
+    start method (falling back to spawn) and live until :meth:`close`;
+    each keeps a warm per-process index cache (see
+    :func:`_execute_shard_plan`), so only the first query against a
+    shard pays the open cost.  ``map`` — the in-process shard-callable
+    convention of the other executors — intentionally degrades to a
+    serial loop: closures over live engines cannot cross a process
+    boundary, and the sharded engine routes plan-shaped work through
+    :meth:`run_plans` instead.
+    """
+
+    kind = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        self.max_workers = max(1, max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                ctx = multiprocessing.get_context("forkserver")
+            except ValueError:  # pragma: no cover - platform-dependent
+                ctx = multiprocessing.get_context("spawn")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=ctx
+            )
+        return self._pool
+
+    def run_plans(self, plans: Sequence) -> list:
+        """Execute the plans (one per shard) and return their
+        :class:`~repro.engine.planner.ShardAnswer` s in plan order."""
+        if not plans:
+            return []
+        pool = self._ensure_pool()
+        return list(pool.map(_execute_shard_plan, plans))
+
+    def map(self, fn: Callable, requests: Sequence) -> list:
+        return SerialExecutor().map(fn, requests)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent); a later
+        :meth:`run_plans` re-creates it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def make_executor(kind: str, max_workers: int | None = None):
-    """``"serial"`` or ``"thread"`` → executor instance."""
+    """``"serial"``, ``"thread"`` or ``"process"`` → executor instance."""
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
         return ThreadedExecutor(max_workers)
-    raise ValueError(f"unknown executor kind {kind!r} (serial|thread)")
+    if kind == "process":
+        return ProcessPoolShardExecutor(max_workers)
+    raise ValueError(f"unknown executor kind {kind!r} (serial|thread|process)")

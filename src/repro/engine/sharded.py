@@ -28,12 +28,16 @@ from __future__ import annotations
 import time
 from pathlib import Path
 
+from ..distance.kernels import resolve_kernels
 from ..exceptions import DeadlineExceeded, QueryError
 from ..obs import MetricsRegistry
 from ..obs import state as _obs
 from ..search import api as _api
-from ..search.results import SearchResult
+from ..search import bfmst as _bfmst
+from ..search.results import SearchResult, SearchStats
+from ..search.spec import QuerySpec
 from ..sharding import ShardedIndex, load_sharded_index
+from ..sharding.persistence import read_manifest
 from ..trajectory import Trajectory, TrajectoryDataset, read_csv, read_json
 from .cache import DissimRefinementCache
 from .engine import (
@@ -45,7 +49,7 @@ from .engine import (
     query_key,
 )
 from .executor import make_executor
-from .planner import QueryPlanner, budget_buffers
+from .planner import QueryPlanner, ShardPlan, budget_buffers
 
 __all__ = ["ShardedQueryEngine"]
 
@@ -70,11 +74,37 @@ class ShardedQueryEngine:
         config: EngineConfig | None = None,
         buffer_fraction: float = SESSION_BUFFER_FRACTION,
         buffer_max_pages: int = 1000,
+        manifest_dir: str | Path | None = None,
+        backend: str = "disk",
     ):
         self.index = index
         self.dataset = dataset
         self.config = config or EngineConfig()
         self.metrics = MetricsRegistry()
+        self.backend = backend
+        self._buffer_fraction = buffer_fraction
+        self._buffer_max_pages = buffer_max_pages
+        # The process-pool path fans out *paths*, not objects: workers
+        # reopen the shard page files themselves, so the engine must
+        # know where they live.  Only engines opened from a manifest
+        # directory can use executor="process".
+        self.manifest_dir = str(manifest_dir) if manifest_dir is not None else None
+        if manifest_dir is not None:
+            directory = Path(manifest_dir)
+            manifest = read_manifest(directory)
+            self.shard_paths: list[str] | None = [
+                str(directory / record["file"])
+                for record in manifest["shards"]
+            ]
+        else:
+            self.shard_paths = None
+        if (self.config.executor == "process"
+                and self.shard_paths is None):
+            raise QueryError(
+                "executor=\"process\" needs shard page-file paths; open "
+                "the engine from a manifest directory "
+                "(ShardedQueryEngine.open(...)) or pass manifest_dir="
+            )
         # Global memory budget first, so the shard engines pin their
         # upper levels into correctly sized pools.
         self.buffer_capacities = budget_buffers(
@@ -146,6 +176,8 @@ class ShardedQueryEngine:
             config=config,
             buffer_fraction=buffer_fraction,
             buffer_max_pages=buffer_max_pages,
+            manifest_dir=manifest_dir,
+            backend=backend,
         )
 
     def enable_thread_safety(self) -> None:
@@ -238,6 +270,17 @@ class ShardedQueryEngine:
         self.metrics.inc(f"engine.queries.{kind}")
         if kind in ("linear_scan", "continuous_nn", "time_relaxed"):
             self._require_dataset(kind)
+        if kind == "mst" and self.executor.kind == "process":
+            # The multicore path: plans out, answers back.  Other kinds
+            # (dataset scans, point/range lookups) stay in-process —
+            # they are planner-light and not worth a process hop.
+            try:
+                result = self._execute_mst_process(request, deadline)
+            except DeadlineExceeded:
+                self.metrics.inc("engine.deadline_misses")
+                raise
+            self._record_shard_stats(result)
+            return result
         # Shard hooks are built on the calling thread (inside
         # search_hooks), so setting the shard engines' thread-local
         # deadline here lets the guard closures capture it even though
@@ -255,6 +298,167 @@ class ShardedQueryEngine:
         if kind == "mst":
             self._record_shard_stats(result)
         return result
+
+    #: The option keys the mst entry point accepts — the process path
+    #: validates against them so an unknown option raises the same
+    #: ``TypeError`` the in-process keyword dispatch would.
+    _MST_OPTIONS = frozenset(
+        {"vmax", "use_heuristic1", "use_heuristic2", "refine", "exclude_ids"}
+    )
+
+    def _execute_mst_process(
+        self, request: QueryRequest, deadline: float | None
+    ) -> SearchResult:
+        """Fan one k-MST query out to the process pool.
+
+        Builds one self-contained :class:`~repro.engine.planner.ShardPlan`
+        per selected shard (spec + shard path + generation signature +
+        parent-resolved ``vmax``/kernels + the absolute deadline), runs
+        them through :meth:`ProcessPoolShardExecutor.run_plans
+        <repro.engine.executor.ProcessPoolShardExecutor.run_plans>`,
+        validates every answer's generation signature against the open
+        store, and merges through the same
+        :func:`~repro.search.bfmst.merge_shard_records` the in-process
+        path uses — so the answer is byte-identical to the serial
+        executor by construction.  Worker counter deltas are folded
+        into the active trace registry *before* the merge so the
+        :class:`~repro.search.SearchStats` enrichment and per-shard
+        breakdown stay executor-agnostic.
+        """
+        query = request.query
+        if not isinstance(query, Trajectory):
+            raise QueryError("mst queries take a trajectory query object")
+        period = request.period
+        k = request.k
+        opts = request.options
+        unknown = set(opts) - self._MST_OPTIONS
+        if unknown:
+            raise TypeError(
+                f"bfmst_search() got unexpected options {sorted(unknown)}"
+            )
+        _bfmst._validate(query, period, k)
+        vmax = opts.get("vmax")
+        if vmax is None:
+            vmax = self.index.max_speed + query.max_speed()
+        if vmax < 0.0:
+            raise QueryError(f"negative vmax {vmax}")
+
+        selection = self.planner.plan(query, period)
+        self.metrics.inc("engine.planner.plans")
+        self.metrics.inc(
+            "engine.planner.shards_selected", len(selection.selected)
+        )
+        self.metrics.inc("engine.planner.shards_pruned", len(selection.pruned))
+
+        kernels_mode = (
+            self.config.kernels
+            if self.config.kernels is not None
+            else request.kernels
+        )
+        kernels = (
+            resolve_kernels(kernels_mode) if kernels_mode is not None else None
+        )
+        plans = [
+            ShardPlan(
+                spec=request,
+                shard_id=shard_id,
+                shard_path=self.shard_paths[shard_id],
+                signature=self.shard_engines[shard_id].signature(),
+                vmax=vmax,
+                deadline=deadline,
+                backend=self.backend,
+                kernels=kernels,
+                buffer_fraction=self._buffer_fraction,
+                buffer_max_pages=self._buffer_max_pages,
+            )
+            for shard_id in selection.selected
+        ]
+        answers = self.executor.run_plans(plans)
+
+        outcomes = []
+        for answer in answers:
+            self._validate_answer(answer)
+            outcomes.append(
+                (
+                    answer.shard_id,
+                    answer.to_records(),
+                    SearchStats.from_dict(answer.stats),
+                )
+            )
+
+        stats = SearchStats(total_nodes=self.index.num_nodes)
+        trace = _obs.ACTIVE
+        before = None
+        if trace is not None and trace.registry.enabled:
+            before = _bfmst._counters_before(trace)
+            reg = trace.registry
+            for answer in answers:
+                for name, value in answer.counters.items():
+                    if value:
+                        reg.inc(name, value)
+                high_water = answer.stats.get("heap_high_water", 0)
+                if high_water:
+                    reg.gauge("index.heap_high_water").record_max(high_water)
+        else:
+            trace = None
+
+        refinement_cache = None
+        if self.config.dissim_cache_size > 0:
+            span = tuple(period) if period is not None else (
+                query.t_start,
+                query.t_end,
+            )
+            refinement_cache = self.dissim_cache.view(query_key(query), span)
+
+        matches = _bfmst.merge_shard_records(
+            outcomes,
+            selected=selection.selected,
+            shard_nodes=[shard.num_nodes for shard in self.index.shards],
+            query=query,
+            k=k,
+            refine=opts.get("refine", True),
+            stats=stats,
+            refinement_cache=refinement_cache,
+            trace=trace,
+            before=before,
+        )
+        result = SearchResult("bfmst", matches, stats)
+        # Mirror the unified API's result envelope: the echoed spec is
+        # rebuilt with the same option normalisation the in-process
+        # dispatch applies.
+        echo_options: dict = {}
+        if opts.get("vmax") is not None:
+            echo_options["vmax"] = opts["vmax"]
+        if not opts.get("use_heuristic1", True):
+            echo_options["use_heuristic1"] = False
+        if not opts.get("use_heuristic2", True):
+            echo_options["use_heuristic2"] = False
+        if not opts.get("refine", True):
+            echo_options["refine"] = False
+        if opts.get("exclude_ids"):
+            echo_options["exclude_ids"] = frozenset(opts["exclude_ids"])
+        result.spec = QuerySpec(
+            "mst", query, period, k, echo_options, kernels=request.kernels
+        )
+        result.trace_id = None
+        return result
+
+    def _validate_answer(self, answer) -> None:
+        """Reject a :class:`~repro.engine.planner.ShardAnswer` whose
+        generation signature no longer matches the open store — merging
+        it would mix results from different index generations."""
+        if not 0 <= answer.shard_id < len(self.shard_engines):
+            raise QueryError(
+                f"shard answer names unknown shard {answer.shard_id} "
+                f"(engine has {len(self.shard_engines)})"
+            )
+        current = tuple(self.shard_engines[answer.shard_id].signature())
+        if tuple(answer.signature) != current:
+            raise QueryError(
+                f"shard {answer.shard_id} answer signature "
+                f"{tuple(answer.signature)} does not match the open "
+                f"store {current}; the index changed under the worker"
+            )
 
     def run_batch(self, requests: list[QueryRequest]) -> BatchResult:
         """Execute the batch and return answers in request order.

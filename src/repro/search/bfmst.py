@@ -60,7 +60,13 @@ from ..obs import state as _obs
 from ..trajectory import Trajectory
 from .results import MSTMatch, SearchStats
 
-__all__ = ["bfmst_search", "bfmst_search_sharded"]
+__all__ = [
+    "bfmst_search",
+    "bfmst_search_sharded",
+    "CandidateRecord",
+    "candidate_records",
+    "merge_shard_records",
+]
 
 
 class _Candidate:
@@ -86,6 +92,78 @@ class _Candidate:
         ):
             total = total + integral
         return total
+
+
+class CandidateRecord:
+    """One candidate's contribution to the global ranking, detached
+    from the live traversal state.
+
+    This is the neutral currency between a shard search and the merge
+    step: the in-process paths convert :class:`_Candidate` maps into
+    records (:func:`candidate_records`), and the process-pool executor
+    ships the same records across the process boundary inside a
+    columnar :class:`~repro.engine.planner.ShardAnswer`.  ``windows``
+    — ``(lo, hi, segment)`` triples, time-clipped — are carried only
+    for completed (``exact=True``) candidates so the merge step can
+    re-integrate them exactly during refinement.
+    """
+
+    __slots__ = ("tid", "dissim", "error_bound", "exact", "windows")
+
+    def __init__(
+        self,
+        tid: int,
+        dissim: float,
+        error_bound: float,
+        exact: bool,
+        windows: list[tuple[float, float, STSegment]] = (),
+    ) -> None:
+        self.tid = tid
+        self.dissim = dissim
+        self.error_bound = error_bound
+        self.exact = exact
+        self.windows = windows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CandidateRecord(tid={self.tid}, dissim={self.dissim!r}, "
+            f"error_bound={self.error_bound!r}, exact={self.exact}, "
+            f"windows={len(self.windows)})"
+        )
+
+
+def candidate_records(
+    completed: dict[int, "_Candidate"],
+    valid: dict[int, "_Candidate"],
+    vmax: float,
+) -> list[CandidateRecord]:
+    """Detach one shard's candidate maps into merge-ready records.
+
+    Completed candidates report their canonical time-ordered total
+    (value and Lemma 1 error bound) plus the retrieved windows for
+    exact refinement; never-completed candidates report their certified
+    PESDISSIM upper bound and carry no windows (they are never
+    refined).
+    """
+    records: list[CandidateRecord] = []
+    for cand in completed.values():
+        total = cand.total if cand.total is not None else cand.canonical_total()
+        records.append(
+            CandidateRecord(
+                cand.tid,
+                total.upper,
+                total.error_bound,
+                True,
+                [(lo, hi, seg) for lo, hi, seg, _integral in cand.windows],
+            )
+        )
+    for cand in valid.values():
+        records.append(
+            CandidateRecord(
+                cand.tid, cand.partial.pesdissim(vmax), 0.0, False, ()
+            )
+        )
+    return records
 
 
 class _TopK:
@@ -488,7 +566,12 @@ def bfmst_search(
         heap_scratch=heap_scratch,
     )
     matches = _assemble(
-        completed, valid, vmax, query, k, refine, stats, refinement_cache
+        candidate_records(completed, valid, vmax),
+        query,
+        k,
+        refine,
+        stats,
+        refinement_cache,
     )
     if trace is not None:
         _harvest(trace, stats, before)
@@ -604,7 +687,7 @@ def bfmst_search_sharded(
             ),
             heap_scratch=hooks.get("heap_scratch"),
         )
-        return shard_id, completed, valid, shard_stats
+        return shard_id, candidate_records(completed, valid, vmax), shard_stats
 
     if executor is not None and len(selected) > 1:
         # Engine executors use the (index, item) map convention.
@@ -612,12 +695,55 @@ def bfmst_search_sharded(
     else:
         outcomes = [run(sid) for sid in selected]
 
-    completed: dict[int, _Candidate] = {}
-    valid: dict[int, _Candidate] = {}
+    matches = merge_shard_records(
+        outcomes,
+        selected=selected,
+        shard_nodes=[shard.num_nodes for shard in shards],
+        query=query,
+        k=k,
+        refine=refine,
+        stats=stats,
+        refinement_cache=refinement_cache,
+        trace=trace,
+        before=before if trace is not None else None,
+    )
+    return matches, stats
+
+
+def merge_shard_records(
+    outcomes,
+    *,
+    selected: list[int],
+    shard_nodes: list[int],
+    query: Trajectory,
+    k: int,
+    refine: bool,
+    stats: SearchStats,
+    refinement_cache=None,
+    trace=None,
+    before=None,
+) -> list[MSTMatch]:
+    """Merge per-shard search outcomes into the global ranked answer.
+
+    ``outcomes`` is an iterable of ``(shard_id, records, shard_stats)``
+    triples — one per searched shard, each produced by
+    :func:`candidate_records` over that shard's traversal result.
+    Aggregates the shard counters into ``stats`` (including the
+    ``per_shard`` breakdown with pruned-shard rows, sized from
+    ``shard_nodes``), ranks/refines the concatenated records, and —
+    when ``trace``/``before`` are given — harvests the trace counters
+    exactly like the in-process path.
+
+    This is the *single* merge implementation: both the in-process
+    :func:`bfmst_search_sharded` and the process-pool executor path
+    (which reconstitutes records from :class:`ShardAnswer` buffers)
+    call it, so the two executors produce byte-identical results by
+    construction.
+    """
+    records: list[CandidateRecord] = []
     per_shard: list[dict] = []
-    for shard_id, shard_completed, shard_valid, s in outcomes:
-        completed.update(shard_completed)
-        valid.update(shard_valid)
+    for shard_id, shard_records, s in outcomes:
+        records.extend(shard_records)
         stats.node_accesses += s.node_accesses
         stats.leaf_accesses += s.leaf_accesses
         stats.internal_accesses += s.internal_accesses
@@ -648,7 +774,7 @@ def bfmst_search_sharded(
             }
         )
     searched = set(selected)
-    for shard_id in range(len(shards)):
+    for shard_id in range(len(shard_nodes)):
         if shard_id not in searched:
             per_shard.append(
                 {
@@ -660,23 +786,21 @@ def bfmst_search_sharded(
                     "candidates_created": 0,
                     "candidates_rejected": 0,
                     "terminated_early": False,
-                    "total_nodes": shards[shard_id].num_nodes,
+                    "total_nodes": shard_nodes[shard_id],
                 }
             )
     per_shard.sort(key=lambda row: row["shard"])
     stats.extra["per_shard"] = per_shard
     stats.extra["shards_searched"] = len(selected)
-    stats.extra["shards_pruned"] = len(shards) - len(selected)
+    stats.extra["shards_pruned"] = len(shard_nodes) - len(selected)
 
-    matches = _assemble(
-        completed, valid, vmax, query, k, refine, stats, refinement_cache
-    )
+    matches = _assemble(records, query, k, refine, stats, refinement_cache)
     if trace is not None:
         _harvest(trace, stats, before)
         reg = trace.registry
         reg.inc("search.bfmst.sharded_queries")
         reg.inc("search.bfmst.shards_searched", len(selected))
-        reg.inc("search.bfmst.shards_pruned", len(shards) - len(selected))
+        reg.inc("search.bfmst.shards_pruned", len(shard_nodes) - len(selected))
         for row in per_shard:
             if not row["pruned"]:
                 label = row["shard"]
@@ -689,38 +813,29 @@ def bfmst_search_sharded(
                     f"search.shard.{label}.entries_processed",
                     row["entries_processed"],
                 )
-    return matches, stats
+    return matches
 
 
 def _assemble(
-    completed: dict[int, _Candidate],
-    valid: dict[int, _Candidate],
-    vmax: float,
+    records: list[CandidateRecord],
     query: Trajectory,
     k: int,
     refine: bool,
     stats: SearchStats,
     refinement_cache=None,
 ) -> list[MSTMatch]:
-    """Rank the candidates, exactly re-integrating the ambiguous ones
-    (the paper's post-processing step, Section 4.4)."""
-    scored: list[MSTMatch] = []
-    for cand in completed.values():
-        total = cand.total if cand.total is not None else cand.canonical_total()
-        scored.append(
-            MSTMatch(cand.tid, total.upper, total.error_bound, exact=True)
-        )
-    for cand in valid.values():
-        # Never completed (terminated early, or the trajectory does not
-        # span the whole period): report the certified upper bound.
-        scored.append(
-            MSTMatch(cand.tid, cand.partial.pesdissim(vmax), 0.0, exact=False)
-        )
+    """Rank the candidate records, exactly re-integrating the ambiguous
+    ones (the paper's post-processing step, Section 4.4)."""
+    scored = [
+        MSTMatch(r.tid, r.dissim, r.error_bound, exact=r.exact)
+        for r in records
+    ]
     scored.sort(key=lambda m: (m.upper, m.trajectory_id))
     if not scored:
         return []
 
     if refine and _needs_refinement(scored, k):
+        by_tid = {r.tid: r for r in records}
         trace = _obs.ACTIVE
         timed = (
             trace.time("search.bfmst.refinement")
@@ -733,7 +848,7 @@ def _assemble(
             for m in scored:
                 if not (m.exact and m.error_bound > 0.0 and m.lower <= kth_upper):
                     continue
-                cand = completed[m.trajectory_id]
+                record = by_tid[m.trajectory_id]
                 # A completed candidate's windows tile the whole query
                 # period, so its exact total is a function of (query,
                 # period, trajectory) alone — safe to memoise across
@@ -747,8 +862,8 @@ def _assemble(
                     # Time-ordered summation: the exact value must not
                     # depend on segment arrival order either.
                     exact_total = 0.0
-                    for lo, hi, seg, _approx in sorted(
-                        cand.windows, key=lambda w: w[0]
+                    for lo, hi, seg in sorted(
+                        record.windows, key=lambda w: w[0]
                     ):
                         integral, _dl, _dh = segment_dissim(
                             query, seg, lo, hi, exact=True

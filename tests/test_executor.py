@@ -65,6 +65,7 @@ class TestSerialExecutor:
     def test_make_executor(self):
         assert make_executor("serial").kind == "serial"
         assert make_executor("thread", 3).kind == "thread"
+        assert make_executor("process", 2).kind == "process"
         with pytest.raises(ValueError):
             make_executor("fork")
 
