@@ -1,0 +1,185 @@
+"""Signature filter tier — pruning power and end-to-end cost.
+
+The filter (docs/FILTERING.md) checks a compact per-trajectory lower
+bound before BFMST touches a leaf page or integrates a candidate.
+This bench measures what that buys on a Table-2-scale GSTD workload,
+for both trees, over the real serving path (index saved with its
+signature sidecar, mmap-reloaded):
+
+* **exact-DISSIM refinements** — candidate windows actually integrated
+  (``dissim_evaluations``): every one the filter prunes is a candidate
+  whose exact DISSIM machinery never ran.  The post-processing
+  re-integrations (``refinement_candidates`` / ``refinement_skipped``)
+  are recorded alongside.
+* **node expansions** — index nodes read (``node_accesses``); the
+  filter's leaf-skip hook drops whole pages whose trajectories are all
+  settled.
+* **pruned fraction and q/s** — signature checks that pruned, and the
+  end-to-end throughput delta between ``filter="off"`` and ``"on"``.
+
+Answers are asserted byte-identical between the two modes (the
+filter's contract; tests/test_filter.py proves it exhaustively).
+
+Acceptance bars from the issue, judged on the TB-tree (whose
+single-trajectory leaves are what the leaf-skip was built for): >= 2x
+fewer exact-DISSIM refinements and >= 1.5x fewer node expansions.
+Human-readable table lands in ``benchmarks/results/``; the
+machine-readable document in ``BENCH_filter.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import RTree3D
+from repro.datagen import generate_gstd, make_workload
+from repro.experiments import format_table
+from repro.index.persistence import load_index, save_index
+from repro.index.tbtree import TBTree
+from repro.search import bfmst_search
+
+from conftest import emit, scaled
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_filter.json"
+
+REFINE_BAR = 2.0  # exact-DISSIM refinement reduction, filter off / on
+NODE_BAR = 1.5  # node-expansion reduction, filter off / on
+
+QUERIES = 12
+K = 5
+QUERY_LENGTH = 0.05  # fraction of the dataset window per query
+
+
+def _run_workload(index, workload, mode):
+    agg = {
+        "dissim_evaluations": 0,
+        "node_accesses": 0,
+        "refinement_candidates": 0,
+        "refinement_skipped": 0,
+        "signature_checks": 0,
+        "signature_pruned": 0,
+        "leaf_skips": 0,
+    }
+    answers = []
+    t0 = time.perf_counter()
+    for query, period in workload:
+        result = bfmst_search(
+            index, None, query, period=period, k=K, filter=mode,
+            kernels="auto",
+        )
+        answers.append(
+            [
+                (m.trajectory_id, m.dissim, m.error_bound, m.exact)
+                for m in result.matches
+            ]
+        )
+        stats = result.stats
+        for key in agg:
+            agg[key] += getattr(stats, key)
+    agg["wall_s"] = time.perf_counter() - t0
+    agg["qps"] = len(workload) / agg["wall_s"]
+    return agg, answers
+
+
+def test_filter_pruning(benchmark, tmp_path):
+    dataset = generate_gstd(
+        scaled(100), samples_per_object=scaled(25), seed=7
+    )
+    workload = make_workload(dataset, QUERIES, QUERY_LENGTH, seed=17)
+
+    per_tree = {}
+    rows = []
+    for cls, label in ((TBTree, "tbtree"), (RTree3D, "rtree")):
+        built = cls(page_size=512)
+        built.bulk_insert(dataset)
+        built.finalize()
+        path = tmp_path / f"{label}.pages"
+        meta = save_index(built, path, signatures=True)
+        index = load_index(path)
+        try:
+            off, answers_off = _run_workload(index, workload, "off")
+            on, answers_on = _run_workload(index, workload, "on")
+        finally:
+            if index.signatures is not None:
+                index.signatures.close()
+            index.pagefile.close()
+        # The filter's contract: the answer bytes never change.
+        assert answers_on == answers_off, label
+
+        refine_reduction = off["dissim_evaluations"] / max(
+            1, on["dissim_evaluations"]
+        )
+        node_reduction = off["node_accesses"] / max(1, on["node_accesses"])
+        pruned_fraction = on["signature_pruned"] / max(
+            1, on["signature_checks"]
+        )
+        per_tree[label] = {
+            "dissim_evaluations_off": off["dissim_evaluations"],
+            "dissim_evaluations_on": on["dissim_evaluations"],
+            "refine_reduction": refine_reduction,
+            "node_accesses_off": off["node_accesses"],
+            "node_accesses_on": on["node_accesses"],
+            "node_reduction": node_reduction,
+            "refinement_candidates_off": off["refinement_candidates"],
+            "refinement_candidates_on": on["refinement_candidates"],
+            "refinement_skipped": on["refinement_skipped"],
+            "leaf_skips": on["leaf_skips"],
+            "signature_checks": on["signature_checks"],
+            "signature_pruned": on["signature_pruned"],
+            "pruned_fraction": pruned_fraction,
+            "qps_off": off["qps"],
+            "qps_on": on["qps"],
+            "qps_delta": on["qps"] / off["qps"] - 1.0,
+            "sidecar_bytes": meta["signatures"]["bytes"],
+        }
+        rows.append(
+            [
+                label,
+                f"{off['dissim_evaluations']} -> {on['dissim_evaluations']}",
+                f"{refine_reduction:.2f}x",
+                f"{off['node_accesses']} -> {on['node_accesses']}",
+                f"{node_reduction:.2f}x",
+                f"{pruned_fraction:.0%}",
+                f"{off['qps']:.1f} -> {on['qps']:.1f}",
+            ]
+        )
+
+    doc = {
+        "bench": "filter",
+        "dataset": {
+            "kind": "gstd",
+            "objects": scaled(100),
+            "samples_per_object": scaled(25),
+            "seed": 7,
+        },
+        "workload": {
+            "queries": QUERIES,
+            "k": K,
+            "query_length": QUERY_LENGTH,
+            "seed": 17,
+        },
+        "bars": {"refine": REFINE_BAR, "nodes": NODE_BAR, "judged_on": "tbtree"},
+        "trees": per_tree,
+    }
+    text = format_table(
+        [
+            "tree",
+            "dissim evals",
+            "refine cut",
+            "node accesses",
+            "node cut",
+            "pruned",
+            "q/s off -> on",
+        ],
+        rows,
+        title=(
+            "Signature filter: exact-DISSIM and node-expansion reductions "
+            f"(GSTD {scaled(100)}x{scaled(25)}, k={K})"
+        ),
+    )
+    emit("filter", text, records=[doc])
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    judged = per_tree["tbtree"]
+    assert judged["refine_reduction"] >= REFINE_BAR, judged
+    assert judged["node_reduction"] >= NODE_BAR, judged

@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("index", help="output index file")
     build.add_argument("--tree", choices=_TREE_CHOICES, default="rtree")
     build.add_argument("--page-size", type=int, default=4096)
+    build.add_argument(
+        "--signatures", action=argparse.BooleanOptionalAction, default=True,
+        help="write the trajectory-signature sidecar (<index>.sig) that "
+        "powers the query-time filter tier (default: on)",
+    )
 
     info = sub.add_parser("info", help="describe a saved index")
     info.add_argument("index", help="index file")
@@ -107,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(default) picks numpy when importable",
         )
 
+    def add_filter_flag(p):
+        p.add_argument(
+            "--filter", choices=("auto", "on", "off"), default="auto",
+            help="signature filter tier: 'auto' (default) uses the "
+            "per-trajectory signature sidecar when the index carries "
+            "one, 'on' requires it, 'off' never consults it "
+            "(answers are byte-identical either way)",
+        )
+
     query = sub.add_parser("query", help="run a k-MST query")
     query.add_argument("index", help="index file")
     query.add_argument("dataset", help="dataset the query is drawn from")
@@ -122,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=1)
     add_backend_flag(query)
     add_kernels_flag(query)
+    add_filter_flag(query)
 
     stats = sub.add_parser(
         "stats",
@@ -150,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend_flag(stats)
     add_kernels_flag(stats)
+    add_filter_flag(stats)
 
     batch = sub.add_parser(
         "batch",
@@ -178,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend_flag(batch)
     add_kernels_flag(batch)
+    add_filter_flag(batch)
 
     serve = sub.add_parser(
         "serve",
@@ -233,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend_flag(serve)
     add_kernels_flag(serve)
+    add_filter_flag(serve)
 
     shard = sub.add_parser(
         "shard", help="build, query and inspect sharded indexes"
@@ -251,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitioner",
         choices=("round_robin", "hash", "spatial", "temporal"),
         default="hash",
+    )
+    sbuild.add_argument(
+        "--signatures", action=argparse.BooleanOptionalAction, default=True,
+        help="write a trajectory-signature sidecar per shard "
+        "(default: on)",
     )
 
     squery = shard_sub.add_parser(
@@ -278,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     squery.add_argument("--workers", type=int, default=None)
     add_backend_flag(squery)
     add_kernels_flag(squery)
+    add_filter_flag(squery)
 
     sinspect = shard_sub.add_parser(
         "inspect", help="describe a saved sharded index"
@@ -324,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
     iquery.add_argument("--k", type=int, default=5)
     iquery.add_argument("--seed", type=int, default=1)
     add_kernels_flag(iquery)
+    add_filter_flag(iquery)
 
     icompact = ingest_sub.add_parser(
         "compact", help="flush the memtable into a new generation"
@@ -389,11 +414,14 @@ def _cmd_build(args) -> int:
     start = time.perf_counter()
     index = build_index(coerced, args.tree, page_size=args.page_size)
     elapsed = time.perf_counter() - start
-    save_index(index, args.index)
+    meta = save_index(index, args.index, signatures=args.signatures)
+    suffix = ""
+    if meta.get("signatures"):
+        suffix = f" (+{meta['signatures']['trajectories']}-signature sidecar)"
     print(
         f"built {args.tree} over {index.num_entries} segments in "
         f"{elapsed:.1f}s: {index.num_nodes} nodes, {index.size_mb():.2f} MB "
-        f"-> {args.index}"
+        f"-> {args.index}{suffix}"
     )
     return 0
 
@@ -457,7 +485,7 @@ def _cmd_query(args) -> int:
         start = time.perf_counter()
         result = bfmst_search(
             index, None, query, period=(query.t_start, query.t_end),
-            k=args.k, kernels=args.kernels,
+            k=args.k, kernels=args.kernels, filter=args.filter,
         )
         matches, stats = result.matches, result.stats
         elapsed = time.perf_counter() - start
@@ -472,6 +500,12 @@ def _cmd_query(args) -> int:
             f"{stats.pruning_power:.1%} "
             f"({stats.node_accesses}/{stats.total_nodes} nodes)"
         )
+        if stats.signature_checks or stats.leaf_skips:
+            print(
+                f"filter: {stats.signature_pruned}/{stats.signature_checks} "
+                f"signature checks pruned, {stats.leaf_skips} leaves "
+                f"skipped, {stats.refinement_skipped} refinements skipped"
+            )
     finally:
         index.pagefile.close()
     return 0
@@ -497,7 +531,7 @@ def _cmd_stats(args) -> int:
             result = bfmst_search(
                 index, None, query,
                 period=(query.t_start, query.t_end), k=args.k,
-                kernels=args.kernels,
+                kernels=args.kernels, filter=args.filter,
             )
         matches, stats = result.matches, result.stats
         doc = {
@@ -541,7 +575,7 @@ def _cmd_batch(args) -> int:
 
     config = EngineConfig(
         executor=args.executor, max_workers=args.workers,
-        kernels=args.kernels,
+        kernels=args.kernels, filter=args.filter,
     )
     engine = QueryEngine.open(
         args.index, args.dataset, config=config, backend=args.backend
@@ -602,7 +636,8 @@ def _open_serving_engine(args):
     )
 
     config = EngineConfig(
-        executor="thread", max_workers=args.workers, kernels=args.kernels
+        executor="thread", max_workers=args.workers, kernels=args.kernels,
+        filter=args.filter,
     )
     target = Path(args.target)
     if target.is_dir():
@@ -717,7 +752,9 @@ def _cmd_shard_build(args) -> int:
     )
     elapsed = time.perf_counter() - start
     try:
-        save_sharded_index(sharded, args.directory)
+        save_sharded_index(
+            sharded, args.directory, signatures=args.signatures
+        )
         sizes = ", ".join(str(n) for n in sharded_ds.shard_sizes())
         print(
             f"built {args.shards}x {args.tree} ({args.partitioner} "
@@ -736,7 +773,7 @@ def _cmd_shard_query(args) -> int:
 
     config = EngineConfig(
         executor=args.executor, max_workers=args.workers,
-        kernels=args.kernels,
+        kernels=args.kernels, filter=args.filter,
     )
     engine = ShardedQueryEngine.open(
         args.directory, config=config, backend=args.backend
@@ -770,6 +807,12 @@ def _cmd_shard_query(args) -> int:
             f"{stats.extra.get('shards_searched', 0)} shards searched / "
             f"{stats.extra.get('shards_pruned', 0)} pruned"
         )
+        if stats.signature_checks or stats.leaf_skips:
+            print(
+                f"filter: {stats.signature_pruned}/{stats.signature_checks} "
+                f"signature checks pruned, {stats.leaf_skips} leaves "
+                f"skipped, {stats.refinement_skipped} refinements skipped"
+            )
         for row in stats.extra.get("per_shard", []):
             if row.get("pruned"):
                 print(f"  shard {row['shard']}: pruned by planner")
@@ -886,7 +929,7 @@ def _cmd_ingest_query(args) -> int:
         start = time.perf_counter()
         matches, stats = store.kmst(
             query, (query.t_start, query.t_end), k=args.k,
-            kernels=args.kernels,
+            kernels=args.kernels, filter=args.filter,
         )
         elapsed = time.perf_counter() - start
         print(

@@ -5,6 +5,7 @@ from .tdtr import (
     synchronized_euclidean_distance,
     td_tr,
     td_tr_fraction,
+    td_tr_with_radii,
     uniform_downsample,
 )
 
@@ -12,6 +13,7 @@ __all__ = [
     "synchronized_euclidean_distance",
     "td_tr",
     "td_tr_fraction",
+    "td_tr_with_radii",
     "douglas_peucker",
     "uniform_downsample",
 ]

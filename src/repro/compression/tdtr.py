@@ -22,6 +22,7 @@ __all__ = [
     "synchronized_euclidean_distance",
     "td_tr",
     "td_tr_fraction",
+    "td_tr_with_radii",
     "douglas_peucker",
     "uniform_downsample",
 ]
@@ -58,6 +59,36 @@ def td_tr_fraction(traj: Trajectory, p: float) -> Trajectory:
     if p == 0.0:
         return traj
     return td_tr(traj, p * traj.length())
+
+
+def td_tr_with_radii(
+    traj: Trajectory, tolerance: float
+) -> tuple[list[int], list[float]]:
+    """TD-TR selection plus a certified per-segment error radius.
+
+    Returns ``(kept, radii)`` where ``kept`` is the sorted list of kept
+    sample indexes and ``radii[j]`` is the maximum SED of the samples
+    dropped between ``kept[j]`` and ``kept[j+1]`` (0.0 when none were
+    dropped).  Because both the original trajectory and the simplified
+    polyline move linearly between samples, their distance at any time
+    ``t`` is a piecewise-linear function of ``t`` whose breakpoints are
+    the original sample times — so the maximum over the whole segment
+    equals the maximum SED at the dropped samples, and every point of
+    the original path stays within ``radii[j]`` of the simplified
+    segment at the synchronized timestamp.
+    """
+    if tolerance < 0.0:
+        raise TrajectoryError(f"negative tolerance {tolerance}")
+    kept = _select_indices(traj, tolerance, _sed_error)
+    radii: list[float] = []
+    for a, b in zip(kept, kept[1:]):
+        worst = 0.0
+        for i in range(a + 1, b):
+            err = synchronized_euclidean_distance(traj, i, a, b)
+            if err > worst:
+                worst = err
+        radii.append(worst)
+    return kept, radii
 
 
 def douglas_peucker(traj: Trajectory, tolerance: float) -> Trajectory:

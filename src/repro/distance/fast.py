@@ -41,7 +41,12 @@ def _numpy():
     if _np is None:
         try:
             import numpy
-        except ImportError as exc:
+
+            # Probe an attribute before memoising: a concurrent failed
+            # import can yield a half-initialized module object, which
+            # must not be cached as "numpy is available".
+            numpy.ndarray
+        except (ImportError, AttributeError) as exc:
             raise ImportError(
                 "repro.distance.fast needs numpy, which is an optional "
                 "extra: install it with `pip install numpy` (or the "

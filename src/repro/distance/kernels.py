@@ -56,7 +56,14 @@ def _numpy():
     if _np is None:
         try:
             import numpy
-        except ImportError as exc:
+
+            # A concurrent *failed* import can hand this thread the
+            # half-initialized module object (CPython returns the
+            # sys.modules entry it read before waiting on the import
+            # lock); probing an attribute rejects it instead of
+            # memoising a broken module for the rest of the process.
+            numpy.ndarray
+        except (ImportError, AttributeError) as exc:
             raise ImportError(
                 "kernels='numpy' needs numpy, which is an optional extra: "
                 "install it with `pip install numpy` (or the project's "

@@ -110,7 +110,10 @@ class EngineConfig:
     vectorised numpy kernels when numpy is importable and the
     pure-Python reference otherwise; ``"numpy"``/``"python"`` force
     one; ``None`` keeps the classic per-entry scalar path) — see
-    :mod:`repro.distance.kernels`.
+    :mod:`repro.distance.kernels`.  ``filter`` is the session default
+    for the signature filter tier (``"auto"``/``"on"``/``"off"``, see
+    :mod:`repro.filter`); a request that names a filter mode
+    explicitly overrides it.
     """
 
     dissim_cache_size: int = 4096
@@ -120,6 +123,7 @@ class EngineConfig:
     executor: str = "serial"
     max_workers: int | None = None
     kernels: str | None = "auto"
+    filter: str = "auto"
 
 
 #: ``QueryRequest`` was promoted to the public, wire-serializable
@@ -325,6 +329,7 @@ class QueryEngine:
         hooks: dict = {"heap_scratch": self._heap_scratch()}
         if not isinstance(query, Trajectory):
             return hooks
+        hooks["filter"] = self.config.filter
         key = query_key(query)
         span = tuple(period) if period is not None else (
             query.t_start,
@@ -413,7 +418,9 @@ class QueryEngine:
             self._require_dataset(kind)
         self._local.deadline = deadline
         try:
-            return _api.execute_spec(self, None, request)
+            result = _api.execute_spec(self, None, request)
+            self._mirror_filter_stats(result.stats)
+            return result
         except DeadlineExceeded:
             self.metrics.inc("engine.deadline_misses")
             raise
@@ -459,6 +466,23 @@ class QueryEngine:
             cache_counters=after,
             metrics=dict(self.metrics.counters),
         )
+
+    def _mirror_filter_stats(self, stats) -> None:
+        """Accumulate per-query signature-filter counters into the
+        session registry (they also surface per-query in the stats
+        block; the registry view feeds ``GET /stats``)."""
+        if (
+            stats.signature_checks
+            or stats.signature_pruned
+            or stats.leaf_skips
+            or stats.refinement_skipped
+        ):
+            self.metrics.inc("filter.signature_checks", stats.signature_checks)
+            self.metrics.inc("filter.pruned", stats.signature_pruned)
+            self.metrics.inc("filter.leaf_skips", stats.leaf_skips)
+            self.metrics.inc(
+                "filter.refinement_skipped", stats.refinement_skipped
+            )
 
     def _require_dataset(self, kind: str) -> TrajectoryDataset:
         if self.dataset is None:

@@ -121,6 +121,8 @@ def _worker_index(plan):
             return index
         # The store was rebuilt: drop the stale mapping and reopen.
         del _WORKER_INDEXES[plan.shard_path]
+        if index.signatures is not None:
+            index.signatures.close()
         index.pagefile.close()
     index = load_index(
         plan.shard_path,
@@ -130,6 +132,8 @@ def _worker_index(plan):
     )
     signature = (index.num_nodes, index.num_entries, index.root_page)
     if signature != plan.signature:
+        if index.signatures is not None:
+            index.signatures.close()
         index.pagefile.close()
         raise QueryError(
             f"shard {plan.shard_id} at {plan.shard_path} has signature "
@@ -156,7 +160,13 @@ def _execute_shard_plan(plan):
     from ..exceptions import DeadlineExceeded
     from ..index.mindist import make_mindist_batch, mindist
     from ..obs import MetricsRegistry, query_trace
-    from ..search.bfmst import _TopK, _search_shard, _validate, candidate_records
+    from ..search.bfmst import (
+        _TopK,
+        _search_shard,
+        _validate,
+        candidate_records,
+        make_signature_filter,
+    )
     from ..search.results import SearchStats
     from .engine import _deadline_guard
     from .planner import ShardAnswer
@@ -182,6 +192,18 @@ def _execute_shard_plan(plan):
         if mindist_batch_fn is not None:
             mindist_batch_fn = _deadline_guard(mindist_batch_fn, plan.deadline)
 
+    # The sidecar (auto-attached by load_index) feeds a worker-local
+    # signature filter; ``plan.filter`` is the parent-resolved mode.
+    sig_filter = make_signature_filter(
+        index,
+        spec.query,
+        t_start,
+        t_end,
+        plan.vmax,
+        getattr(plan, "filter", "auto"),
+        plan.kernels,
+    )
+
     registry = MetricsRegistry()
     stats = SearchStats(total_nodes=index.num_nodes)
     with query_trace(
@@ -201,6 +223,7 @@ def _execute_shard_plan(plan):
             mindist_fn=mindist_fn,
             mindist_batch_fn=mindist_batch_fn,
             segment_dissim_batch_fn=segment_dissim_batch_fn,
+            sig_filter=sig_filter,
         )
         records = candidate_records(completed, valid, plan.vmax)
     # The traversal's heap high-water lives in a worker-side gauge;

@@ -46,6 +46,7 @@ class LiveQueryEngine:
         self.executor = make_executor(
             self.config.executor, self.config.max_workers
         )
+        self._filter_counters: dict[str, int] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -82,6 +83,7 @@ class LiveQueryEngine:
             )
         opts = dict(request.options)
         opts.setdefault("kernels", self.config.kernels)
+        opts.setdefault("filter", self.config.filter)
         views = []
         try:
             for store in self.stores:
@@ -92,6 +94,16 @@ class LiveQueryEngine:
         finally:
             for view in views:
                 view.close()
+        for name, value in (
+            ("filter.signature_checks", stats.signature_checks),
+            ("filter.pruned", stats.signature_pruned),
+            ("filter.leaf_skips", stats.leaf_skips),
+            ("filter.refinement_skipped", stats.refinement_skipped),
+        ):
+            if value:
+                self._filter_counters[name] = (
+                    self._filter_counters.get(name, 0) + value
+                )
         return SearchResult(
             algorithm="bfmst", matches=matches, stats=stats, spec=request
         )
@@ -132,11 +144,15 @@ class LiveQueryEngine:
 
     # ------------------------------------------------------------------
     def counters(self) -> dict[str, int]:
-        """Summed ingest counters across the stores."""
+        """Summed ingest counters across the stores, plus the
+        signature-filter counters of queries served by this engine
+        (``GET /stats`` shows both for a live target)."""
         out: dict[str, int] = {}
         for store in self.stores:
             for name, value in store.metrics.counters.items():
                 out[name] = out.get(name, 0) + value
+        for name, value in self._filter_counters.items():
+            out[name] = out.get(name, 0) + value
         return out
 
     def close(self) -> None:

@@ -95,6 +95,10 @@ class ShardPlan:
       every executor.
     * ``kernels`` — the parent-resolved concrete kernel mode (never
       ``"auto"``: resolution happens once, in one process).
+    * ``filter`` — the parent-resolved signature-filter mode
+      (``auto``/``on``/``off``, see :mod:`repro.filter`); the worker
+      builds its own :class:`~repro.filter.SignatureFilter` from the
+      sidecar it mmaps next to ``shard_path``.
     """
 
     spec: QuerySpec
@@ -105,6 +109,7 @@ class ShardPlan:
     deadline: float | None = None
     backend: str = "mmap"
     kernels: str | None = None
+    filter: str = "auto"
     buffer_fraction: float = 0.10
     buffer_max_pages: int = 1000
 
@@ -124,6 +129,7 @@ class ShardPlan:
             ),
             "backend": self.backend,
             "kernels": self.kernels,
+            "filter": self.filter,
             "buffer_fraction": float(self.buffer_fraction),
             "buffer_max_pages": int(self.buffer_max_pages),
         }
@@ -171,6 +177,13 @@ class ShardPlan:
             f"plan kernels must be numpy|python or null (auto must be "
             f"resolved by the parent), got {kernels!r}",
         )
+        # Absent in plans from older writers: default to "auto" (filter
+        # iff the worker finds a sidecar), which preserves answers.
+        filter_mode = doc.get("filter", "auto")
+        _require(
+            filter_mode in ("auto", "on", "off"),
+            f"plan filter must be auto|on|off, got {filter_mode!r}",
+        )
         return cls(
             spec=QuerySpec.from_dict(doc.get("spec")),
             shard_id=shard_id,
@@ -180,6 +193,7 @@ class ShardPlan:
             deadline=float(deadline) if deadline is not None else None,
             backend=doc.get("backend", "mmap"),
             kernels=kernels,
+            filter=filter_mode,
             buffer_fraction=float(doc.get("buffer_fraction", 0.10)),
             buffer_max_pages=int(doc.get("buffer_max_pages", 1000)),
         )

@@ -217,7 +217,11 @@ class ShardedQueryEngine:
             # The merge-step refinement uses the global cache below.
             hooks.pop("refinement_cache", None)
             shard_hooks[shard_id] = hooks
-        out: dict = {"selected": plan.selected, "shard_hooks": shard_hooks}
+        out: dict = {
+            "selected": plan.selected,
+            "shard_hooks": shard_hooks,
+            "filter": self.config.filter,
+        }
         if self.config.kernels is not None:
             # Per-shard batch fns are already in shard_hooks; this makes
             # the mode visible to the cross-shard driver for any shard
@@ -303,7 +307,14 @@ class ShardedQueryEngine:
     #: validates against them so an unknown option raises the same
     #: ``TypeError`` the in-process keyword dispatch would.
     _MST_OPTIONS = frozenset(
-        {"vmax", "use_heuristic1", "use_heuristic2", "refine", "exclude_ids"}
+        {
+            "vmax",
+            "use_heuristic1",
+            "use_heuristic2",
+            "refine",
+            "exclude_ids",
+            "filter",
+        }
     )
 
     def _execute_mst_process(
@@ -336,12 +347,18 @@ class ShardedQueryEngine:
             raise TypeError(
                 f"bfmst_search() got unexpected options {sorted(unknown)}"
             )
-        _bfmst._validate(query, period, k)
+        t_start, t_end = _bfmst._validate(query, period, k)
         vmax = opts.get("vmax")
         if vmax is None:
             vmax = self.index.max_speed + query.max_speed()
         if vmax < 0.0:
             raise QueryError(f"negative vmax {vmax}")
+        filter_mode = opts.get("filter", self.config.filter)
+        if filter_mode not in _bfmst.FILTER_MODES:
+            raise QueryError(
+                f"filter must be one of {list(_bfmst.FILTER_MODES)}, "
+                f"got {filter_mode!r}"
+            )
 
         selection = self.planner.plan(query, period)
         self.metrics.inc("engine.planner.plans")
@@ -368,12 +385,36 @@ class ShardedQueryEngine:
                 deadline=deadline,
                 backend=self.backend,
                 kernels=kernels,
+                filter=filter_mode,
                 buffer_fraction=self._buffer_fraction,
                 buffer_max_pages=self._buffer_max_pages,
             )
             for shard_id in selection.selected
         ]
         answers = self.executor.run_plans(plans)
+
+        # Parent-side signature filters (over the parent's own mmapped
+        # sidecars) drive the merge step's refinement skip — the same
+        # bounds the workers used, so the process hop changes nothing.
+        shard_filters = []
+        for shard_id in selection.selected:
+            filt = _bfmst.make_signature_filter(
+                self.index.shards[shard_id],
+                query,
+                t_start,
+                t_end,
+                vmax,
+                filter_mode,
+                kernels,
+            )
+            if filt is not None:
+                shard_filters.append(filt)
+
+        def merged_sig_lookup(tid: int):
+            for filt in shard_filters:
+                if tid in filt.sigs:
+                    return filt.bound(tid)
+            return None
 
         outcomes = []
         for answer in answers:
@@ -421,6 +462,7 @@ class ShardedQueryEngine:
             refinement_cache=refinement_cache,
             trace=trace,
             before=before,
+            sig_lookup=merged_sig_lookup if shard_filters else None,
         )
         result = SearchResult("bfmst", matches, stats)
         # Mirror the unified API's result envelope: the echoed spec is
@@ -437,6 +479,8 @@ class ShardedQueryEngine:
             echo_options["refine"] = False
         if opts.get("exclude_ids"):
             echo_options["exclude_ids"] = frozenset(opts["exclude_ids"])
+        if opts.get("filter", "auto") != "auto":
+            echo_options["filter"] = opts["filter"]
         result.spec = QuerySpec(
             "mst", query, period, k, echo_options, kernels=request.kernels
         )
@@ -502,6 +546,19 @@ class ShardedQueryEngine:
     def _record_shard_stats(self, result: SearchResult) -> None:
         """Mirror the per-shard breakdown of one k-MST answer into the
         engine registry (shard-labelled counters)."""
+        stats = result.stats
+        if (
+            stats.signature_checks
+            or stats.signature_pruned
+            or stats.leaf_skips
+            or stats.refinement_skipped
+        ):
+            self.metrics.inc("filter.signature_checks", stats.signature_checks)
+            self.metrics.inc("filter.pruned", stats.signature_pruned)
+            self.metrics.inc("filter.leaf_skips", stats.leaf_skips)
+            self.metrics.inc(
+                "filter.refinement_skipped", stats.refinement_skipped
+            )
         for row in result.stats.extra.get("per_shard", ()):
             label = row["shard"]
             if row.get("pruned"):

@@ -1,0 +1,348 @@
+"""Query-time signature evaluation: provable DISSIM lower bounds.
+
+For one query ``Q`` over period ``[t1, tn]`` with relative speed bound
+``V_max``, :class:`SignatureFilter` turns a trajectory's signature into
+a number ``lb`` with ``lb <= DISSIM(Q, S, t1, tn)``.  Two independent
+bounds are combined with ``max``:
+
+**Probe bound.**  The covered stretch ``[lo, hi]`` (period ∩ signature
+span) is cut into ``M`` equal subintervals probed at their midpoints
+``t_j``.  The true position at ``t_j`` lies within the segment radius
+``r_j`` of the simplified polyline (the TD-TR radii are certified), so
+``d_j = max(0, |Q(t_j) - P(t_j)| - r_j) <= d(t_j)``, and the distance
+function is ``V_max``-Lipschitz, so over the whole subinterval
+``d(t) >= max(0, d_j - V_max |t - t_j|)``.  Integrating that hinge
+exactly gives, with ``L`` the subinterval length and ``c = V_max L/2``:
+``d_j L - V_max L^2/4`` when ``d_j >= c``, else ``d_j^2 / V_max``.
+Summing the ``M`` pieces lower-bounds the integral over ``[lo, hi]``,
+and the integrand is non-negative elsewhere, so the sum lower-bounds
+the full DISSIM.
+
+**Cell bound.**  The query's path cells and the trajectory's signature
+cells are conservative covers, so the distance at any covered time is
+at least the minimal gap between the two cell sets:
+``g = min over pairs of max((|dcx|-1)^+ cell_w, (|dcy|-1)^+ cell_h)``;
+``g * |period ∩ span|`` lower-bounds the integral.
+
+Both bounds are valid for *partial* candidates too: a candidate's
+reported value is always an upper bound on (or the exact value of) its
+full-period DISSIM, which the signature bound lower-bounds.
+
+The numpy kernel performs the exact same IEEE operations in the same
+order as the scalar fallback (interpolation as ``x_i + frac * (x_{i+1}
+- x_i)``, ``sqrt(dx*dx + dy*dy)``, per-probe hinge, final sum
+accumulated by a Python loop in both paths), so the two are bit-equal
+and ``kernels=`` never changes an answer.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+from ..distance.kernels import _numpy
+from ..exceptions import QueryError
+from .signature import TrajectorySignatures, rasterize_cells, unpack_cell
+
+__all__ = ["SignatureFilter", "DEFAULT_PROBES"]
+
+#: Number of midpoint probes per bound evaluation.  More probes tighten
+#: the Lipschitz slack (the subintervals shrink) at linear cost.
+DEFAULT_PROBES = 32
+
+
+class SignatureFilter:
+    """Per-query evaluator of the signature lower bounds.
+
+    One instance is built per ``(query, period, vmax)`` triple — the
+    engine creates it at the top of each search — and memoises the
+    per-trajectory bounds, so repeated checks against a tightening
+    threshold cost one dict lookup.
+
+    ``kernels`` must be concrete (``"numpy"`` or ``"python"``); the
+    ``"auto"`` resolution happens in the search layer alongside the
+    distance kernels.
+    """
+
+    __slots__ = (
+        "sigs",
+        "query",
+        "t_start",
+        "t_end",
+        "vmax",
+        "kernels",
+        "probes",
+        "checks",
+        "pruned",
+        "_bounds",
+        "_query_cells",
+        "_query_cells_np",
+        "_qpos",
+        "_np",
+    )
+
+    def __init__(
+        self,
+        sigs: TrajectorySignatures,
+        query,
+        t_start: float,
+        t_end: float,
+        vmax: float,
+        *,
+        kernels: str = "python",
+        probes: int = DEFAULT_PROBES,
+    ) -> None:
+        if kernels not in ("numpy", "python"):
+            raise QueryError(
+                f"filter kernels must be 'numpy' or 'python', got {kernels!r}"
+            )
+        if vmax < 0.0:
+            raise QueryError(f"negative vmax {vmax}")
+        if probes < 1:
+            raise QueryError(f"probes must be >= 1, got {probes}")
+        self.sigs = sigs
+        self.query = query
+        self.t_start = t_start
+        self.t_end = t_end
+        self.vmax = vmax
+        self.kernels = kernels
+        self.probes = probes
+        self.checks = 0
+        self.pruned = 0
+        self._bounds: dict[int, float | None] = {}
+        self._query_cells: tuple[list[int], list[int]] | None = None
+        self._query_cells_np = None
+        self._qpos: dict[tuple[float, float], tuple[list, list]] = {}
+        self._np = _numpy() if kernels == "numpy" else None
+
+    # ------------------------------------------------------------------
+    # pruning interface
+    # ------------------------------------------------------------------
+    def should_prune(self, tid: int, threshold: float) -> bool:
+        """True when the signature certifies ``DISSIM > threshold``.
+
+        Strict comparison: equality never prunes, mirroring the strict
+        inequalities of Heuristics 1/2, so a pruned candidate provably
+        cannot displace any answer-set member.
+        """
+        self.checks += 1
+        lb = self.bound(tid)
+        if lb is not None and lb > threshold:
+            self.pruned += 1
+            return True
+        return False
+
+    def page_tids(self, page_id: int):
+        return self.sigs.page_tids(page_id)
+
+    def bound(self, tid: int) -> float | None:
+        """Memoised lower bound for one trajectory (``None`` when the
+        sidecar has no signature for it — never prune then)."""
+        try:
+            return self._bounds[tid]
+        except KeyError:
+            pass
+        knots = self.sigs.knots(tid)
+        lb = None if knots is None else self._evaluate(tid, knots)
+        self._bounds[tid] = lb
+        return lb
+
+    # ------------------------------------------------------------------
+    # bound evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self, tid: int, knots) -> float:
+        kt, kx, ky, radii = knots
+        lo = kt[0] if kt[0] > self.t_start else self.t_start
+        hi = kt[-1] if kt[-1] < self.t_end else self.t_end
+        if lo >= hi:
+            return 0.0
+        lb_cells = self._cell_gap(tid) * (hi - lo)
+        if len(kt) < 2:
+            return lb_cells
+        if self.kernels == "numpy":
+            lb_probe = self._probe_bound_numpy(kt, kx, ky, radii, lo, hi)
+        else:
+            lb_probe = self._probe_bound_python(kt, kx, ky, radii, lo, hi)
+        return lb_probe if lb_probe > lb_cells else lb_cells
+
+    def _probe_times(self, lo: float, hi: float) -> tuple[float, list[float]]:
+        span = hi - lo
+        m = self.probes
+        length = span / m
+        return length, [lo + (j + 0.5) * length for j in range(m)]
+
+    def _query_positions(
+        self, lo: float, hi: float, times: list[float]
+    ) -> tuple[list, list]:
+        # Scalar interpolation against the query polyline on both
+        # kernel paths — identical values by construction.  Memoised by
+        # probe window: trajectories spanning the whole query period
+        # (the common case) share one evaluation.
+        cached = self._qpos.get((lo, hi))
+        if cached is not None:
+            return cached
+        qx: list[float] = []
+        qy: list[float] = []
+        for t in times:
+            p = self.query.position_at(t)
+            qx.append(p.x)
+            qy.append(p.y)
+        self._qpos[(lo, hi)] = (qx, qy)
+        return qx, qy
+
+    def _probe_bound_python(self, kt, kx, ky, radii, lo, hi) -> float:
+        length, times = self._probe_times(lo, hi)
+        qx, qy = self._query_positions(lo, hi, times)
+        vmax = self.vmax
+        cap = vmax * length * 0.5
+        last = len(kt) - 2
+        contributions = []
+        for j, t in enumerate(times):
+            idx = bisect_right(kt, t) - 1
+            if idx < 0:
+                idx = 0
+            elif idx > last:
+                idx = last
+            frac = (t - kt[idx]) / (kt[idx + 1] - kt[idx])
+            px = kx[idx] + frac * (kx[idx + 1] - kx[idx])
+            py = ky[idx] + frac * (ky[idx + 1] - ky[idx])
+            dx = qx[j] - px
+            dy = qy[j] - py
+            d = math.sqrt(dx * dx + dy * dy) - radii[idx]
+            if d < 0.0:
+                d = 0.0
+            if vmax > 0.0:
+                if d >= cap:
+                    c = d * length - vmax * length * length * 0.25
+                else:
+                    c = d * d / vmax
+            else:
+                c = d * length
+            contributions.append(c)
+        total = 0.0
+        for c in contributions:
+            total += c
+        return total
+
+    def _probe_bound_numpy(self, kt, kx, ky, radii, lo, hi) -> float:
+        np = self._np
+        length, times = self._probe_times(lo, hi)
+        qx, qy = self._query_positions(lo, hi, times)
+        vmax = self.vmax
+        cap = vmax * length * 0.5
+        t = np.asarray(times, dtype=np.float64)
+        kt_a = np.asarray(kt, dtype=np.float64)
+        kx_a = np.asarray(kx, dtype=np.float64)
+        ky_a = np.asarray(ky, dtype=np.float64)
+        r_a = np.asarray(radii, dtype=np.float64)
+        idx = np.searchsorted(kt_a, t, side="right") - 1
+        np.clip(idx, 0, len(kt) - 2, out=idx)
+        frac = (t - kt_a[idx]) / (kt_a[idx + 1] - kt_a[idx])
+        px = kx_a[idx] + frac * (kx_a[idx + 1] - kx_a[idx])
+        py = ky_a[idx] + frac * (ky_a[idx + 1] - ky_a[idx])
+        dx = np.asarray(qx, dtype=np.float64) - px
+        dy = np.asarray(qy, dtype=np.float64) - py
+        d = np.sqrt(dx * dx + dy * dy) - r_a[idx]
+        np.maximum(d, 0.0, out=d)
+        if vmax > 0.0:
+            far = d * length - vmax * length * length * 0.25
+            near = d * d / vmax
+            contributions = np.where(d >= cap, far, near)
+        else:
+            contributions = d * length
+        # Linear Python accumulation, matching the scalar path exactly
+        # (numpy's pairwise summation would reorder the additions).
+        total = 0.0
+        for c in contributions.tolist():
+            total += c
+        return total
+
+    # ------------------------------------------------------------------
+    # cell bound
+    # ------------------------------------------------------------------
+    def _ensure_query_cells(self) -> tuple[list[int], list[int]]:
+        if self._query_cells is None:
+            pts = []
+            for seg in self.query.segments():
+                a, b = seg.start, seg.end
+                if b.t <= self.t_start or a.t >= self.t_end:
+                    continue
+                if not pts:
+                    pts.append(_clip_point(seg, max(a.t, self.t_start)))
+                pts.append(_clip_point(seg, min(b.t, self.t_end)))
+            packed = sorted(
+                rasterize_cells(
+                    pts, self.sigs.x0, self.sigs.y0, self.sigs.cell_w, self.sigs.cell_h
+                )
+            )
+            qcx = []
+            qcy = []
+            for p in packed:
+                cx, cy = unpack_cell(p)
+                qcx.append(cx)
+                qcy.append(cy)
+            self._query_cells = (qcx, qcy)
+        return self._query_cells
+
+    def _cell_gap(self, tid: int) -> float:
+        """Minimal certified distance between the query's cells and the
+        trajectory's cells (0 when the sets touch).  Pure min/max over
+        exact integer differences — order-independent, so the numpy and
+        scalar paths agree bit-for-bit."""
+        qcx, qcy = self._ensure_query_cells()
+        if not qcx:
+            return 0.0
+        cell_w = self.sigs.cell_w
+        cell_h = self.sigs.cell_h
+        if self._np is not None:
+            np = self._np
+            tcx, tcy = self.sigs.cell_coords_np(tid, np)
+            if not len(tcx):
+                return 0.0
+            if self._query_cells_np is None:
+                self._query_cells_np = (
+                    np.asarray(qcx, dtype=np.int64),
+                    np.asarray(qcy, dtype=np.int64),
+                )
+            qcx_a, qcy_a = self._query_cells_np
+            dcx = np.abs(tcx[:, None] - qcx_a[None, :]) - 1
+            dcy = np.abs(tcy[:, None] - qcy_a[None, :]) - 1
+            np.maximum(dcx, 0, out=dcx)
+            np.maximum(dcy, 0, out=dcy)
+            gaps = np.maximum(dcx * cell_w, dcy * cell_h)
+            return float(gaps.min())
+        cells = self.sigs.cell_list(tid)
+        if not cells:
+            return 0.0
+        best = math.inf
+        for p in cells:
+            tcx, tcy = unpack_cell(p)
+            for i in range(len(qcx)):
+                dcx = tcx - qcx[i]
+                if dcx < 0:
+                    dcx = -dcx
+                dcx -= 1
+                if dcx < 0:
+                    dcx = 0
+                dcy = tcy - qcy[i]
+                if dcy < 0:
+                    dcy = -dcy
+                dcy -= 1
+                if dcy < 0:
+                    dcy = 0
+                gap = max(dcx * cell_w, dcy * cell_h)
+                if gap < best:
+                    best = gap
+                    if best == 0.0:
+                        return 0.0
+        return best
+
+
+def _clip_point(seg, t: float) -> tuple[float, float]:
+    a, b = seg.start, seg.end
+    if t <= a.t:
+        return a.x, a.y
+    if t >= b.t:
+        return b.x, b.y
+    frac = (t - a.t) / (b.t - a.t)
+    return a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)

@@ -32,6 +32,12 @@ MIN_FILL_FRACTION = 0.4
 class TrajectoryIndex:
     """Base class of the paged trajectory indexes."""
 
+    #: Optional :class:`repro.filter.TrajectorySignatures` sidecar —
+    #: attached by :func:`repro.index.persistence.load_index` when a
+    #: valid ``.sig`` file sits next to the page file.  ``None`` keeps
+    #: every search running unfiltered.
+    signatures = None
+
     def __init__(
         self,
         pagefile: PageFile | None = None,

@@ -143,7 +143,37 @@ def fsck_index(path: str | Path) -> FsckReport:
                 report.pages.append(PageVerdict(pid, "ok"))
             else:
                 report.pages.append(PageVerdict(pid, "bad", problem))
+
+    _fsck_signatures(path, meta, report)
     return report
+
+
+def _fsck_signatures(path: Path, meta: dict | None, report: FsckReport) -> None:
+    """Verify the optional signature sidecar.  Absence is fine (the
+    index serves unfiltered); a sidecar that fails its CRC or binds to
+    a different index is an error, because ``load_index`` would refuse
+    to open the pair."""
+    from ..filter import load_signatures, signature_sidecar_path
+
+    sig_path = signature_sidecar_path(path)
+    if not sig_path.exists():
+        return
+    binding = None
+    if meta is not None:
+        try:
+            binding = (
+                int(meta["num_nodes"]),
+                int(meta["num_entries"]),
+                int(meta["root_page"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            binding = None
+    try:
+        sigs = load_signatures(sig_path, expected_binding=binding)
+    except StorageError as exc:
+        report.errors.append(f"signature sidecar: {exc}")
+        return
+    sigs.close()
 
 
 def fsck_sharded(directory: str | Path) -> FsckReport:

@@ -94,7 +94,9 @@ def _build_meta(index: TrajectoryIndex, num_pages: int, digest: str) -> dict:
     return meta
 
 
-def save_index(index: TrajectoryIndex, path: str | Path) -> dict:
+def save_index(
+    index: TrajectoryIndex, path: str | Path, *, signatures: bool = False
+) -> dict:
     """Atomically write the index's pages and metadata next to each
     other; returns the metadata dict (the sharding layer embeds it in
     its manifest).
@@ -103,6 +105,12 @@ def save_index(index: TrajectoryIndex, path: str | Path) -> dict:
     fsync, and are published with an atomic rename; the metadata
     sidecar — the commit point — goes last, the same way.  The index is
     flushed first and stays usable afterwards.
+
+    With ``signatures=True`` a trajectory-signature sidecar
+    (``<path>.sig``, see :mod:`repro.filter`) is built and committed
+    after the metadata: the sidecar is an accelerator, never part of
+    the commit point, so a crash between the two leaves a valid index
+    that simply serves unfiltered.  Empty indexes get no sidecar.
     """
     path = Path(path)
     if path.exists():
@@ -125,6 +133,13 @@ def save_index(index: TrajectoryIndex, path: str | Path) -> dict:
         raise
     meta = _build_meta(index, num_pages, file_sha256(path))
     atomic_write_bytes(_meta_path(path), json.dumps(meta).encode("ascii"))
+    if signatures and index.num_entries > 0:
+        from ..filter import build_signatures, signature_sidecar_path
+        from ..filter import write_signatures as _write_sigs
+
+        meta["signatures"] = _write_sigs(
+            build_signatures(index), signature_sidecar_path(path)
+        )
     return meta
 
 
@@ -214,6 +229,23 @@ def load_index(
         }
     index.buffer.resize_to_fraction(buffer_fraction, buffer_max_pages)
     index._finalized = True
+
+    from ..filter import load_signatures, signature_sidecar_path
+
+    sig_path = signature_sidecar_path(path)
+    if sig_path.exists():
+        # A corrupt or mismatched sidecar is a storage fault, not a
+        # soft miss: serving unfiltered would silently change the
+        # performance contract, so the load fails loudly (delete the
+        # sidecar to serve unfiltered).
+        index.signatures = load_signatures(
+            sig_path,
+            expected_binding=(
+                index.num_nodes,
+                index.num_entries,
+                index.root_page,
+            ),
+        )
     return index
 
 

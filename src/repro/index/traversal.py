@@ -35,6 +35,7 @@ def best_first_nodes(
     mindist_fn=None,
     mindist_batch_fn=None,
     heap: list | None = None,
+    leaf_admit=None,
 ) -> Iterator[tuple[float, Node]]:
     """Yield ``(mindist, node)`` pairs in increasing MINDIST order.
 
@@ -52,6 +53,15 @@ def best_first_nodes(
     precedence over ``mindist_fn``.  ``heap`` lets a caller donate a
     reusable list as the priority-queue scratch buffer (it is cleared
     first); pass ``None`` for a private one.
+
+    ``leaf_admit`` — when given — is consulted as ``leaf_admit(dist,
+    page_id)`` for every dequeued page *known* to be a leaf (its parent
+    was a level-1 node; the root is always read) before the page is
+    read.  Returning ``False`` skips the page entirely: no I/O, no
+    yield.  The signature filter uses this to avoid reading leaves all
+    of whose trajectories are already settled; the consumer's H2 check
+    — a function of the dequeue distance and its candidate state only —
+    is unaffected, because skipping changes neither.
     """
     if index.root_page == NO_PAGE:
         return
@@ -65,10 +75,18 @@ def best_first_nodes(
         heap = []
     else:
         heap.clear()
-    heap.append((0.0, counter, index.root_page))
+    heap.append((0.0, counter, index.root_page, False))
     try:
         while heap:
-            dist, _tie, page_id = heapq.heappop(heap)
+            dist, _tie, page_id, known_leaf = heapq.heappop(heap)
+            if (
+                known_leaf
+                and leaf_admit is not None
+                and not leaf_admit(dist, page_id)
+            ):
+                if reg is not None:
+                    reg.inc("index.leaves_skipped")
+                continue
             node = index.read_node(page_id)
             if reg is not None:
                 reg.inc("index.nodes_dequeued")
@@ -97,7 +115,9 @@ def best_first_nodes(
                 if d is None:
                     continue
                 counter += 1
-                heapq.heappush(heap, (d, counter, e.child_page))
+                heapq.heappush(
+                    heap, (d, counter, e.child_page, child_level == 0)
+                )
                 if reg is not None:
                     reg.inc("index.nodes_enqueued")
             if reg is not None and len(heap) > high_water:

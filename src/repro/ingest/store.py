@@ -114,13 +114,19 @@ def merged_kmst(
     k: int = 1,
     *,
     kernels: str | None = "auto",
+    filter: str = "auto",
     use_heuristic1: bool = True,
     use_heuristic2: bool = True,
     refine: bool = True,
     vmax: float | None = None,
 ):
     """k-MST over the union of several pinned views (one per store)
-    under a single shared bound; returns ``(matches, stats)``."""
+    under a single shared bound; returns ``(matches, stats)``.
+
+    ``filter`` is the signature-filter mode: compacted generations
+    carry sidecars and get filtered, the memtable part has none and is
+    searched unfiltered (mode ``"on"`` therefore requires every part
+    to carry one and is mainly useful in tests)."""
     parts = [part for view in views for part in view.parts]
     if not parts:
         return [], SearchStats()
@@ -139,6 +145,7 @@ def merged_kmst(
         use_heuristic2=use_heuristic2,
         refine=refine,
         kernels=kernels,
+        filter=filter,
         shard_hooks=shard_hooks,
     )
 
@@ -345,6 +352,8 @@ class IngestStore:
             self._closed = True
             self._wal.close()
             if self._generation is not None:
+                if self._generation.index.signatures is not None:
+                    self._generation.index.signatures.close()
                 self._generation.index.pagefile.close()
 
     def __enter__(self) -> "IngestStore":
@@ -392,7 +401,12 @@ class IngestStore:
         if gen_number >= 0:
             pages, data = self._gen_paths(gen_number)
             keep.update(
-                {pages.name, pages.name + ".meta.json", data.name}
+                {
+                    pages.name,
+                    pages.name + ".meta.json",
+                    pages.name + ".sig",
+                    data.name,
+                }
             )
         for path in self.directory.iterdir():
             name = path.name
@@ -526,7 +540,7 @@ class IngestStore:
         self._fault("compact.begin")
 
         index = self._build_generation_index()
-        save_index(index, pages_path)
+        save_index(index, pages_path, signatures=True)
         self._fault("compact.pages_committed")
 
         doc = {
@@ -586,10 +600,15 @@ class IngestStore:
             self._dispose(generation)
 
     def _dispose(self, generation: Generation) -> None:
+        if generation.index.signatures is not None:
+            generation.index.signatures.close()
         generation.index.pagefile.close()
         generation.pages_path.unlink(missing_ok=True)
         generation.pages_path.with_name(
             generation.pages_path.name + ".meta.json"
+        ).unlink(missing_ok=True)
+        generation.pages_path.with_name(
+            generation.pages_path.name + ".sig"
         ).unlink(missing_ok=True)
         generation.data_path.unlink(missing_ok=True)
         self._rec.inc("ingest.generations_retired")

@@ -196,6 +196,7 @@ def bfmst_search(
     refine: bool = True,
     exclude_ids=frozenset(),
     kernels: str | None = None,
+    filter: str = "auto",
     mindist_fn=None,
     segment_dissim_fn=None,
     mindist_batch_fn=None,
@@ -211,7 +212,12 @@ def bfmst_search(
     ``None`` — BFMST reads only the index).  ``kernels`` selects the
     hot-path implementation (``"auto"``/``"numpy"``/``"python"``; see
     :mod:`repro.distance.kernels`) — ``None`` keeps the classic
-    per-entry scalar path.  The removed legacy form
+    per-entry scalar path.  ``filter`` controls the signature filter
+    tier (``"auto"`` filters when the index carries a signature
+    sidecar, ``"on"`` requires one, ``"off"`` disables it; answers are
+    identical either way — see :mod:`repro.filter`).  An explicit
+    ``"on"``/``"off"`` always wins over an engine context's configured
+    default.  The removed legacy form
     ``bfmst_search(index, query, period, k=...)`` raises
     :class:`TypeError`.
     """
@@ -232,6 +238,8 @@ def bfmst_search(
         options["refine"] = False
     if exclude_ids:
         options["exclude_ids"] = frozenset(exclude_ids)
+    if filter != "auto":
+        options["filter"] = filter
     spec = QuerySpec("mst", query, period, k, options, kernels=kernels)
     index, dataset, ctx = resolve_context(ctx_or_index, dataset)
     _require_index(index, "bfmst_search")
@@ -242,6 +250,7 @@ def bfmst_search(
                 index, query, period, k, vmax,
                 use_heuristic1, use_heuristic2, refine, exclude_ids,
                 kernels=hooks.get("kernels", kernels),
+                filter=filter if filter != "auto" else hooks.get("filter", "auto"),
                 selected=hooks.get("selected"),
                 shard_hooks=hooks.get("shard_hooks"),
                 refinement_cache=hooks.get(
@@ -254,6 +263,7 @@ def bfmst_search(
                 index, query, period, k, vmax,
                 use_heuristic1, use_heuristic2, refine, exclude_ids,
                 kernels=hooks.get("kernels", kernels),
+                filter=filter if filter != "auto" else hooks.get("filter", "auto"),
                 mindist_fn=hooks.get("mindist_fn", mindist_fn),
                 segment_dissim_fn=hooks.get(
                     "segment_dissim_fn", segment_dissim_fn

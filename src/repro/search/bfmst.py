@@ -50,9 +50,10 @@ import threading
 from contextlib import nullcontext
 
 from ..distance import PartialDissim, segment_dissim
-from ..distance.kernels import make_segment_dissim_batch
+from ..distance.kernels import make_segment_dissim_batch, resolve_kernels
 from ..distance.trinomial import IntegralResult
 from ..exceptions import QueryError, TemporalCoverageError
+from ..filter.runtime import SignatureFilter
 from ..geometry import STSegment
 from ..index import TrajectoryIndex, best_first_nodes
 from ..index.mindist import make_mindist_batch
@@ -60,13 +61,54 @@ from ..obs import state as _obs
 from ..trajectory import Trajectory
 from .results import MSTMatch, SearchStats
 
+FILTER_MODES = ("auto", "on", "off")
+
 __all__ = [
     "bfmst_search",
     "bfmst_search_sharded",
     "CandidateRecord",
     "candidate_records",
     "merge_shard_records",
+    "make_signature_filter",
+    "FILTER_MODES",
 ]
+
+
+def make_signature_filter(
+    index, query, t_start, t_end, vmax, mode, kernels
+) -> SignatureFilter | None:
+    """Build the per-query :class:`SignatureFilter` for one tree.
+
+    ``mode`` — ``"auto"`` filters when the index has a signature
+    sidecar attached and stays silent otherwise, ``"on"`` demands one,
+    ``"off"`` disables filtering.  The filter kernel follows the
+    search's ``kernels`` choice (``None`` — the classic scalar path —
+    maps to the scalar filter; the two filter kernels are bit-equal, so
+    this is presentation only).
+    """
+    if mode not in FILTER_MODES:
+        raise QueryError(
+            f"filter must be one of {FILTER_MODES}, got {mode!r}"
+        )
+    if mode == "off":
+        return None
+    if getattr(index, "num_entries", 0) <= 0:
+        # An empty shard never gets a sidecar and has nothing to
+        # prune — filter='on' is vacuously satisfied.
+        return None
+    sigs = getattr(index, "signatures", None)
+    if sigs is None:
+        if mode == "on":
+            raise QueryError(
+                "filter='on' requires a signature sidecar, but the index "
+                "has none attached (build with signatures, or use "
+                "filter='auto')"
+            )
+        return None
+    kern = kernels if kernels in ("numpy", "python") else (
+        resolve_kernels(kernels) if kernels == "auto" else "python"
+    )
+    return SignatureFilter(sigs, query, t_start, t_end, vmax, kernels=kern)
 
 
 class _Candidate:
@@ -246,6 +288,7 @@ def _search_shard(
     mindist_batch_fn=None,
     segment_dissim_batch_fn=None,
     heap_scratch: list | None = None,
+    sig_filter: SignatureFilter | None = None,
 ) -> tuple[dict[int, _Candidate], dict[int, _Candidate]]:
     """Advance one tree's best-first traversal to completion under a
     (possibly shared) top-k bound.
@@ -262,6 +305,15 @@ def _search_shard(
     *replay* those precomputed results in the original sequential
     order, so pruning/completion decisions — and the answer — are
     exactly those of the scalar path.
+
+    ``sig_filter`` plugs in the signature tier: candidates whose
+    signature lower bound strictly exceeds the current threshold are
+    moved to *Rejected* before their first integral (the same contract
+    as Heuristic 1 — the bound certifies they can never displace an
+    answer-set member, because the k buffered upper bounds all lie at
+    or below the threshold and thresholds only tighten), and a leaf
+    page all of whose trajectories are already settled is skipped
+    without being read.
     """
     seg_dissim = segment_dissim_fn or segment_dissim
     io_before = index.pagefile.stats.snapshot()
@@ -272,6 +324,32 @@ def _search_shard(
     rejected: set[int] = set(exclude_ids)
     dequeued = 0
 
+    if sig_filter is not None:
+
+        def leaf_admit(_dist: float, page_id: int) -> bool:
+            page_tids = sig_filter.page_tids(page_id)
+            if page_tids is None:
+                return True
+            admit = False
+            threshold = top.threshold
+            check = math.isfinite(threshold)
+            for tid in page_tids:
+                if tid in rejected or tid in completed:
+                    continue
+                if tid in valid:
+                    admit = True
+                    continue
+                if check and sig_filter.should_prune(tid, threshold):
+                    rejected.add(tid)
+                    continue
+                admit = True
+            if not admit:
+                stats.leaf_skips += 1
+            return admit
+
+    else:
+        leaf_admit = None
+
     for node_dist, node in best_first_nodes(
         index,
         query,
@@ -280,6 +358,7 @@ def _search_shard(
         mindist_fn=mindist_fn,
         mindist_batch_fn=mindist_batch_fn,
         heap=heap_scratch,
+        leaf_admit=leaf_admit,
     ):
         dequeued += 1
         # ---- Heuristic 2: MINDISSIMINC early termination -------------
@@ -313,10 +392,21 @@ def _search_shard(
             # wastes their integrals but changes no decision.
             batch_pos: dict[int, int] | None = {}
             batch_items = []
+            batch_threshold = top.threshold if sig_filter is not None else math.inf
+            sig_check = sig_filter is not None and math.isfinite(batch_threshold)
             for i, entry in enumerate(entries):
                 tid = entry.trajectory_id
                 if tid in rejected or tid in completed:
                     continue
+                if sig_check and tid not in valid:
+                    # First touch of this trajectory in this leaf: when
+                    # its signature bound already exceeds the threshold
+                    # now, the (monotonically tightening) threshold
+                    # guarantees the sequential replay below prunes it
+                    # too, so its integrals need not be batched at all.
+                    lb = sig_filter.bound(tid)
+                    if lb is not None and lb > batch_threshold:
+                        continue
                 lo = max(entry.segment.ts, t_start)
                 hi = min(entry.segment.te, t_end)
                 if lo >= hi:
@@ -340,6 +430,16 @@ def _search_shard(
                 continue
             cand = valid.get(tid)
             if cand is None:
+                if sig_filter is not None:
+                    # Signature tier: reject at first touch when the
+                    # certified lower bound beats the current k-th-best
+                    # upper bound — before any DISSIM integral.
+                    threshold = top.threshold
+                    if math.isfinite(threshold) and sig_filter.should_prune(
+                        tid, threshold
+                    ):
+                        rejected.add(tid)
+                        continue
                 cand = _Candidate(tid, t_start, t_end)
                 valid[tid] = cand
                 stats.candidates_created += 1
@@ -376,6 +476,9 @@ def _search_shard(
     # the shard's node-access delta — and stays correct when shards run
     # on the engine's threaded executor.
     stats.node_accesses = dequeued
+    if sig_filter is not None:
+        stats.signature_checks += sig_filter.checks
+        stats.signature_pruned += sig_filter.pruned
     io_after = index.pagefile.stats.diff(io_before)
     stats.buffer_hits = io_after.buffer_hits
     stats.buffer_misses = io_after.buffer_misses
@@ -431,6 +534,16 @@ def _harvest(trace, stats, before) -> None:
     reg.inc("search.bfmst.candidates_created", stats.candidates_created)
     reg.inc("search.bfmst.h1_rejections", stats.candidates_rejected)
     reg.inc("search.bfmst.refinements", stats.refinement_candidates)
+    if (
+        stats.signature_checks
+        or stats.signature_pruned
+        or stats.leaf_skips
+        or stats.refinement_skipped
+    ):
+        reg.inc("filter.signature_checks", stats.signature_checks)
+        reg.inc("filter.pruned", stats.signature_pruned)
+        reg.inc("filter.leaf_skips", stats.leaf_skips)
+        reg.inc("filter.refinement_skipped", stats.refinement_skipped)
     if stats.terminated_early:
         reg.inc("search.bfmst.h2_terminations")
         reg.gauge("search.bfmst.h2_termination_depth").set(
@@ -451,6 +564,7 @@ def bfmst_search(
     exclude_ids: set[int] | frozenset[int] = frozenset(),
     *,
     kernels: str | None = None,
+    filter: str = "auto",
     mindist_fn=None,
     segment_dissim_fn=None,
     mindist_batch_fn=None,
@@ -479,6 +593,14 @@ def bfmst_search(
     ``None`` — the default — keeps the classic per-entry scalar path.
     Explicit ``mindist_batch_fn`` / ``segment_dissim_batch_fn`` hooks
     (the engine's caching wrappers) override the resolved kernels.
+
+    ``filter`` engages the signature tier (``"auto"`` — the default —
+    when the index carries a signature sidecar, ``"on"`` to require
+    one, ``"off"`` never): candidates whose signature lower bound
+    certifies them out of the answer are rejected before any page read
+    or integral, and ambiguous-ranking refinement skips candidates the
+    bound already places outside the k-th boundary.  Answers are
+    byte-identical to ``filter="off"`` by construction.
 
     A :class:`~repro.sharding.ShardedIndex` is accepted too and
     delegates to :func:`bfmst_search_sharded` (the per-shard hooks are
@@ -524,6 +646,7 @@ def bfmst_search(
             refine,
             exclude_ids,
             kernels=kernels,
+            filter=filter,
             refinement_cache=refinement_cache,
         )
     t_start, t_end = _validate(query, period, k)
@@ -531,6 +654,9 @@ def bfmst_search(
         vmax = index.max_speed + query.max_speed()
     if vmax < 0.0:
         raise QueryError(f"negative vmax {vmax}")
+    sig_filter = make_signature_filter(
+        index, query, t_start, t_end, vmax, filter, kernels
+    )
     if kernels is not None:
         if mindist_batch_fn is None:
             mindist_batch_fn = make_mindist_batch(kernels)
@@ -564,6 +690,7 @@ def bfmst_search(
         mindist_batch_fn=mindist_batch_fn,
         segment_dissim_batch_fn=segment_dissim_batch_fn,
         heap_scratch=heap_scratch,
+        sig_filter=sig_filter,
     )
     matches = _assemble(
         candidate_records(completed, valid, vmax),
@@ -572,6 +699,7 @@ def bfmst_search(
         refine,
         stats,
         refinement_cache,
+        sig_lookup=None if sig_filter is None else sig_filter.bound,
     )
     if trace is not None:
         _harvest(trace, stats, before)
@@ -590,6 +718,7 @@ def bfmst_search_sharded(
     exclude_ids: set[int] | frozenset[int] = frozenset(),
     *,
     kernels: str | None = None,
+    filter: str = "auto",
     selected: list[int] | None = None,
     shard_hooks: dict[int, dict] | None = None,
     refinement_cache=None,
@@ -657,6 +786,23 @@ def bfmst_search_sharded(
         default_mindist_batch = None
         default_segdissim_batch = None
 
+    # One signature filter per shard (each shard carries its own
+    # sidecar); trajectory ids are disjoint across shards, so the merge
+    # step can probe them in any order.
+    shard_filters: dict[int, SignatureFilter] = {}
+    for sid in selected:
+        filt = make_signature_filter(
+            shards[sid], query, t_start, t_end, vmax, filter, kernels
+        )
+        if filt is not None:
+            shard_filters[sid] = filt
+
+    def merged_sig_lookup(tid: int):
+        for filt in shard_filters.values():
+            if tid in filt.sigs:
+                return filt.bound(tid)
+        return None
+
     def run(shard_id: int):
         shard_stats = SearchStats(total_nodes=shards[shard_id].num_nodes)
         hooks = hooks_by_shard.get(shard_id, {})
@@ -686,6 +832,7 @@ def bfmst_search_sharded(
                 "segment_dissim_batch_fn", default_segdissim_batch
             ),
             heap_scratch=hooks.get("heap_scratch"),
+            sig_filter=shard_filters.get(shard_id),
         )
         return shard_id, candidate_records(completed, valid, vmax), shard_stats
 
@@ -706,6 +853,7 @@ def bfmst_search_sharded(
         refinement_cache=refinement_cache,
         trace=trace,
         before=before if trace is not None else None,
+        sig_lookup=merged_sig_lookup if shard_filters else None,
     )
     return matches, stats
 
@@ -722,6 +870,7 @@ def merge_shard_records(
     refinement_cache=None,
     trace=None,
     before=None,
+    sig_lookup=None,
 ) -> list[MSTMatch]:
     """Merge per-shard search outcomes into the global ranked answer.
 
@@ -760,6 +909,9 @@ def merge_shard_records(
         stats.h2_termination_depth = max(
             stats.h2_termination_depth, s.h2_termination_depth
         )
+        stats.signature_checks += s.signature_checks
+        stats.signature_pruned += s.signature_pruned
+        stats.leaf_skips += s.leaf_skips
         per_shard.append(
             {
                 "shard": shard_id,
@@ -769,6 +921,8 @@ def merge_shard_records(
                 "entries_processed": s.entries_processed,
                 "candidates_created": s.candidates_created,
                 "candidates_rejected": s.candidates_rejected,
+                "signature_pruned": s.signature_pruned,
+                "leaf_skips": s.leaf_skips,
                 "terminated_early": s.terminated_early,
                 "total_nodes": s.total_nodes,
             }
@@ -794,7 +948,9 @@ def merge_shard_records(
     stats.extra["shards_searched"] = len(selected)
     stats.extra["shards_pruned"] = len(shard_nodes) - len(selected)
 
-    matches = _assemble(records, query, k, refine, stats, refinement_cache)
+    matches = _assemble(
+        records, query, k, refine, stats, refinement_cache, sig_lookup
+    )
     if trace is not None:
         _harvest(trace, stats, before)
         reg = trace.registry
@@ -823,6 +979,7 @@ def _assemble(
     refine: bool,
     stats: SearchStats,
     refinement_cache=None,
+    sig_lookup=None,
 ) -> list[MSTMatch]:
     """Rank the candidate records, exactly re-integrating the ambiguous
     ones (the paper's post-processing step, Section 4.4)."""
@@ -848,6 +1005,15 @@ def _assemble(
             for m in scored:
                 if not (m.exact and m.error_bound > 0.0 and m.lower <= kth_upper):
                     continue
+                if sig_lookup is not None:
+                    # A signature bound above the k-th upper proves the
+                    # exact value cannot enter the answer set — skip the
+                    # exact re-integration (and keep the miss out of the
+                    # refinement-LRU's hit-rate denominator).
+                    lb = sig_lookup(m.trajectory_id)
+                    if lb is not None and lb > kth_upper:
+                        stats.refinement_skipped += 1
+                        continue
                 record = by_tid[m.trajectory_id]
                 # A completed candidate's windows tile the whole query
                 # period, so its exact total is a function of (query,

@@ -70,6 +70,15 @@ class SearchStats:
     checksum_failures: int = 0
     terminated_early: bool = False
     refinement_candidates: int = 0
+    # signature filter tier (all zero when no sidecar is attached or
+    # filter="off"): bound evaluations against a finite threshold,
+    # candidates proven out before their first page touch, whole leaf
+    # pages skipped unread, and exact re-integrations skipped because
+    # the signature bound already cleared the k-th boundary.
+    signature_checks: int = 0
+    signature_pruned: int = 0
+    leaf_skips: int = 0
+    refinement_skipped: int = 0
     # --- trace-harvested enrichment (zero without a live QueryTrace) ---
     mindist_evaluations: int = 0
     heap_high_water: int = 0

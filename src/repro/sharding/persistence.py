@@ -63,12 +63,19 @@ def _shard_filename(i: int) -> str:
     return f"shard_{i:04d}.pages"
 
 
-def save_sharded_index(sharded: ShardedIndex, directory: str | Path) -> None:
+def save_sharded_index(
+    sharded: ShardedIndex,
+    directory: str | Path,
+    *,
+    signatures: bool = False,
+) -> None:
     """Write every shard's pages + a ``manifest.json`` into
     ``directory`` (created; must not already contain a manifest).
 
     Shards are committed first (each atomically), the manifest last —
     the manifest's existence means the whole directory is complete.
+    With ``signatures=True`` each non-empty shard also gets a
+    trajectory-signature sidecar (see :mod:`repro.filter`).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -79,7 +86,9 @@ def save_sharded_index(sharded: ShardedIndex, directory: str | Path) -> None:
     shard_records = []
     for i, index in enumerate(sharded.shards):
         filename = _shard_filename(i)
-        shard_meta = save_index(index, directory / filename)
+        shard_meta = save_index(
+            index, directory / filename, signatures=signatures
+        )
         extent = (
             list(index.mbr().as_tuple()) if index.root_page != NO_PAGE else None
         )

@@ -35,7 +35,12 @@ def _numpy():
     if _np is None:
         try:
             import numpy
-        except ImportError as exc:  # pragma: no cover - exercised via tests
+
+            # Probe an attribute before memoising: a concurrent failed
+            # import can yield a half-initialized module object, which
+            # must not be cached as "numpy is available".
+            numpy.ndarray
+        except (ImportError, AttributeError) as exc:  # pragma: no cover
             raise ImportError(
                 "numpy is required for the array views of TrajectoryColumns; "
                 "install it with 'pip install numpy' (it is an optional "

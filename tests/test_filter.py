@@ -1,0 +1,580 @@
+"""Signature filter tier tests (:mod:`repro.filter`).
+
+Covers the certified-radius construction, the provable-lower-bound
+property of the probe/cell bounds (both kernels, bit-equal), the binary
+sidecar round-trip and its corruption handling, byte-identity of
+filtered vs unfiltered answers across trees, partitioners, executors
+(including the process pool) and live ingestion, and the observability
+counters the tier reports.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    RTree3D,
+    TBTree,
+    Trajectory,
+    generate_gstd,
+    load_index,
+    save_index,
+)
+from repro.datagen import make_workload
+from repro.distance.dissim import dissim_exact
+from repro.exceptions import IndexError_, QueryError, StorageError
+from repro.filter import (
+    SignatureFilter,
+    build_signatures,
+    signature_sidecar_path,
+    write_signatures,
+)
+from repro.filter.signature import segment_index
+from repro.index import fsck_index
+from repro.search.bfmst import (
+    CandidateRecord,
+    _assemble,
+    bfmst_search,
+    make_signature_filter,
+)
+from repro.search.results import SearchStats
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+KERNELS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+TREES = {"rtree": RTree3D, "tbtree": TBTree}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_gstd(24, samples_per_object=50, seed=13)
+
+
+@pytest.fixture(scope="module")
+def rtree(dataset):
+    index = RTree3D()
+    index.bulk_insert(dataset)
+    index.finalize()
+    return index
+
+
+@pytest.fixture(scope="module")
+def sigs(rtree):
+    return build_signatures(rtree)
+
+
+@pytest.fixture(scope="module")
+def served(dataset, tmp_path_factory):
+    """One saved-with-signatures + reloaded index per tree kind."""
+    out = {}
+    for name, cls in TREES.items():
+        index = cls()
+        index.bulk_insert(dataset)
+        index.finalize()
+        path = tmp_path_factory.mktemp("filter") / f"{name}.pages"
+        save_index(index, path, signatures=True)
+        out[name] = load_index(path)
+    yield out
+    for index in out.values():
+        if index.signatures is not None:
+            index.signatures.close()
+        index.pagefile.close()
+
+
+def workload(dataset, n=4, length=0.2, seed=31):
+    return list(make_workload(dataset, n, query_length=length, seed=seed))
+
+
+def match_keys(matches):
+    """The byte-identity projection: every answer field, compared with
+    ``==`` (no tolerance)."""
+    return [
+        (m.trajectory_id, m.dissim, m.error_bound, m.exact) for m in matches
+    ]
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+class TestSignatureBuild:
+    def test_structure(self, dataset, sigs):
+        assert len(sigs) == len(dataset)
+        for tid in dataset.ids():
+            kt, kx, ky, radii = sigs.knots(tid)
+            assert len(kt) == len(kx) == len(ky) >= 2
+            assert len(radii) == len(kt) - 1
+            assert kt == sorted(kt)
+            assert all(r >= 0.0 for r in radii)
+            cells = sigs.cell_list(tid)
+            assert cells and cells == sorted(cells)
+
+    def test_radii_certify_sed(self, dataset, sigs):
+        # Every original sample must lie within the containing
+        # simplified segment's certified radius at its own timestamp —
+        # the invariant the probe bound's soundness rests on.
+        for tr in dataset:
+            kt, kx, ky, radii = sigs.knots(tr.object_id)
+            for p in tr:
+                i = segment_index(kt, p.t)
+                frac = (p.t - kt[i]) / (kt[i + 1] - kt[i])
+                sx = kx[i] + frac * (kx[i + 1] - kx[i])
+                sy = ky[i] + frac * (ky[i + 1] - ky[i])
+                dist = math.hypot(p.x - sx, p.y - sy)
+                assert dist <= radii[i] + 1e-9
+
+    def test_leaf_pages_recorded(self, rtree, sigs):
+        expected = {}
+        for node in rtree.nodes():
+            if node.is_leaf:
+                expected[node.page_id] = {
+                    e.trajectory_id for e in node.entries
+                }
+        assert expected
+        for page, tids in expected.items():
+            assert set(sigs.page_tids(page)) == tids
+        assert sigs.page_tids(10**9) is None
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(IndexError_):
+            build_signatures(RTree3D())
+
+
+# ----------------------------------------------------------------------
+# the lower-bound property
+# ----------------------------------------------------------------------
+class TestLowerBound:
+    @pytest.mark.parametrize("kernels", KERNELS)
+    def test_bound_never_exceeds_exact_dissim(
+        self, dataset, rtree, sigs, kernels
+    ):
+        for query, period in workload(dataset, n=6, length=0.25):
+            vmax = rtree.max_speed + query.max_speed()
+            filt = SignatureFilter(
+                sigs, query, period[0], period[1], vmax, kernels=kernels
+            )
+            for tid in dataset.ids():
+                lb = filt.bound(tid)
+                exact = dissim_exact(query, dataset.get(tid), period)
+                assert lb <= exact + 1e-9 * max(1.0, exact)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_kernels_bit_equal(self, dataset, rtree, sigs):
+        for query, period in workload(dataset, n=4, length=0.3, seed=7):
+            vmax = rtree.max_speed + query.max_speed()
+            f_py = SignatureFilter(
+                sigs, query, period[0], period[1], vmax, kernels="python"
+            )
+            f_np = SignatureFilter(
+                sigs, query, period[0], period[1], vmax, kernels="numpy"
+            )
+            for tid in dataset.ids():
+                assert f_py.bound(tid) == f_np.bound(tid)
+
+    def test_unknown_trajectory_never_prunes(self, dataset, rtree, sigs):
+        query, period = workload(dataset, n=1)[0]
+        filt = SignatureFilter(
+            sigs, query, period[0], period[1], 1.0, kernels="python"
+        )
+        assert filt.bound(987654) is None
+        assert not filt.should_prune(987654, 0.0)
+
+    def test_equality_never_prunes(self, dataset, rtree, sigs):
+        # Strictness mirrors Heuristics 1/2: lb == threshold keeps the
+        # candidate.
+        query, period = workload(dataset, n=1)[0]
+        vmax = rtree.max_speed + query.max_speed()
+        filt = SignatureFilter(
+            sigs, query, period[0], period[1], vmax, kernels="python"
+        )
+        tid = max(dataset.ids(), key=lambda t: filt.bound(t))
+        lb = filt.bound(tid)
+        assert lb > 0.0
+        assert not filt.should_prune(tid, lb)
+        assert filt.should_prune(tid, math.nextafter(lb, 0.0))
+
+
+# ----------------------------------------------------------------------
+# sidecar persistence
+# ----------------------------------------------------------------------
+class TestSidecar:
+    def test_round_trip(self, rtree, sigs, tmp_path):
+        path = tmp_path / "idx.pages"
+        meta = save_index(rtree, path, signatures=True)
+        assert meta["signatures"]["trajectories"] == len(sigs)
+        assert signature_sidecar_path(path).exists()
+        index = load_index(path)
+        try:
+            assert index.signatures is not None
+            assert index.signatures.binding == sigs.binding
+            for tid in sigs.tids:
+                assert index.signatures.knots(tid) == sigs.knots(tid)
+                assert index.signatures.cell_list(tid) == sigs.cell_list(tid)
+        finally:
+            index.signatures.close()
+            index.pagefile.close()
+
+    def test_save_without_signatures_is_default(self, rtree, tmp_path):
+        path = tmp_path / "idx.pages"
+        save_index(rtree, path)
+        assert not signature_sidecar_path(path).exists()
+        index = load_index(path)
+        try:
+            assert index.signatures is None
+        finally:
+            index.pagefile.close()
+
+    def test_corrupt_sidecar_fails_loudly(self, rtree, tmp_path):
+        path = tmp_path / "idx.pages"
+        save_index(rtree, path, signatures=True)
+        sig_path = signature_sidecar_path(path)
+        blob = bytearray(sig_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        sig_path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError):
+            load_index(path)
+        report = fsck_index(path)
+        assert not report.ok
+        assert any("signature" in err for err in report.errors)
+        # Deleting the sidecar restores unfiltered service.
+        sig_path.unlink()
+        index = load_index(path)
+        try:
+            assert index.signatures is None
+        finally:
+            index.pagefile.close()
+        assert fsck_index(path).ok
+
+    def test_truncated_sidecar_rejected(self, rtree, tmp_path):
+        path = tmp_path / "idx.pages"
+        save_index(rtree, path, signatures=True)
+        sig_path = signature_sidecar_path(path)
+        sig_path.write_bytes(sig_path.read_bytes()[:40])
+        with pytest.raises(StorageError):
+            load_index(path)
+        assert not fsck_index(path).ok
+
+    def test_binding_mismatch_rejected(self, rtree, dataset, tmp_path):
+        other = TBTree()
+        other.bulk_insert(dataset)
+        other.finalize()
+        other_sigs = build_signatures(other)
+        assert other_sigs.binding != (
+            rtree.num_nodes,
+            rtree.num_entries,
+            rtree.root_page,
+        )
+        path = tmp_path / "idx.pages"
+        save_index(rtree, path)
+        write_signatures(other_sigs, signature_sidecar_path(path))
+        with pytest.raises(StorageError):
+            load_index(path)
+
+
+# ----------------------------------------------------------------------
+# filter modes
+# ----------------------------------------------------------------------
+class TestFilterModes:
+    def test_on_requires_sidecar(self, rtree, dataset):
+        query, period = workload(dataset, n=1)[0]
+        with pytest.raises(QueryError):
+            bfmst_search(rtree, query, period, k=3, filter="on")
+
+    def test_invalid_mode_rejected(self, rtree, dataset):
+        query, period = workload(dataset, n=1)[0]
+        with pytest.raises(QueryError):
+            bfmst_search(rtree, query, period, k=3, filter="sometimes")
+
+    def test_auto_without_sidecar_is_silent(self, rtree, dataset):
+        query, period = workload(dataset, n=1)[0]
+        matches, stats = bfmst_search(rtree, query, period, k=3)
+        assert matches
+        assert stats.signature_checks == 0
+
+    def test_make_signature_filter_modes(self, served, dataset):
+        index = served["rtree"]
+        query, period = workload(dataset, n=1)[0]
+        assert (
+            make_signature_filter(
+                index, query, period[0], period[1], 1.0, "off", None
+            )
+            is None
+        )
+        filt = make_signature_filter(
+            index, query, period[0], period[1], 1.0, "on", "python"
+        )
+        assert isinstance(filt, SignatureFilter)
+
+
+# ----------------------------------------------------------------------
+# byte identity with the filter off
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize("tree", sorted(TREES))
+    @pytest.mark.parametrize("k", [1, 5, 10])
+    def test_single_index(self, served, dataset, tree, k):
+        index = served[tree]
+        for query, period in workload(dataset, n=3, seed=100 + k):
+            on, s_on = bfmst_search(index, query, period, k=k, filter="on")
+            off, s_off = bfmst_search(index, query, period, k=k, filter="off")
+            assert match_keys(on) == match_keys(off)
+            assert s_on.signature_checks > 0
+            assert s_off.signature_checks == 0
+            assert s_off.signature_pruned == 0
+
+    @pytest.mark.parametrize("kernels", KERNELS)
+    def test_single_index_kernels(self, served, dataset, kernels):
+        index = served["rtree"]
+        for query, period in workload(dataset, n=2, seed=55):
+            on, _ = bfmst_search(
+                index, query, period, k=5, filter="on", kernels=kernels
+            )
+            off, _ = bfmst_search(
+                index, query, period, k=5, filter="off", kernels=kernels
+            )
+            assert match_keys(on) == match_keys(off)
+
+    @pytest.mark.parametrize(
+        "partitioner", ["round_robin", "hash", "spatial", "temporal"]
+    )
+    def test_sharded(self, dataset, partitioner, tmp_path):
+        from repro.sharding import (
+            ShardedDataset,
+            build_sharded_index,
+            load_sharded_index,
+            make_partitioner,
+            save_sharded_index,
+        )
+
+        sharded_ds = ShardedDataset.partition(
+            dataset, make_partitioner(partitioner, 3)
+        )
+        sharded = build_sharded_index(sharded_ds, RTree3D)
+        directory = tmp_path / "shards"
+        try:
+            save_sharded_index(sharded, directory, signatures=True)
+        finally:
+            sharded.close()
+        loaded = load_sharded_index(directory)
+        try:
+            for query, period in workload(dataset, n=2, seed=9):
+                for k in (1, 5):
+                    on, s_on = bfmst_search(
+                        loaded, query, period, k=k, filter="on"
+                    )
+                    off, _ = bfmst_search(
+                        loaded, query, period, k=k, filter="off"
+                    )
+                    assert match_keys(on) == match_keys(off)
+                    assert s_on.signature_checks > 0
+        finally:
+            loaded.close()
+
+    def test_process_executor(self, dataset, tmp_path):
+        from repro.engine import EngineConfig, QueryRequest, ShardedQueryEngine
+        from repro.sharding import (
+            ShardedDataset,
+            build_sharded_index,
+            make_partitioner,
+            save_sharded_index,
+        )
+
+        sharded = build_sharded_index(
+            ShardedDataset.partition(dataset, make_partitioner("hash", 2)),
+            RTree3D,
+        )
+        directory = tmp_path / "shards"
+        try:
+            save_sharded_index(sharded, directory, signatures=True)
+        finally:
+            sharded.close()
+        query, period = workload(dataset, n=1, seed=77)[0]
+        results = {}
+        stats = {}
+        for mode, executor in (("off", "serial"), ("on", "process")):
+            engine = ShardedQueryEngine.open(
+                directory,
+                config=EngineConfig(executor=executor, filter=mode),
+                backend="mmap",
+            )
+            try:
+                result = engine.execute(
+                    QueryRequest("mst", query, period, k=5)
+                )
+                results[mode] = match_keys(result.matches)
+                stats[mode] = result.stats
+            finally:
+                engine.close()
+                engine.index.close()
+        assert results["on"] == results["off"]
+        # Worker-side filter counters ride the ShardAnswer home.
+        assert stats["on"].signature_checks > 0
+        assert stats["off"].signature_checks == 0
+
+    def test_live_ingest(self, tmp_path):
+        from repro.ingest import IngestStore
+
+        small = generate_gstd(10, samples_per_object=30, seed=3)
+        events = sorted(
+            (p.t, tr.object_id, p.x, p.y) for tr in small for p in tr
+        )
+        t_hi = events[-1][0]
+        dirty = {small.ids()[0], small.ids()[1]}
+
+        def held_back(t, oid):
+            return oid in dirty and t > 0.6 * t_hi
+
+        with IngestStore.create(tmp_path / "store", tree="tbtree") as store:
+            for t, oid, x, y in events:
+                if not held_back(t, oid):
+                    store.append(oid, x, y, t)
+            store.compact()
+            # Leave two objects' tails in the memtable: the merged
+            # search mixes a signature-carrying generation (serving the
+            # clean objects, filtered) with the unfiltered memtable
+            # part (serving the dirty ones).
+            for t, oid, x, y in events:
+                if held_back(t, oid):
+                    store.append(oid, x, y, t)
+            store.sync()
+            self._check_store(store, small)
+        # Survives a crash-free reopen (sidecar re-attached from disk).
+        with IngestStore.open(tmp_path / "store") as store:
+            self._check_store(store, small)
+
+    @staticmethod
+    def _check_store(store, small):
+        rng = random.Random(41)
+        source = store.current_dataset().get(rng.randrange(len(small)))
+        window = source.duration * 0.3
+        t_lo = source.t_start + rng.uniform(0.0, source.duration - window)
+        query = source.sliced(t_lo, t_lo + window).with_id(-1)
+        period = (query.t_start, query.t_end)
+        on, s_on = store.kmst(query, period, k=5, filter="auto")
+        off, s_off = store.kmst(query, period, k=5, filter="off")
+        assert [
+            (m.trajectory_id, m.dissim, m.error_bound, m.exact) for m in on
+        ] == [
+            (m.trajectory_id, m.dissim, m.error_bound, m.exact) for m in off
+        ]
+        assert s_on.signature_checks > 0
+        assert s_off.signature_checks == 0
+
+
+# ----------------------------------------------------------------------
+# counters and stats plumbing
+# ----------------------------------------------------------------------
+class TestCounters:
+    def test_stats_and_registry_agree(self, served, dataset):
+        from repro.obs import query_trace
+
+        index = served["rtree"]
+        query, period = workload(dataset, n=1, seed=5)[0]
+        with query_trace(index) as trace:
+            matches, stats = bfmst_search(
+                index, query, period, k=3, filter="on"
+            )
+        assert matches
+        assert stats.signature_checks > 0
+        reg = trace.registry
+        assert reg.value("filter.signature_checks") == stats.signature_checks
+        assert reg.value("filter.pruned") == stats.signature_pruned
+        assert reg.value("filter.leaf_skips") == stats.leaf_skips
+        assert (
+            reg.value("filter.refinement_skipped") == stats.refinement_skipped
+        )
+
+    def test_stats_wire_round_trip(self, served, dataset):
+        index = served["rtree"]
+        query, period = workload(dataset, n=1, seed=6)[0]
+        _, stats = bfmst_search(index, query, period, k=3, filter="on")
+        doc = stats.as_dict()
+        for field in (
+            "signature_checks",
+            "signature_pruned",
+            "leaf_skips",
+            "refinement_skipped",
+        ):
+            assert field in doc
+        round_tripped = SearchStats.from_dict(doc)
+        assert round_tripped.signature_checks == stats.signature_checks
+        assert round_tripped.signature_pruned == stats.signature_pruned
+
+    def test_refinement_skip_avoids_cache_lookup(self):
+        # A candidate whose signature bound clears the k-th boundary
+        # must be skipped *before* the refinement LRU is consulted, so
+        # the cache hit-rate denominator only counts real refinements.
+        class BombCache:
+            def get(self, tid):
+                raise AssertionError(
+                    "refinement cache consulted for a pruned candidate"
+                )
+
+            def put(self, tid, value):
+                raise AssertionError("pruned candidate refined")
+
+        records = [
+            CandidateRecord(1, 1.0, 0.0, True, ()),
+            CandidateRecord(2, 1.5, 0.6, True, ()),
+        ]
+        stats = SearchStats()
+        query = Trajectory(-1, [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])
+        out = _assemble(
+            records, query, 1, True, stats, BombCache(),
+            sig_lookup={2: 1.2}.get,
+        )
+        assert [m.trajectory_id for m in out] == [1]
+        assert stats.refinement_skipped == 1
+        assert stats.refinement_candidates == 0
+
+
+# ----------------------------------------------------------------------
+# plan codec
+# ----------------------------------------------------------------------
+class TestShardPlanCodec:
+    def _plan(self, dataset, **overrides):
+        from repro.engine.planner import ShardPlan
+        from repro.search.spec import QuerySpec
+
+        query = dataset.get(dataset.ids()[0])
+        spec = QuerySpec(
+            "mst", query, period=(query.t_start, query.t_end), k=3
+        )
+        fields = dict(
+            spec=spec,
+            shard_id=0,
+            shard_path="shard_0000.pages",
+            signature=(3, 50, 1),
+            vmax=2.5,
+        )
+        fields.update(overrides)
+        return ShardPlan(**fields)
+
+    def test_filter_round_trips(self, dataset):
+        from repro.engine.planner import ShardPlan
+
+        plan = self._plan(dataset, filter="on")
+        doc = plan.as_dict()
+        assert doc["filter"] == "on"
+        assert ShardPlan.from_dict(doc).filter == "on"
+
+    def test_missing_filter_defaults_to_auto(self, dataset):
+        from repro.engine.planner import ShardPlan
+
+        doc = self._plan(dataset).as_dict()
+        del doc["filter"]  # an older writer's plan
+        assert ShardPlan.from_dict(doc).filter == "auto"
+
+    def test_invalid_filter_rejected(self, dataset):
+        from repro.engine.planner import ShardPlan
+
+        doc = self._plan(dataset).as_dict()
+        doc["filter"] = "maybe"
+        with pytest.raises(QueryError):
+            ShardPlan.from_dict(doc)

@@ -149,7 +149,11 @@ class TestTrapezoidLemma1:
         one = tri.trapezoid_integral(lo, hi)
         many = tri.subdivided_integral(lo, hi, panels)
         exact = tri.exact_integral(lo, hi)
-        slack = 1e-7 * max(1.0, abs(many.approx))
+        # The closed-form arcsinh evaluation cancels catastrophically
+        # when the quadratic term is ~1e-15 (a near-linear trinomial
+        # over a short far-from-origin interval), so the fp slack must
+        # absorb ~1e-6 relative noise from the *exact* side.
+        slack = 1e-6 * max(1.0, abs(many.approx))
         assert exact <= many.approx + slack
         assert exact >= many.approx - many.error_bound - slack
         # More panels never give a wider certified interval (up to fp).
